@@ -1,0 +1,31 @@
+//! # mpsoc-ahb
+//!
+//! A behavioural, cycle-accurate model of the **AMBA AHB** system backbone
+//! as used in the paper's protocol-interaction experiments.
+//!
+//! The model reflects the AHB semantics the analysis turns on (and matches
+//! the paper's own SystemC model, which also omits SPLIT/RETRY):
+//!
+//! * A **single active data path**: the channel is composed of split read
+//!   and write links but only one can be active at a time, so requests and
+//!   responses cannot be multiplexed.
+//! * **Non-split transactions**: the bus is held from the grant until the
+//!   last response beat, so target wait states translate directly into bus
+//!   idle cycles.
+//! * **Non-posted writes**: every write is acknowledged before the master
+//!   may consider it done (the bus strips any posted flag it is handed).
+//! * **Pipelined address phase / early `HGRANTx`**: the arbiter changes
+//!   grant while the penultimate data beat transfers, so back-to-back
+//!   transactions incur no handover bubble — AHB's best case is exactly the
+//!   many-to-one pattern of Section 4.1.2.
+//!
+//! The component is [`AhbBus`]; wiring follows the same link convention as
+//! the other interconnects, so initiators and targets are interchangeable
+//! across protocols.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+
+pub use bus::{AhbBus, AhbBusConfig};

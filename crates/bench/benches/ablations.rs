@@ -1,0 +1,23 @@
+//! Criterion benches for the ablation studies (buffering depth, bridge
+//! functionality, LMI optimization engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsoc_platform::experiments::{bridge_ablation, buffering_ablation, lmi_ablation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("buffering_depth", |b| {
+        b.iter(|| buffering_ablation(1, 0x0dab).expect("runs"))
+    });
+    group.bench_function("bridge_functionality", |b| {
+        b.iter(|| bridge_ablation(1, 0x0dab).expect("runs"))
+    });
+    group.bench_function("lmi_optimizations", |b| {
+        b.iter(|| lmi_ablation(1, 0x0dab).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benches for the extension experiments: the arbitration-policy
+//! study and the NoC outlook.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsoc_platform::experiments::{
+    arbitration_study, dual_channel_study, fidelity_study, noc_outlook,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("arbitration_study", |b| {
+        b.iter(|| arbitration_study(1, 0x0dab).expect("runs"))
+    });
+    group.bench_function("noc_outlook", |b| {
+        b.iter(|| noc_outlook(1, 0x0dab).expect("runs"))
+    });
+    group.bench_function("fidelity_study", |b| {
+        b.iter(|| fidelity_study(1, 0x0dab).expect("runs"))
+    });
+    group.bench_function("dual_channel_study", |b| {
+        b.iter(|| dual_channel_study(1, 0x0dab).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

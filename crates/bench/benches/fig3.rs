@@ -1,0 +1,17 @@
+//! Criterion bench regenerating the paper's Figure 3 (platform instances
+//! over on-chip memory).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsoc_platform::experiments::fig3;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("platform_instances_onchip", |b| {
+        b.iter(|| fig3(1, 0x0dab).expect("fig3 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

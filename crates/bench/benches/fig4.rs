@@ -1,0 +1,16 @@
+//! Criterion bench regenerating the paper's Figure 4 (memory-speed sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsoc_platform::experiments::fig4;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("memory_speed_sweep", |b| {
+        b.iter(|| fig4(1, 0x0dab).expect("fig4 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench regenerating the paper's Figure 5 (LMI + DDR platform
+//! instances).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsoc_platform::experiments::fig5;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("platform_instances_lmi", |b| {
+        b.iter(|| fig5(1, 0x0dab).expect("fig5 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

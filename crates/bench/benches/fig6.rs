@@ -1,0 +1,17 @@
+//! Criterion bench regenerating the paper's Figure 6 (LMI bus-interface
+//! statistics over two working regimes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsoc_platform::experiments::fig6;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("lmi_interface_statistics", |b| {
+        b.iter(|| fig6(1, 0x0dab).expect("fig6 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

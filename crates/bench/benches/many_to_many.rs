@@ -1,0 +1,16 @@
+//! Criterion bench regenerating the Section 4.1.1 many-to-many comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsoc_platform::experiments::many_to_many;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("many_to_many");
+    group.sample_size(10);
+    group.bench_function("protocol_sweep", |b| {
+        b.iter(|| many_to_many(1, 0x0dab).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

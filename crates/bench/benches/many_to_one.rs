@@ -1,0 +1,16 @@
+//! Criterion bench regenerating the Section 4.1.2 many-to-one comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsoc_platform::experiments::many_to_one;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("many_to_one");
+    group.sample_size(10);
+    group.bench_function("protocol_equivalence", |b| {
+        b.iter(|| many_to_one(1, 0x0dab).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

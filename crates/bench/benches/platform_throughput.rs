@@ -1,0 +1,28 @@
+//! Simulator wall-clock throughput: simulated cycles per second for the
+//! reference platform (useful for tracking performance regressions of the
+//! simulator itself).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mpsoc_platform::{build_platform, PlatformSpec};
+
+fn bench(c: &mut Criterion) {
+    // Determine cycles of a single run once so Criterion can report
+    // simulated-cycles-per-second.
+    let cycles = {
+        let mut p = build_platform(&PlatformSpec::default()).expect("builds");
+        p.run().expect("drains").exec_cycles
+    };
+    let mut group = c.benchmark_group("platform_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("full_stbus_reference", |b| {
+        b.iter(|| {
+            let mut p = build_platform(&PlatformSpec::default()).expect("builds");
+            p.run().expect("drains").exec_cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```bash
+//! repro                      # all experiments at the default scale
+//! repro --exp fig5           # one experiment
+//! repro --scale 8 --seed 42  # bigger workload, different seed
+//! repro --list               # list experiment ids
+//! ```
+
+use mpsoc_bench::{run_experiment, EXPERIMENTS};
+use mpsoc_platform::experiments::{DEFAULT_SCALE, DEFAULT_SEED};
+use std::process::ExitCode;
+
+struct Args {
+    exp: Option<String>,
+    scale: u64,
+    seed: u64,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        exp: None,
+        scale: DEFAULT_SCALE,
+        seed: DEFAULT_SEED,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--exp" => {
+                args.exp = Some(it.next().ok_or("--exp needs a value")?);
+            }
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad scale: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "repro [--exp <id>] [--scale N] [--seed N] [--list]\n\
+                     experiments: {}",
+                    EXPERIMENTS.join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        for id in EXPERIMENTS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<&str> = match &args.exp {
+        Some(one) => vec![one.as_str()],
+        None => EXPERIMENTS.to_vec(),
+    };
+    println!(
+        "reproducing {} experiment(s), scale {}, seed {:#x}\n",
+        ids.len(),
+        args.scale,
+        args.seed
+    );
+    for id in ids {
+        let started = std::time::Instant::now();
+        match run_experiment(id, args.scale, args.seed) {
+            Ok(table) => {
+                println!("{table}");
+                println!("[{id} done in {:.2?}]\n", started.elapsed());
+            }
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

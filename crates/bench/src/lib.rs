@@ -1,0 +1,100 @@
+//! # mpsoc-bench
+//!
+//! The benchmark harness of the workspace: a `repro` binary that
+//! regenerates **every table and figure** of the paper's evaluation
+//! section, and a set of Criterion benches (one per experiment) that track
+//! the simulator's wall-clock performance on those workloads.
+//!
+//! Run the full reproduction:
+//!
+//! ```bash
+//! cargo run --release -p mpsoc-bench --bin repro
+//! cargo run --release -p mpsoc-bench --bin repro -- --exp fig5 --scale 8
+//! ```
+//!
+//! The experiment implementations live in
+//! [`mpsoc_platform::experiments`]; this crate only drives them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mpsoc_kernel::SimResult;
+use mpsoc_platform::experiments::{self, DEFAULT_SCALE, DEFAULT_SEED};
+
+/// All experiment identifiers understood by the `repro` binary.
+pub const EXPERIMENTS: &[&str] = &[
+    "many-to-many",
+    "many-to-one",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "buffering",
+    "bridges",
+    "lmi",
+    "arbitration",
+    "noc",
+    "tlm",
+    "dual-channel",
+];
+
+/// Runs one experiment by id and returns its printable report.
+///
+/// # Errors
+///
+/// Returns an error for unknown ids (listing the valid ones) or if the
+/// underlying platform stalls.
+pub fn run_experiment(id: &str, scale: u64, seed: u64) -> SimResult<String> {
+    let text = match id {
+        "many-to-many" => experiments::many_to_many(scale, seed)?.to_string(),
+        "many-to-one" => experiments::many_to_one(scale, seed)?.to_string(),
+        "fig3" => experiments::fig3(scale, seed)?.to_string(),
+        "fig4" => experiments::fig4(scale, seed)?.to_string(),
+        "fig5" => experiments::fig5(scale, seed)?.to_string(),
+        "fig6" => experiments::fig6(scale, seed)?.to_string(),
+        "buffering" => experiments::buffering_ablation(scale, seed)?.to_string(),
+        "bridges" => experiments::bridge_ablation(scale, seed)?.to_string(),
+        "lmi" => experiments::lmi_ablation(scale, seed)?.to_string(),
+        "arbitration" => experiments::arbitration_study(scale, seed)?.to_string(),
+        "noc" => experiments::noc_outlook(scale, seed)?.to_string(),
+        "tlm" => experiments::fidelity_study(scale, seed)?.to_string(),
+        "dual-channel" => experiments::dual_channel_study(scale, seed)?.to_string(),
+        other => {
+            return Err(mpsoc_kernel::SimError::InvalidConfig {
+                reason: format!(
+                    "unknown experiment '{other}'; expected one of {}",
+                    EXPERIMENTS.join(", ")
+                ),
+            })
+        }
+    };
+    Ok(text)
+}
+
+/// Default scale re-exported for the benches.
+pub const fn default_scale() -> u64 {
+    DEFAULT_SCALE
+}
+
+/// Default seed re-exported for the benches.
+pub const fn default_seed() -> u64 {
+    DEFAULT_SEED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_reported() {
+        let err = run_experiment("nope", 1, 1).unwrap_err();
+        assert!(err.to_string().contains("unknown experiment"));
+        assert!(err.to_string().contains("fig3"));
+    }
+
+    #[test]
+    fn smallest_scale_smoke() {
+        let out = run_experiment("many-to-one", 1, 1).expect("runs");
+        assert!(out.contains("STBus"));
+    }
+}

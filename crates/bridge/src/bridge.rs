@@ -1,0 +1,518 @@
+//! The hybrid bridge: target side, initiator side, async FIFOs.
+
+#[cfg(test)]
+use mpsoc_kernel::Time;
+use mpsoc_kernel::{ClockDomain, Component, LinkId, LinkPool, TickContext, TraceKind};
+use mpsoc_protocol::{DataWidth, Packet, TransactionId};
+use std::collections::{HashMap, HashSet};
+
+/// How the bridge's target side handles response-expecting transactions
+/// (reads and non-posted writes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPolicy {
+    /// The target side blocks after accepting one response-expecting
+    /// transaction until its response has returned to the source bus. This
+    /// is the lightweight implementation of the paper's hand-written
+    /// bridges: "they have a blocking target side in presence of read
+    /// transactions".
+    Blocking,
+    /// Split/non-blocking: up to `max_outstanding` response-expecting
+    /// transactions may be in flight; control information is stored and
+    /// re-associated with response data (the expensive bridge the paper
+    /// says turns bridges into true IP blocks).
+    Split {
+        /// In-flight bound.
+        max_outstanding: usize,
+    },
+}
+
+/// Configuration of a [`Bridge`].
+#[derive(Debug, Clone, Copy)]
+pub struct BridgeConfig {
+    /// Read handling policy.
+    pub read_policy: ReadPolicy,
+    /// Data width on the destination side; `None` keeps the source width.
+    /// When set, beat counts are converted on the way out and restored on
+    /// the way back.
+    pub out_width: Option<DataWidth>,
+    /// When true, posted writes are forwarded as non-posted and the bridge
+    /// consumes the downstream acknowledgement itself (protocol-type
+    /// conversion towards non-posted protocols).
+    pub strip_posted: bool,
+    /// Extra pipeline cycles (of the destination clock) added to the
+    /// request path, and (of the source clock) to the response path —
+    /// the paper's "tunable latency".
+    pub extra_latency: u64,
+    /// Depth of the request FIFO between the two sides.
+    pub req_fifo_depth: usize,
+    /// Depth of the response FIFO between the two sides.
+    pub resp_fifo_depth: usize,
+}
+
+impl BridgeConfig {
+    /// The lightweight bridge used for the AHB/AXI platform variants.
+    pub fn lightweight() -> Self {
+        BridgeConfig {
+            read_policy: ReadPolicy::Blocking,
+            out_width: None,
+            strip_posted: false,
+            extra_latency: 3,
+            req_fifo_depth: 1,
+            resp_fifo_depth: 1,
+        }
+    }
+
+    /// The proprietary STBus Generic Converter: split-capable, buffered,
+    /// low-latency.
+    pub fn genconv() -> Self {
+        BridgeConfig {
+            read_policy: ReadPolicy::Split { max_outstanding: 8 },
+            out_width: None,
+            strip_posted: false,
+            extra_latency: 0,
+            req_fifo_depth: 8,
+            resp_fifo_depth: 8,
+        }
+    }
+
+    /// Sets the destination data width (datawidth conversion).
+    pub fn with_out_width(mut self, width: DataWidth) -> Self {
+        self.out_width = Some(width);
+        self
+    }
+
+    /// Enables posted-write stripping (protocol conversion towards
+    /// non-posted destinations).
+    pub fn with_strip_posted(mut self) -> Self {
+        self.strip_posted = true;
+        self
+    }
+
+    /// Sets the extra pipeline latency.
+    pub fn with_extra_latency(mut self, cycles: u64) -> Self {
+        self.extra_latency = cycles;
+        self
+    }
+}
+
+impl Default for BridgeConfig {
+    fn default() -> Self {
+        BridgeConfig::lightweight()
+    }
+}
+
+/// The two kernel components a bridge consists of, plus the links that the
+/// neighbouring buses attach to.
+///
+/// Register `target_side` on the source-bus clock and `initiator_side` on
+/// the destination-bus clock.
+#[derive(Debug)]
+pub struct BridgeHalves {
+    /// Component facing the source bus (register on the source clock).
+    pub target_side: BridgeTargetSide,
+    /// Component facing the destination bus (register on the destination
+    /// clock).
+    pub initiator_side: BridgeInitiatorSide,
+}
+
+/// Builder for a bridge between two interconnect layers.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_kernel::{Simulation, ClockDomain};
+/// use mpsoc_protocol::Packet;
+/// use mpsoc_bridge::{Bridge, BridgeConfig};
+///
+/// let mut sim: Simulation<Packet> = Simulation::new();
+/// let src_clk = ClockDomain::from_mhz(200);
+/// let dst_clk = ClockDomain::from_mhz(250);
+/// // Links towards the source bus (the bridge is that bus's target) ...
+/// let a_req = sim.links_mut().add_link("br.a.req", 2, src_clk.period());
+/// let a_resp = sim.links_mut().add_link("br.a.resp", 2, src_clk.period());
+/// // ... and towards the destination bus (the bridge is its initiator).
+/// let b_req = sim.links_mut().add_link("br.b.req", 2, dst_clk.period());
+/// let b_resp = sim.links_mut().add_link("br.b.resp", 2, dst_clk.period());
+///
+/// let halves = Bridge::build(
+///     "n5-to-n8",
+///     BridgeConfig::genconv(),
+///     sim.links_mut(),
+///     src_clk,
+///     dst_clk,
+///     (a_req, a_resp),
+///     (b_req, b_resp),
+/// );
+/// sim.add_component(Box::new(halves.target_side), src_clk);
+/// sim.add_component(Box::new(halves.initiator_side), dst_clk);
+/// ```
+#[derive(Debug)]
+pub struct Bridge;
+
+impl Bridge {
+    /// Creates the two bridge halves and their internal FIFOs.
+    ///
+    /// `a` is the `(request-in, response-out)` link pair on the source-bus
+    /// side; `b` is the `(request-out, response-in)` pair on the
+    /// destination-bus side.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        name: impl Into<String>,
+        config: BridgeConfig,
+        links: &mut LinkPool<Packet>,
+        src_clock: ClockDomain,
+        dst_clock: ClockDomain,
+        a: (LinkId, LinkId),
+        b: (LinkId, LinkId),
+    ) -> BridgeHalves {
+        let name = name.into();
+        // Clock-domain crossing costs two destination (resp. source) cycles
+        // of synchronisation, plus the configured pipeline latency.
+        let req_latency = dst_clock.period() * (2 + config.extra_latency);
+        let resp_latency = src_clock.period() * (2 + config.extra_latency);
+        let req_fifo = links.add_link(
+            format!("{name}.fifo.req"),
+            config.req_fifo_depth,
+            req_latency,
+        );
+        let resp_fifo = links.add_link(
+            format!("{name}.fifo.resp"),
+            config.resp_fifo_depth,
+            resp_latency,
+        );
+        BridgeHalves {
+            target_side: BridgeTargetSide {
+                name: format!("{name}.target_side"),
+                config,
+                req_in: a.0,
+                resp_out: a.1,
+                req_fifo,
+                resp_fifo,
+                in_flight: HashMap::new(),
+                consume_ack: HashSet::new(),
+                src_width: None,
+            },
+            initiator_side: BridgeInitiatorSide {
+                name: format!("{name}.initiator_side"),
+                req_fifo,
+                resp_fifo,
+                req_out: b.0,
+                resp_in: b.1,
+            },
+        }
+    }
+}
+
+/// The bridge half that appears as a *target* on the source bus.
+///
+/// Created by [`Bridge::build`].
+#[derive(Debug)]
+pub struct BridgeTargetSide {
+    name: String,
+    config: BridgeConfig,
+    req_in: LinkId,
+    resp_out: LinkId,
+    req_fifo: LinkId,
+    resp_fifo: LinkId,
+    /// Response-expecting transactions currently beyond this bridge, with
+    /// the source-side width to restore on the way back.
+    in_flight: HashMap<TransactionId, DataWidth>,
+    /// Acks the bridge must swallow (stripped posted writes).
+    consume_ack: HashSet<TransactionId>,
+    /// Width observed on the first accepted transaction (sanity checking).
+    src_width: Option<DataWidth>,
+}
+
+impl BridgeTargetSide {
+    fn accept_allowed(&self, response_expected: bool) -> bool {
+        match self.config.read_policy {
+            ReadPolicy::Blocking => {
+                if self.in_flight.is_empty() {
+                    true
+                } else {
+                    // Blocked on an outstanding response: nothing passes,
+                    // not even writes — the source layer sees a busy target.
+                    false
+                }
+            }
+            ReadPolicy::Split { max_outstanding } => {
+                !response_expected || self.in_flight.len() < max_outstanding
+            }
+        }
+    }
+}
+
+impl Component<Packet> for BridgeTargetSide {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
+        let now = ctx.time;
+        // Return a response towards the source bus.
+        if let Some(Packet::Response(resp)) = ctx.links.peek(self.resp_fifo, now) {
+            let id = resp.txn.id;
+            if self.consume_ack.contains(&id) {
+                ctx.links.pop(self.resp_fifo, now);
+                self.consume_ack.remove(&id);
+            } else if ctx.links.can_push(self.resp_out) {
+                let pkt = ctx.links.pop(self.resp_fifo, now).expect("peeked");
+                let mut resp = pkt.expect_response();
+                if let Some(width) = self.in_flight.remove(&id) {
+                    resp.txn = resp.txn.with_width(width);
+                }
+                // The response data sits buffered in the bridge FIFO, so the
+                // source-side re-stream runs gapless even if the original
+                // target streamed with wait states.
+                resp.gap_per_beat = 0;
+                ctx.links
+                    .push(self.resp_out, now, Packet::Response(resp))
+                    .expect("can_push checked");
+            }
+        }
+        // Accept a request from the source bus (store-and-forward: the
+        // source bus delivers writes only once their data has fully
+        // transferred, so the arrival time already reflects the store).
+        let response_expected = ctx
+            .links
+            .peek(self.req_in, now)
+            .and_then(Packet::as_request)
+            .map(|t| !t.completes_on_acceptance());
+        if let Some(response_expected) = response_expected {
+            if self.accept_allowed(response_expected) && ctx.links.can_push(self.req_fifo) {
+                let pkt = ctx.links.pop(self.req_in, now).expect("peeked");
+                let mut txn = pkt.expect_request();
+                self.src_width.get_or_insert(txn.width);
+                if let Some(w) = self.config.out_width {
+                    txn = txn.with_width(w);
+                }
+                let mut expects_response = response_expected;
+                if self.config.strip_posted && txn.posted {
+                    txn.posted = false;
+                    // The downstream ack terminates here.
+                    self.consume_ack.insert(txn.id);
+                    expects_response = false;
+                }
+                if expects_response {
+                    self.in_flight
+                        .insert(txn.id, self.src_width.unwrap_or(txn.width));
+                }
+                ctx.stats
+                    .emit_trace(now, &self.name, TraceKind::Forward, || {
+                        format!("{txn} crosses ({} in flight)", self.in_flight.len())
+                    });
+                ctx.links
+                    .push(self.req_fifo, now, Packet::Request(txn))
+                    .expect("can_push checked");
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.in_flight.is_empty() && self.consume_ack.is_empty()
+    }
+}
+
+/// The bridge half that appears as an *initiator* on the destination bus.
+///
+/// Created by [`Bridge::build`].
+#[derive(Debug)]
+pub struct BridgeInitiatorSide {
+    name: String,
+    req_fifo: LinkId,
+    resp_fifo: LinkId,
+    req_out: LinkId,
+    resp_in: LinkId,
+}
+
+impl Component<Packet> for BridgeInitiatorSide {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
+        let now = ctx.time;
+        // Responses from the destination bus into the response FIFO.
+        if ctx.links.has_deliverable(self.resp_in, now) && ctx.links.can_push(self.resp_fifo) {
+            let pkt = ctx.links.pop(self.resp_in, now).expect("deliverable");
+            ctx.links
+                .push(self.resp_fifo, now, pkt)
+                .expect("can_push checked");
+        }
+        // Requests from the request FIFO onto the destination bus.
+        if ctx.links.has_deliverable(self.req_fifo, now) && ctx.links.can_push(self.req_out) {
+            let pkt = ctx.links.pop(self.req_fifo, now).expect("deliverable");
+            ctx.links
+                .push(self.req_out, now, pkt)
+                .expect("can_push checked");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_kernel::Simulation;
+    use mpsoc_protocol::testing::{FixedLatencyTarget, ScriptedInitiator};
+    use mpsoc_protocol::{InitiatorId, Transaction};
+
+    fn read(seq: u64, addr: u64, beats: u32) -> Transaction {
+        Transaction::builder(InitiatorId::new(0), seq)
+            .read(addr)
+            .beats(beats)
+            .width(DataWidth::BITS32)
+            .build()
+    }
+
+    /// initiator -> bridge -> target, point to point.
+    fn rig(
+        config: BridgeConfig,
+        script: Vec<Transaction>,
+        target_ws: u32,
+    ) -> (Simulation<Packet>, LinkId, LinkId) {
+        let mut sim: Simulation<Packet> = Simulation::new();
+        let src = ClockDomain::from_mhz(200);
+        let dst = ClockDomain::from_mhz(250);
+        let a_req = sim.links_mut().add_link("a.req", 2, src.period());
+        let a_resp = sim.links_mut().add_link("a.resp", 2, src.period());
+        let b_req = sim.links_mut().add_link("b.req", 2, dst.period());
+        let b_resp = sim.links_mut().add_link("b.resp", 2, dst.period());
+        let halves = Bridge::build(
+            "br",
+            config,
+            sim.links_mut(),
+            src,
+            dst,
+            (a_req, a_resp),
+            (b_req, b_resp),
+        );
+        sim.add_component(
+            Box::new(ScriptedInitiator::new("i0", a_req, a_resp, script, 8)),
+            src,
+        );
+        sim.add_component(Box::new(halves.target_side), src);
+        sim.add_component(Box::new(halves.initiator_side), dst);
+        sim.add_component(
+            Box::new(FixedLatencyTarget::new("t0", dst, b_req, b_resp, target_ws)),
+            dst,
+        );
+        (sim, b_req, a_resp)
+    }
+
+    #[test]
+    fn read_crosses_clock_domains_and_returns() {
+        let (mut sim, _, a_resp) = rig(BridgeConfig::lightweight(), vec![read(1, 0x100, 4)], 1);
+        sim.run_to_quiescence_strict(Time::from_us(100))
+            .expect("drains");
+        assert_eq!(sim.links().link(a_resp).stats().pushes, 1);
+    }
+
+    #[test]
+    fn blocking_bridge_serialises_reads() {
+        let script: Vec<Transaction> = (0..4).map(|s| read(s, 0x100, 4)).collect();
+        let (mut sim, b_req, _) = rig(BridgeConfig::lightweight(), script.clone(), 10);
+        // While the first read is outstanding (first response appears only
+        // after ~44 ns of target service plus the return path) the second
+        // must not reach the destination side.
+        sim.run_until(Time::from_ns(40));
+        assert_eq!(sim.links().link(b_req).stats().pushes, 1);
+        let blocking_end = sim
+            .run_to_quiescence_strict(Time::from_ms(10))
+            .expect("drains");
+
+        let (mut sim2, b_req2, _) = rig(BridgeConfig::genconv(), script, 10);
+        sim2.run_until(Time::from_ns(300));
+        assert!(
+            sim2.links().link(b_req2).stats().pushes >= 2,
+            "split bridge pipelines reads"
+        );
+        let split_end = sim2
+            .run_to_quiescence_strict(Time::from_ms(10))
+            .expect("drains");
+        assert!(
+            split_end < blocking_end,
+            "split ({split_end}) must beat blocking ({blocking_end})"
+        );
+    }
+
+    #[test]
+    fn width_conversion_and_restoration() {
+        let cfg = BridgeConfig::genconv().with_out_width(DataWidth::BITS64);
+        let (mut sim, b_req, a_resp) = rig(cfg, vec![read(1, 0x100, 8)], 0);
+        // Observe the converted request on the destination side.
+        let mut seen_beats = None;
+        for _ in 0..2000 {
+            sim.step();
+            if let Some(Packet::Request(t)) = sim.links().peek(b_req, Time::MAX) {
+                seen_beats = Some((t.beats, t.width));
+                break;
+            }
+        }
+        assert_eq!(seen_beats, Some((4, DataWidth::BITS64)));
+        sim.run_to_quiescence_strict(Time::from_ms(1))
+            .expect("drains");
+        // The response returned to the initiator restored to 32-bit beats.
+        // (The link has already been drained by the initiator; check the
+        // push count instead and rely on the conversion unit tests for the
+        // width restore.)
+        assert_eq!(sim.links().link(a_resp).stats().pushes, 1);
+    }
+
+    #[test]
+    fn strip_posted_consumes_downstream_ack() {
+        let cfg = BridgeConfig::genconv().with_strip_posted();
+        let script = vec![Transaction::builder(InitiatorId::new(0), 1)
+            .write(0x200)
+            .beats(4)
+            .width(DataWidth::BITS32)
+            .posted(true)
+            .build()];
+        let (mut sim, _, a_resp) = rig(cfg, script, 1);
+        sim.run_to_quiescence_strict(Time::from_ms(1))
+            .expect("drains");
+        // No response ever reaches the source side.
+        assert_eq!(sim.links().link(a_resp).stats().pushes, 0);
+    }
+
+    #[test]
+    fn posted_writes_flow_through_without_blocking() {
+        let cfg = BridgeConfig::lightweight();
+        let script: Vec<Transaction> = (0..5)
+            .map(|s| {
+                Transaction::builder(InitiatorId::new(0), s)
+                    .write(0x100 + s * 64)
+                    .beats(2)
+                    .width(DataWidth::BITS32)
+                    .posted(true)
+                    .build()
+            })
+            .collect();
+        let (mut sim, b_req, _) = rig(cfg, script, 1);
+        sim.run_to_quiescence_strict(Time::from_ms(1))
+            .expect("drains");
+        assert_eq!(sim.links().link(b_req).stats().pushes, 5);
+    }
+
+    #[test]
+    fn extra_latency_slows_the_path() {
+        let fast = {
+            let (mut sim, _, _) = rig(
+                BridgeConfig::genconv().with_extra_latency(0),
+                vec![read(1, 0x100, 4)],
+                1,
+            );
+            sim.run_to_quiescence_strict(Time::from_ms(1))
+                .expect("drains")
+        };
+        let slow = {
+            let (mut sim, _, _) = rig(
+                BridgeConfig::genconv().with_extra_latency(8),
+                vec![read(1, 0x100, 4)],
+                1,
+            );
+            sim.run_to_quiescence_strict(Time::from_ms(1))
+                .expect("drains")
+        };
+        assert!(slow > fast, "latency knob must matter: {slow} vs {fast}");
+    }
+}

@@ -1,0 +1,30 @@
+//! # mpsoc-bridge
+//!
+//! Bridges between interconnect layers, after the generic hybrid-bridge
+//! scheme of the paper's Figure 2: a **target side** facing the source bus,
+//! an **initiator side** facing the destination bus, and asynchronous FIFOs
+//! between them providing clock-domain crossing.
+//!
+//! Two configuration presets capture the paper's two bridge classes:
+//!
+//! * [`BridgeConfig::lightweight`] — the basic bridges built for the AHB and
+//!   AXI platform variants: store-and-forward writes, **blocking target side
+//!   on read transactions** and tunable latency. Cheap in area, but they
+//!   serialise reads across layers — the effect that nullifies AXI's
+//!   advanced features in the distributed platforms of Figures 3 and 5.
+//! * [`BridgeConfig::genconv`] — the proprietary STBus *Generic Converter*:
+//!   split-capable (non-blocking) reads with multiple outstanding
+//!   transactions, plus clock-domain crossing, datawidth conversion and
+//!   protocol-type adaptation in a single instance.
+//!
+//! A bridge is **two** kernel components (one per clock domain) created
+//! together by [`Bridge::build`]; the connecting FIFOs are ordinary links.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bridge;
+mod pipeline;
+
+pub use bridge::{Bridge, BridgeConfig, BridgeHalves, ReadPolicy};
+pub use pipeline::PipelineStage;

@@ -1,0 +1,155 @@
+//! Register slices (pipeline stages) for timing closure.
+//!
+//! AXI explicitly supports "register insertion for timing closure
+//! transparent to the protocol" (paper §3.2): a slice adds one cycle of
+//! latency on a channel without changing any handshake semantics. The same
+//! element is useful on long STBus paths. A [`PipelineStage`] is a pair of
+//! 1-deep registered repeaters — one for the request direction, one for the
+//! response direction — packaged as a single component.
+
+use mpsoc_kernel::{Component, LinkId, TickContext};
+use mpsoc_protocol::Packet;
+
+/// A registered repeater on a request/response link pair: every payload is
+/// delayed by exactly one cycle of the stage's clock (plus the downstream
+/// link latency), with full back-pressure propagation.
+///
+/// Insert one by splitting a link in two and placing the stage between the
+/// halves:
+///
+/// ```
+/// use mpsoc_kernel::{Simulation, ClockDomain};
+/// use mpsoc_protocol::Packet;
+/// use mpsoc_bridge::PipelineStage;
+///
+/// let mut sim: Simulation<Packet> = Simulation::new();
+/// let clk = ClockDomain::from_mhz(250);
+/// // master -> req_a -> [stage] -> req_b -> target, and back.
+/// let req_a = sim.links_mut().add_link("req.a", 2, clk.period());
+/// let req_b = sim.links_mut().add_link("req.b", 2, clk.period());
+/// let resp_a = sim.links_mut().add_link("resp.a", 2, clk.period());
+/// let resp_b = sim.links_mut().add_link("resp.b", 2, clk.period());
+/// let stage = PipelineStage::new("slice0", (req_a, req_b), (resp_b, resp_a));
+/// sim.add_component(Box::new(stage), clk);
+/// ```
+#[derive(Debug)]
+pub struct PipelineStage {
+    name: String,
+    req_in: LinkId,
+    req_out: LinkId,
+    resp_in: LinkId,
+    resp_out: LinkId,
+}
+
+impl PipelineStage {
+    /// Creates a stage forwarding requests from `req.0` to `req.1` and
+    /// responses from `resp.0` to `resp.1`.
+    pub fn new(name: impl Into<String>, req: (LinkId, LinkId), resp: (LinkId, LinkId)) -> Self {
+        PipelineStage {
+            name: name.into(),
+            req_in: req.0,
+            req_out: req.1,
+            resp_in: resp.0,
+            resp_out: resp.1,
+        }
+    }
+}
+
+impl Component<Packet> for PipelineStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
+        let now = ctx.time;
+        if ctx.links.has_deliverable(self.req_in, now) && ctx.links.can_push(self.req_out) {
+            let pkt = ctx.links.pop(self.req_in, now).expect("deliverable");
+            ctx.links.push(self.req_out, now, pkt).expect("can_push");
+        }
+        if ctx.links.has_deliverable(self.resp_in, now) && ctx.links.can_push(self.resp_out) {
+            let pkt = ctx.links.pop(self.resp_in, now).expect("deliverable");
+            ctx.links.push(self.resp_out, now, pkt).expect("can_push");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_kernel::{ClockDomain, Simulation, Time};
+    use mpsoc_protocol::testing::{FixedLatencyTarget, ScriptedInitiator};
+    use mpsoc_protocol::{DataWidth, InitiatorId, Transaction};
+
+    fn reads(n: u64) -> Vec<Transaction> {
+        (0..n)
+            .map(|s| {
+                Transaction::builder(InitiatorId::new(0), s)
+                    .read(0x100 + s * 64)
+                    .beats(4)
+                    .width(DataWidth::BITS32)
+                    .build()
+            })
+            .collect()
+    }
+
+    fn run_with_stages(stages: usize) -> Time {
+        let mut sim: Simulation<Packet> = Simulation::new();
+        let clk = ClockDomain::from_mhz(250);
+        let mut req = sim.links_mut().add_link("req.0", 2, clk.period());
+        let mut resp_tail = sim.links_mut().add_link("resp.0", 2, clk.period());
+        let first_req = req;
+        let first_resp = resp_tail;
+        let mut stage_components = Vec::new();
+        for i in 0..stages {
+            let req_next = sim
+                .links_mut()
+                .add_link(format!("req.{}", i + 1), 2, clk.period());
+            let resp_next = sim
+                .links_mut()
+                .add_link(format!("resp.{}", i + 1), 2, clk.period());
+            stage_components.push(PipelineStage::new(
+                format!("slice{i}"),
+                (req, req_next),
+                (resp_next, resp_tail),
+            ));
+            req = req_next;
+            resp_tail = resp_next;
+        }
+        sim.add_component(
+            Box::new(ScriptedInitiator::new(
+                "m",
+                first_req,
+                first_resp,
+                reads(10),
+                4,
+            )),
+            clk,
+        );
+        for s in stage_components {
+            sim.add_component(Box::new(s), clk);
+        }
+        sim.add_component(
+            Box::new(FixedLatencyTarget::new("t", clk, req, resp_tail, 1)),
+            clk,
+        );
+        sim.run_to_quiescence_strict(Time::from_ms(1))
+            .expect("drains")
+    }
+
+    #[test]
+    fn stage_is_transparent_but_adds_latency() {
+        let none = run_with_stages(0);
+        let one = run_with_stages(1);
+        let three = run_with_stages(3);
+        assert!(one > none, "a slice adds latency: {one} vs {none}");
+        assert!(three > one, "more slices add more: {three} vs {one}");
+    }
+
+    #[test]
+    fn all_transactions_survive_the_pipeline() {
+        // Indirectly covered by run_to_quiescence_strict (the initiator
+        // would never go idle if responses were lost); assert explicitly.
+        let end = run_with_stages(2);
+        assert!(end > Time::ZERO);
+    }
+}

@@ -1,0 +1,611 @@
+//! Low-level platform wiring.
+
+use mpsoc_ahb::{AhbBus, AhbBusConfig};
+use mpsoc_axi::{AxiInterconnect, AxiInterconnectConfig};
+use mpsoc_bridge::{Bridge, BridgeConfig};
+use mpsoc_kernel::{ClockDomain, Component, LinkId, SimError, SimResult, Simulation};
+use mpsoc_memory::{LmiConfig, LmiController, OnChipMemory, OnChipMemoryConfig};
+use mpsoc_protocol::{
+    AddressRange, DataWidth, InitiatorId, Packet, ProtocolKind, TlmBus, TlmBusConfig,
+};
+use mpsoc_stbus::{StbusNode, StbusNodeConfig};
+use mpsoc_traffic::{DspConfig, DspCore, IpTrafficGenerator, IptgConfig};
+
+/// Which interconnect model a bus is built from.
+#[derive(Debug, Clone, Copy)]
+pub enum BusSpec {
+    /// An STBus node.
+    Stbus(StbusNodeConfig),
+    /// An AMBA AHB shared bus.
+    Ahb(AhbBusConfig),
+    /// An AMBA AXI interconnect.
+    Axi(AxiInterconnectConfig),
+    /// A transaction-level transport (fast, contention-free); the
+    /// [`DataWidth`] is carried alongside because the TLM bus itself is
+    /// width-agnostic.
+    Tlm(TlmBusConfig, DataWidth),
+}
+
+impl BusSpec {
+    /// The bus data width.
+    pub fn width(&self) -> DataWidth {
+        match self {
+            BusSpec::Stbus(c) => c.width,
+            BusSpec::Ahb(c) => c.width,
+            BusSpec::Axi(c) => c.width,
+            BusSpec::Tlm(_, width) => *width,
+        }
+    }
+
+    /// The protocol this spec models.
+    pub fn protocol(&self) -> ProtocolKind {
+        match self {
+            BusSpec::Stbus(c) => c.protocol,
+            BusSpec::Ahb(_) => ProtocolKind::Ahb,
+            BusSpec::Axi(_) => ProtocolKind::Axi,
+            // The TLM transport behaves like an idealised split protocol.
+            BusSpec::Tlm(..) => ProtocolKind::StbusT3,
+        }
+    }
+}
+
+enum BusUnderConstruction {
+    Stbus(StbusNode),
+    Ahb(AhbBus),
+    Axi(AxiInterconnect),
+    Tlm(TlmBus),
+}
+
+impl BusUnderConstruction {
+    fn add_initiator(&mut self, req: LinkId, resp: LinkId) -> usize {
+        match self {
+            BusUnderConstruction::Stbus(b) => b.add_initiator(req, resp),
+            BusUnderConstruction::Ahb(b) => b.add_initiator(req, resp),
+            BusUnderConstruction::Axi(b) => b.add_initiator(req, resp),
+            BusUnderConstruction::Tlm(b) => b.add_initiator(req, resp),
+        }
+    }
+
+    fn add_target(&mut self, req: LinkId, resp: LinkId) -> usize {
+        match self {
+            BusUnderConstruction::Stbus(b) => b.add_target(req, resp),
+            BusUnderConstruction::Ahb(b) => b.add_target(req, resp),
+            BusUnderConstruction::Axi(b) => b.add_target(req, resp),
+            BusUnderConstruction::Tlm(b) => b.add_target(req, resp),
+        }
+    }
+
+    fn add_route(&mut self, range: AddressRange, target: usize) -> SimResult<()> {
+        let result = match self {
+            BusUnderConstruction::Stbus(b) => b.add_route(range, target),
+            BusUnderConstruction::Ahb(b) => b.add_route(range, target),
+            BusUnderConstruction::Axi(b) => b.add_route(range, target),
+            BusUnderConstruction::Tlm(b) => b.add_route(range, target),
+        };
+        result.map_err(|e| SimError::InvalidConfig {
+            reason: e.to_string(),
+        })
+    }
+
+    fn into_component(self) -> Box<dyn Component<Packet>> {
+        match self {
+            BusUnderConstruction::Stbus(b) => Box::new(b),
+            BusUnderConstruction::Ahb(b) => Box::new(b),
+            BusUnderConstruction::Axi(b) => Box::new(b),
+            BusUnderConstruction::Tlm(b) => Box::new(b),
+        }
+    }
+}
+
+/// Handle to a bus registered with the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusHandle(usize);
+
+/// The link pair through which a target is attached to a bus, returned so
+/// callers can attach custom target components.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetIface {
+    /// Requests flowing towards the target.
+    pub req: LinkId,
+    /// Responses flowing back.
+    pub resp: LinkId,
+}
+
+struct BusSlot {
+    bus: BusUnderConstruction,
+    clock: ClockDomain,
+    name: String,
+}
+
+/// Incremental constructor for a complete platform simulation.
+///
+/// The builder owns the link-capacity conventions of the workspace:
+///
+/// * initiator request links (the master's posting/issue FIFO) default to a
+///   capacity of 2;
+/// * target request links model the target-side *prefetch FIFO*; their
+///   depth is a per-target argument (1 = the blocking single-slot interface
+///   of the paper's simple memory);
+/// * bridge-internal FIFO depths come from the [`BridgeConfig`].
+///
+/// See [`build_platform`](crate::build_platform) for the pre-assembled
+/// reference platform.
+pub struct PlatformBuilder {
+    sim: Simulation<Packet>,
+    buses: Vec<BusSlot>,
+    bus_widths: Vec<DataWidth>,
+    next_initiator: u16,
+    generator_names: Vec<String>,
+    lmi_names: Vec<String>,
+    expected_transactions: u64,
+}
+
+impl PlatformBuilder {
+    /// Creates a builder whose simulation RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        PlatformBuilder {
+            sim: Simulation::with_seed(seed),
+            buses: Vec::new(),
+            bus_widths: Vec::new(),
+            next_initiator: 0,
+            generator_names: Vec::new(),
+            lmi_names: Vec::new(),
+            expected_transactions: 0,
+        }
+    }
+
+    /// Allocates a platform-unique initiator id.
+    pub fn alloc_initiator(&mut self) -> InitiatorId {
+        let id = InitiatorId::new(self.next_initiator);
+        self.next_initiator += 1;
+        id
+    }
+
+    /// Registers a bus.
+    pub fn add_bus(
+        &mut self,
+        name: impl Into<String>,
+        spec: BusSpec,
+        clock: ClockDomain,
+    ) -> BusHandle {
+        let name = name.into();
+        let bus = match spec {
+            BusSpec::Stbus(cfg) => {
+                BusUnderConstruction::Stbus(StbusNode::new(name.clone(), cfg, clock))
+            }
+            BusSpec::Ahb(cfg) => BusUnderConstruction::Ahb(AhbBus::new(name.clone(), cfg, clock)),
+            BusSpec::Axi(cfg) => {
+                BusUnderConstruction::Axi(AxiInterconnect::new(name.clone(), cfg, clock))
+            }
+            BusSpec::Tlm(cfg, _) => {
+                BusUnderConstruction::Tlm(TlmBus::new(name.clone(), cfg, clock))
+            }
+        };
+        self.bus_widths.push(spec.width());
+        self.buses.push(BusSlot { bus, clock, name });
+        BusHandle(self.buses.len() - 1)
+    }
+
+    /// The clock of a bus.
+    pub fn bus_clock(&self, bus: BusHandle) -> ClockDomain {
+        self.buses[bus.0].clock
+    }
+
+    /// Creates the link pair for attaching an initiator to `bus` and
+    /// registers the port. Returns `(req, resp)` for the initiator
+    /// component to use.
+    pub fn initiator_port(
+        &mut self,
+        bus: BusHandle,
+        name: &str,
+        issue_fifo: usize,
+    ) -> (LinkId, LinkId) {
+        let clock = self.buses[bus.0].clock;
+        let req =
+            self.sim
+                .links_mut()
+                .add_link(format!("{name}.req"), issue_fifo.max(1), clock.period());
+        let resp = self.sim.links_mut().add_link(
+            format!("{name}.resp"),
+            issue_fifo.max(1),
+            clock.period(),
+        );
+        self.buses[bus.0].bus.add_initiator(req, resp);
+        (req, resp)
+    }
+
+    /// Creates the link pair for attaching a target to `bus`, registers the
+    /// port and routes `ranges` to it.
+    ///
+    /// `prefetch_fifo` is the target-side request FIFO depth; `resp_fifo`
+    /// the response-side depth.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a route overlaps an existing one.
+    pub fn target_port(
+        &mut self,
+        bus: BusHandle,
+        name: &str,
+        prefetch_fifo: usize,
+        resp_fifo: usize,
+        ranges: &[AddressRange],
+    ) -> SimResult<TargetIface> {
+        let clock = self.buses[bus.0].clock;
+        let req = self.sim.links_mut().add_link(
+            format!("{name}.req"),
+            prefetch_fifo.max(1),
+            clock.period(),
+        );
+        let resp =
+            self.sim
+                .links_mut()
+                .add_link(format!("{name}.resp"), resp_fifo.max(1), clock.period());
+        let idx = self.buses[bus.0].bus.add_target(req, resp);
+        for range in ranges {
+            self.buses[bus.0].bus.add_route(*range, idx)?;
+        }
+        Ok(TargetIface { req, resp })
+    }
+
+    /// Attaches an on-chip memory with a single-slot (blocking) interface.
+    ///
+    /// # Errors
+    ///
+    /// Fails on route overlap.
+    pub fn add_on_chip_memory(
+        &mut self,
+        bus: BusHandle,
+        name: &str,
+        config: OnChipMemoryConfig,
+        range: AddressRange,
+    ) -> SimResult<()> {
+        let clock = self.buses[bus.0].clock;
+        let iface = self.target_port(bus, name, 1, 1, &[range])?;
+        self.sim.add_component(
+            Box::new(OnChipMemory::new(
+                name, config, clock, iface.req, iface.resp,
+            )),
+            clock,
+        );
+        Ok(())
+    }
+
+    /// Attaches an LMI controller + DDR SDRAM.
+    ///
+    /// The LMI runs on its own `clock`; its request wire is capacity 1 (the
+    /// interface sampling register — queueing happens in the controller's
+    /// own input FIFO) and its response wire is the output FIFO.
+    ///
+    /// # Errors
+    ///
+    /// Fails on route overlap.
+    pub fn add_lmi(
+        &mut self,
+        bus: BusHandle,
+        name: &str,
+        config: LmiConfig,
+        clock: ClockDomain,
+        range: AddressRange,
+    ) -> SimResult<()> {
+        let out_fifo = config.output_fifo_depth;
+        let iface = self.target_port(bus, name, 1, out_fifo, &[range])?;
+        self.sim.add_component(
+            Box::new(LmiController::new(
+                name, config, clock, iface.req, iface.resp,
+            )),
+            clock,
+        );
+        self.lmi_names.push(name.to_owned());
+        Ok(())
+    }
+
+    /// Attaches an LMI controller behind a protocol-conversion bridge — the
+    /// arrangement every non-STBus platform needs, since the LMI natively
+    /// exposes an STBus interface. A blocking `bridge` here is exactly the
+    /// "simple protocol converter unable to perform split transactions"
+    /// that cripples the collapsed AXI platform in the paper's Figure 5.
+    ///
+    /// # Errors
+    ///
+    /// Fails on route overlap.
+    pub fn add_lmi_behind_bridge(
+        &mut self,
+        bus: BusHandle,
+        name: &str,
+        config: LmiConfig,
+        lmi_clock: ClockDomain,
+        bridge: BridgeConfig,
+        range: AddressRange,
+    ) -> SimResult<()> {
+        let bus_clock = self.buses[bus.0].clock;
+        let out_fifo = config.output_fifo_depth;
+        let lmi_req = self
+            .sim
+            .links_mut()
+            .add_link(format!("{name}.req"), 1, lmi_clock.period());
+        let lmi_resp =
+            self.sim
+                .links_mut()
+                .add_link(format!("{name}.resp"), out_fifo, lmi_clock.period());
+        self.sim.add_component(
+            Box::new(LmiController::new(
+                name, config, lmi_clock, lmi_req, lmi_resp,
+            )),
+            lmi_clock,
+        );
+        let a = self.target_port(bus, &format!("{name}.conv.a"), 2, 2, &[range])?;
+        let halves = Bridge::build(
+            format!("{name}.conv"),
+            bridge,
+            self.sim.links_mut(),
+            bus_clock,
+            lmi_clock,
+            (a.req, a.resp),
+            (lmi_req, lmi_resp),
+        );
+        self.sim
+            .add_component(Box::new(halves.target_side), bus_clock);
+        self.sim
+            .add_component(Box::new(halves.initiator_side), lmi_clock);
+        self.lmi_names.push(name.to_owned());
+        Ok(())
+    }
+
+    /// Attaches an IPTG to a bus.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the IPTG configuration is invalid.
+    pub fn add_iptg(
+        &mut self,
+        bus: BusHandle,
+        name: &str,
+        config: IptgConfig,
+        issue_fifo: usize,
+    ) -> SimResult<()> {
+        let clock = self.buses[bus.0].clock;
+        self.expected_transactions += config.total_transactions();
+        let (req, resp) = self.initiator_port(bus, name, issue_fifo);
+        let gen = IpTrafficGenerator::new(name, config, req, resp).map_err(|e| {
+            SimError::InvalidConfig {
+                reason: e.to_string(),
+            }
+        })?;
+        self.sim.add_component(Box::new(gen), clock);
+        self.generator_names.push(name.to_owned());
+        Ok(())
+    }
+
+    /// Attaches a DSP core running on its own clock, connected through a
+    /// converter bridge (frequency and width adaptation) to `bus` — the
+    /// ST220 arrangement of the reference platform.
+    pub fn add_dsp_with_converter(
+        &mut self,
+        bus: BusHandle,
+        name: &str,
+        config: DspConfig,
+        dsp_clock: ClockDomain,
+        converter: BridgeConfig,
+    ) {
+        let bus_clock = self.buses[bus.0].clock;
+        let bus_width = self.bus_width_of(bus);
+        // DSP-side links (its private layer).
+        let d_req = self
+            .sim
+            .links_mut()
+            .add_link(format!("{name}.req"), 2, dsp_clock.period());
+        let d_resp = self
+            .sim
+            .links_mut()
+            .add_link(format!("{name}.resp"), 2, dsp_clock.period());
+        // Bus-side initiator port.
+        let (b_req, b_resp) = self.initiator_port(bus, &format!("{name}.conv"), 2);
+        let halves = Bridge::build(
+            format!("{name}.conv"),
+            converter.with_out_width(bus_width),
+            self.sim.links_mut(),
+            dsp_clock,
+            bus_clock,
+            (d_req, d_resp),
+            (b_req, b_resp),
+        );
+        self.sim
+            .add_component(Box::new(halves.target_side), dsp_clock);
+        self.sim
+            .add_component(Box::new(halves.initiator_side), bus_clock);
+        self.sim.add_component(
+            Box::new(DspCore::new(name, config, d_req, d_resp)),
+            dsp_clock,
+        );
+        self.generator_names.push(name.to_owned());
+    }
+
+    fn bus_width_of(&self, bus: BusHandle) -> DataWidth {
+        self.bus_widths[bus.0]
+    }
+
+    /// Connects `from` to `to` through a bridge: the bridge appears as a
+    /// target on `from` (serving `ranges`) and as an initiator on `to`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on route overlap.
+    pub fn add_bridge(
+        &mut self,
+        name: &str,
+        config: BridgeConfig,
+        from: BusHandle,
+        to: BusHandle,
+        ranges: &[AddressRange],
+    ) -> SimResult<()> {
+        let src_clock = self.buses[from.0].clock;
+        let dst_clock = self.buses[to.0].clock;
+        let dst_width = self.bus_width_of(to);
+        let src_width = self.bus_width_of(from);
+        // The bridge's source-side interface FIFOs scale with its internal
+        // buffering: a split-capable GenConv offers deep distributed
+        // buffering, a lightweight bridge only a couple of slots.
+        let a_depth = config.req_fifo_depth.max(2);
+        let a = self.target_port(from, &format!("{name}.a"), a_depth, a_depth, ranges)?;
+        let (b_req, b_resp) = self.initiator_port(to, &format!("{name}.b"), 2);
+        let config = if src_width != dst_width {
+            config.with_out_width(dst_width)
+        } else {
+            config
+        };
+        let halves = Bridge::build(
+            name,
+            config,
+            self.sim.links_mut(),
+            src_clock,
+            dst_clock,
+            (a.req, a.resp),
+            (b_req, b_resp),
+        );
+        self.sim
+            .add_component(Box::new(halves.target_side), src_clock);
+        self.sim
+            .add_component(Box::new(halves.initiator_side), dst_clock);
+        Ok(())
+    }
+
+    /// Adds an arbitrary component (custom initiators/targets).
+    pub fn add_component(&mut self, component: Box<dyn Component<Packet>>, clock: ClockDomain) {
+        self.sim.add_component(component, clock);
+    }
+
+    /// Direct access to the simulation during wiring (links, stats).
+    pub fn sim_mut(&mut self) -> &mut Simulation<Packet> {
+        &mut self.sim
+    }
+
+    /// Finalises the platform: boxes the buses into the simulation.
+    pub fn finish(mut self, reference_clock: ClockDomain) -> crate::platforms::Platform {
+        let bus_names: Vec<String> = self.buses.iter().map(|s| s.name.clone()).collect();
+        for slot in self.buses.drain(..) {
+            let clock = slot.clock;
+            self.sim.add_component(slot.bus.into_component(), clock);
+        }
+        crate::platforms::Platform::from_parts(
+            self.sim,
+            reference_clock,
+            bus_names,
+            self.generator_names,
+            self.lmi_names,
+            self.expected_transactions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_kernel::Time;
+    use mpsoc_memory::OnChipMemoryConfig;
+    use mpsoc_stbus::StbusNodeConfig;
+    use mpsoc_traffic::{AddressPattern, AgentConfig, IptgConfig};
+
+    fn stbus_spec() -> BusSpec {
+        BusSpec::Stbus(StbusNodeConfig::default())
+    }
+
+    #[test]
+    fn initiator_ids_are_unique() {
+        let mut b = PlatformBuilder::new(0);
+        let a = b.alloc_initiator();
+        let c = b.alloc_initiator();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bus_spec_exposes_protocol_and_width() {
+        let spec = stbus_spec();
+        assert!(spec.protocol().is_stbus());
+        assert_eq!(spec.width(), DataWidth::BITS64);
+        let ahb = BusSpec::Ahb(mpsoc_ahb::AhbBusConfig::default());
+        assert_eq!(ahb.protocol(), ProtocolKind::Ahb);
+        let axi = BusSpec::Axi(mpsoc_axi::AxiInterconnectConfig::default());
+        assert_eq!(axi.protocol(), ProtocolKind::Axi);
+    }
+
+    #[test]
+    fn overlapping_memory_ranges_are_rejected() {
+        let clk = ClockDomain::from_mhz(250);
+        let mut b = PlatformBuilder::new(0);
+        let bus = b.add_bus("n", stbus_spec(), clk);
+        b.add_on_chip_memory(
+            bus,
+            "m0",
+            OnChipMemoryConfig::default(),
+            AddressRange::new(0, 0x1000),
+        )
+        .expect("first range fits");
+        let err = b
+            .add_on_chip_memory(
+                bus,
+                "m1",
+                OnChipMemoryConfig::default(),
+                AddressRange::new(0x800, 0x2000),
+            )
+            .expect_err("overlap must fail");
+        assert!(err.to_string().contains("overlaps"));
+    }
+
+    #[test]
+    fn invalid_iptg_config_is_rejected() {
+        let clk = ClockDomain::from_mhz(250);
+        let mut b = PlatformBuilder::new(0);
+        let bus = b.add_bus("n", stbus_spec(), clk);
+        let initiator = b.alloc_initiator();
+        let mut agent =
+            AgentConfig::simple("a", AddressPattern::Sequential { base: 0, len: 4096 }, 5);
+        agent.start_after = Some((7, 0.5)); // dangling dependency
+        let cfg = IptgConfig {
+            initiator,
+            width: DataWidth::BITS64,
+            agents: vec![agent],
+            seed: 1,
+        };
+        let err = b.add_iptg(bus, "bad", cfg, 2).expect_err("must fail");
+        assert!(err.to_string().contains("depends on missing agent"));
+    }
+
+    #[test]
+    fn minimal_hand_built_platform_runs() {
+        let clk = ClockDomain::from_mhz(250);
+        let mut b = PlatformBuilder::new(3);
+        let bus = b.add_bus("n", stbus_spec(), clk);
+        assert_eq!(b.bus_clock(bus), clk);
+        b.add_on_chip_memory(
+            bus,
+            "mem",
+            OnChipMemoryConfig::default(),
+            AddressRange::new(0, 1 << 20),
+        )
+        .expect("wires");
+        let initiator = b.alloc_initiator();
+        let cfg = IptgConfig {
+            initiator,
+            width: DataWidth::BITS64,
+            agents: vec![AgentConfig::simple(
+                "a",
+                AddressPattern::Sequential {
+                    base: 0,
+                    len: 1 << 16,
+                },
+                20,
+            )],
+            seed: 5,
+        };
+        b.add_iptg(bus, "ip", cfg, 2).expect("wires");
+        let mut platform = b.finish(clk);
+        assert_eq!(platform.expected_transactions(), 20);
+        let report = platform
+            .run_with_horizon(Time::from_ms(10))
+            .expect("drains");
+        assert_eq!(report.injected, 20);
+        assert_eq!(report.buses.len(), 1);
+        assert_eq!(report.buses[0].name, "n");
+    }
+}

@@ -1,0 +1,139 @@
+//! FIG-4 — distributed vs centralized communication architectures as a
+//! function of memory speed.
+//!
+//! The paper sweeps the memory response latency and finds that a fast
+//! memory penalises the multi-hop distributed architecture, while a slow
+//! memory favours it: distributed buffering lets multiple-outstanding
+//! initiator interfaces keep pushing transactions into the bus while the
+//! collapsed instance's masters stall at their shallow issue FIFOs.
+//!
+//! The workload is the bursty, posted-write-heavy sweep mix
+//! ([`Workload::BurstyPosted`](crate::Workload)) with the congested N5
+//! cluster either attached locally (collapsed) or behind the two-hop
+//! bridge path (distributed).
+
+use crate::platforms::{build_platform, MemorySystem, PlatformSpec, Topology, Workload};
+use mpsoc_kernel::SimResult;
+use mpsoc_protocol::ProtocolKind;
+use serde::Serialize;
+use std::fmt;
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Point {
+    /// Memory wait states per beat.
+    pub wait_states: u32,
+    /// Collapsed execution time (central-node cycles).
+    pub collapsed_cycles: u64,
+    /// Distributed execution time.
+    pub distributed_cycles: u64,
+    /// `collapsed / distributed` — above 1 means distributed wins.
+    pub ratio: f64,
+}
+
+/// The Figure 4 series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4 {
+    /// Sweep points in ascending wait-state order.
+    pub points: Vec<Fig4Point>,
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "FIG-4 distributed vs centralized as a function of memory speed"
+        )?;
+        writeln!(
+            f,
+            "{:>4} {:>14} {:>14} {:>16}",
+            "ws", "collapsed", "distributed", "col/dist ratio"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>4} {:>14} {:>14} {:>16.4}",
+                p.wait_states, p.collapsed_cycles, p.distributed_cycles, p.ratio
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the Figure 4 sweep.
+///
+/// # Errors
+///
+/// Fails if any platform instance stalls (model bug).
+pub fn fig4(scale: u64, seed: u64) -> SimResult<Fig4> {
+    let mut points = Vec::new();
+    for wait_states in [1u32, 2, 4, 8, 16, 32] {
+        let mut cycles = [0u64; 2];
+        for (i, topology) in [Topology::Collapsed, Topology::Distributed]
+            .into_iter()
+            .enumerate()
+        {
+            let spec = PlatformSpec {
+                protocol: ProtocolKind::StbusT3,
+                topology,
+                memory: MemorySystem::OnChip { wait_states },
+                workload: Workload::BurstyPosted,
+                scale,
+                seed,
+                ..PlatformSpec::default()
+            };
+            let mut platform = build_platform(&spec)?;
+            cycles[i] = platform.run()?.exec_cycles;
+        }
+        points.push(Fig4Point {
+            wait_states,
+            collapsed_cycles: cycles[0],
+            distributed_cycles: cycles[1],
+            ratio: cycles[0] as f64 / cycles[1].max(1) as f64,
+        });
+    }
+    Ok(Fig4 { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_gains_as_memory_slows() {
+        let fig = fig4(2, 0x0dab).expect("runs");
+        let first = &fig.points[0];
+        let last = fig.points.last().expect("non-empty");
+        // Fast memory: the two organisations are on par (the multi-hop
+        // penalty is compensated, paper Fig. 3 / Fig. 4 left end).
+        assert!(
+            (first.ratio - 1.0).abs() < 0.05,
+            "near-parity at 1 ws, got {}",
+            first.ratio
+        );
+        // Slow memory: distributed must not lose, and the absolute gap in
+        // favour of distributed must have grown.
+        assert!(
+            last.ratio >= 1.0,
+            "distributed must win with slow memory, ratio {}",
+            last.ratio
+        );
+        let first_gap = first.collapsed_cycles as i64 - first.distributed_cycles as i64;
+        let last_gap = last.collapsed_cycles as i64 - last.distributed_cycles as i64;
+        assert!(
+            last_gap > first_gap,
+            "the distributed advantage should grow: {first_gap} -> {last_gap}"
+        );
+    }
+
+    #[test]
+    fn execution_time_scales_with_wait_states() {
+        let fig = fig4(2, 0x0dab).expect("runs");
+        for w in fig.points.windows(2) {
+            assert!(
+                w[1].distributed_cycles > w[0].distributed_cycles,
+                "slower memory means longer runs"
+            );
+        }
+    }
+}

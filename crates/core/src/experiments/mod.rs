@@ -1,0 +1,43 @@
+//! One entry point per table and figure of the paper's evaluation.
+//!
+//! Every experiment returns a structured, `serde`-serialisable result that
+//! also implements [`Display`](std::fmt::Display) as the table/series the
+//! paper reports. The experiment index (id ↔ paper reference ↔ modules ↔
+//! bench target) lives in `DESIGN.md`; measured-versus-paper values are
+//! recorded in `EXPERIMENTS.md`.
+//!
+//! All experiments accept a `scale` (workload multiplier) and a `seed`.
+//! The default scale used by the `repro` binary and the Criterion benches
+//! is [`DEFAULT_SCALE`]; results are qualitatively stable from scale 2
+//! upwards.
+
+mod ablations;
+mod dual_channel;
+mod fidelity;
+mod fig3;
+mod fig4;
+mod fig5;
+mod fig6;
+mod many_to_many;
+mod many_to_one;
+mod noc_outlook;
+
+pub use ablations::{
+    arbitration_study, bridge_ablation, buffering_ablation, lmi_ablation, ArbitrationStudy,
+    ArbitrationStudyRow, BridgeAblation, BufferingAblation, LmiAblation,
+};
+pub use dual_channel::{dual_channel_study, DualChannelStudy};
+pub use fidelity::{fidelity_study, FidelityRow, FidelityStudy};
+pub use fig3::{fig3, Fig3, Fig3Bar};
+pub use fig4::{fig4, Fig4, Fig4Point};
+pub use fig5::{fig5, Fig5, Fig5Bar};
+pub use fig6::{fig6, Fig6, Fig6Phase};
+pub use many_to_many::{many_to_many, ManyToMany, ManyToManyRow};
+pub use many_to_one::{many_to_one, ManyToOne, ManyToOneRow};
+pub use noc_outlook::{noc_outlook, NocOutlook, NocOutlookRow};
+
+/// Default workload multiplier for experiment runs.
+pub const DEFAULT_SCALE: u64 = 4;
+
+/// Default seed for experiment runs.
+pub const DEFAULT_SEED: u64 = 0x0dab;

@@ -1,0 +1,192 @@
+//! Clock domains.
+
+use crate::time::{Cycles, Time};
+use std::fmt;
+
+/// A synchronous clock domain, defined by its period (and optional phase
+/// offset) on the picosecond timeline.
+///
+/// The reference platform of the paper mixes several domains: the ST220 DSP
+/// at 400 MHz, the central STBus node at 250 MHz, peripheral clusters at
+/// 200 MHz or 133 MHz. Each [`Component`](crate::Component) is bound to one
+/// `ClockDomain` and ticked on every rising edge.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_kernel::{ClockDomain, Time, Cycles};
+///
+/// let clk = ClockDomain::from_mhz(400);
+/// assert_eq!(clk.period(), Time::from_ps(2_500));
+/// // Next rising edge at-or-after 3 ns is the one at 5 ns.
+/// assert_eq!(clk.next_edge_at_or_after(Time::from_ns(3)), Time::from_ns(5));
+/// assert_eq!(clk.cycles_between(Time::ZERO, Time::from_ns(10)), Cycles::new(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockDomain {
+    period: Time,
+    phase: Time,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn from_period(period: Time) -> Self {
+        assert!(period > Time::ZERO, "clock period must be non-zero");
+        ClockDomain {
+            period,
+            phase: Time::ZERO,
+        }
+    }
+
+    /// Creates a clock domain from a frequency in MHz.
+    ///
+    /// The period is truncated to an integer number of picoseconds (e.g.
+    /// 133 MHz becomes a 7518 ps period); for the integer frequencies used in
+    /// the platform models this is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn from_mhz(mhz: u64) -> Self {
+        assert!(mhz > 0, "clock frequency must be non-zero");
+        ClockDomain::from_period(Time::from_ps(1_000_000 / mhz))
+    }
+
+    /// Returns a copy of this clock shifted by a phase offset.
+    ///
+    /// Edges fire at `phase + k * period`. The phase is reduced modulo the
+    /// period.
+    pub fn with_phase(self, phase: Time) -> Self {
+        ClockDomain {
+            period: self.period,
+            phase: Time::from_ps(phase.as_ps() % self.period.as_ps()),
+        }
+    }
+
+    /// The clock period.
+    #[inline]
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The phase offset of the first edge.
+    #[inline]
+    pub fn phase(&self) -> Time {
+        self.phase
+    }
+
+    /// Frequency in MHz (truncated).
+    #[inline]
+    pub fn mhz(&self) -> u64 {
+        1_000_000 / self.period.as_ps()
+    }
+
+    /// The earliest rising edge at or after `t`.
+    pub fn next_edge_at_or_after(&self, t: Time) -> Time {
+        let p = self.period.as_ps();
+        let ph = self.phase.as_ps();
+        let t = t.as_ps();
+        if t <= ph {
+            return Time::from_ps(ph);
+        }
+        let k = (t - ph).div_ceil(p);
+        Time::from_ps(ph + k * p)
+    }
+
+    /// The earliest rising edge strictly after `t`.
+    pub fn next_edge_after(&self, t: Time) -> Time {
+        self.next_edge_at_or_after(t + Time::from_ps(1))
+    }
+
+    /// Converts a cycle count of this domain to a duration.
+    #[inline]
+    pub fn cycles_to_time(&self, c: Cycles) -> Time {
+        self.period * c.count()
+    }
+
+    /// Number of full periods elapsed between two instants (truncating).
+    pub fn cycles_between(&self, from: Time, to: Time) -> Cycles {
+        Cycles::new(to.saturating_sub(from).as_ps() / self.period.as_ps())
+    }
+
+    /// The cycle index of the edge at (or the last edge before) `t`.
+    pub fn cycle_index(&self, t: Time) -> u64 {
+        t.saturating_sub(self.phase).as_ps() / self.period.as_ps()
+    }
+}
+
+impl fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MHz clock", self.mhz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mhz_periods() {
+        assert_eq!(ClockDomain::from_mhz(400).period(), Time::from_ps(2_500));
+        assert_eq!(ClockDomain::from_mhz(250).period(), Time::from_ps(4_000));
+        assert_eq!(ClockDomain::from_mhz(200).period(), Time::from_ps(5_000));
+        assert_eq!(ClockDomain::from_mhz(133).period(), Time::from_ps(7_518));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_rejected() {
+        let _ = ClockDomain::from_mhz(0);
+    }
+
+    #[test]
+    fn edges_align_to_period() {
+        let clk = ClockDomain::from_mhz(250); // 4 ns
+        assert_eq!(clk.next_edge_at_or_after(Time::ZERO), Time::ZERO);
+        assert_eq!(
+            clk.next_edge_at_or_after(Time::from_ps(1)),
+            Time::from_ns(4)
+        );
+        assert_eq!(
+            clk.next_edge_at_or_after(Time::from_ns(4)),
+            Time::from_ns(4)
+        );
+        assert_eq!(clk.next_edge_after(Time::from_ns(4)), Time::from_ns(8));
+        assert_eq!(clk.next_edge_after(Time::ZERO), Time::from_ns(4));
+    }
+
+    #[test]
+    fn phase_shifts_edges() {
+        let clk = ClockDomain::from_mhz(100).with_phase(Time::from_ns(3));
+        assert_eq!(clk.next_edge_at_or_after(Time::ZERO), Time::from_ns(3));
+        assert_eq!(
+            clk.next_edge_at_or_after(Time::from_ns(3)),
+            Time::from_ns(3)
+        );
+        assert_eq!(
+            clk.next_edge_at_or_after(Time::from_ns(4)),
+            Time::from_ns(13)
+        );
+    }
+
+    #[test]
+    fn phase_reduced_modulo_period() {
+        let clk = ClockDomain::from_mhz(100).with_phase(Time::from_ns(23));
+        assert_eq!(clk.phase(), Time::from_ns(3));
+    }
+
+    #[test]
+    fn cycle_conversions() {
+        let clk = ClockDomain::from_mhz(200); // 5 ns
+        assert_eq!(clk.cycles_to_time(Cycles::new(7)), Time::from_ns(35));
+        assert_eq!(
+            clk.cycles_between(Time::from_ns(5), Time::from_ns(23)),
+            Cycles::new(3)
+        );
+        assert_eq!(clk.cycle_index(Time::from_ns(15)), 3);
+    }
+}

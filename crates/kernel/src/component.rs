@@ -1,0 +1,104 @@
+//! The component trait and per-tick context.
+
+use crate::link::LinkPool;
+use crate::rng::SplitMix64;
+use crate::stats::StatsRegistry;
+use crate::time::{Cycles, Time};
+use std::fmt;
+
+/// Identifier of a component within a [`Simulation`](crate::Simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// Raw index (registration order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "component#{}", self.0)
+    }
+}
+
+/// Everything a component may touch during one clock tick.
+///
+/// The context borrows the shared [`LinkPool`] (for communication), the
+/// [`StatsRegistry`] (for metrics) and a deterministic per-simulation RNG.
+pub struct TickContext<'a, T> {
+    /// Current simulation time (the instant of this rising edge).
+    pub time: Time,
+    /// Index of this edge in the component's own clock domain.
+    pub cycle: Cycles,
+    /// Shared communication links.
+    pub links: &'a mut LinkPool<T>,
+    /// Shared metric registry.
+    pub stats: &'a mut StatsRegistry,
+    /// Deterministic pseudo-random source (seeded once per simulation).
+    pub rng: &'a mut SplitMix64,
+}
+
+impl<T> fmt::Debug for TickContext<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TickContext")
+            .field("time", &self.time)
+            .field("cycle", &self.cycle)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A synchronous hardware model ticked on every rising edge of its clock.
+///
+/// Implementations must be *deterministic*: all state lives in `self`, the
+/// links and the registry, and any randomness must come from the context's
+/// seeded RNG.
+///
+/// The payload type `T` is the kind of message carried on links — the
+/// platform crates instantiate it with their bus packet type.
+pub trait Component<T> {
+    /// Diagnostic name (unique within a simulation by convention).
+    fn name(&self) -> &str;
+
+    /// Advances the model by one clock cycle.
+    fn tick(&mut self, ctx: &mut TickContext<'_, T>);
+
+    /// Whether the component has no internal work pending.
+    ///
+    /// A simulation is *quiescent* when every component is idle and every
+    /// link is empty; [`Simulation::run_to_quiescence`] uses this to detect
+    /// workload completion. Components that are purely reactive can keep the
+    /// default `true`.
+    ///
+    /// [`Simulation::run_to_quiescence`]: crate::Simulation::run_to_quiescence
+    fn is_idle(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Component<u8> for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn tick(&mut self, _ctx: &mut TickContext<'_, u8>) {}
+    }
+
+    #[test]
+    fn default_idle_is_true() {
+        assert!(Nop.is_idle());
+    }
+
+    #[test]
+    fn ids_order_by_registration() {
+        assert!(ComponentId(0) < ComponentId(1));
+        assert_eq!(ComponentId(3).index(), 3);
+        assert_eq!(ComponentId(3).to_string(), "component#3");
+    }
+}

@@ -1,0 +1,93 @@
+//! Kernel error types.
+
+use crate::link::LinkId;
+use crate::time::Time;
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for kernel operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors reported by the simulation kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A push was attempted on a full link.
+    LinkFull {
+        /// The link in question.
+        link: LinkId,
+    },
+    /// A pop or peek was attempted on a link with no deliverable payload.
+    LinkEmpty {
+        /// The link in question.
+        link: LinkId,
+    },
+    /// A link id did not resolve to a registered link.
+    UnknownLink {
+        /// The offending id.
+        link: LinkId,
+    },
+    /// The simulation reached the configured horizon while components were
+    /// still active (deadlock or runaway workload).
+    Stalled {
+        /// Time at which the run gave up.
+        at: Time,
+        /// Names of components that still reported activity.
+        busy: Vec<String>,
+    },
+    /// A configuration value was rejected.
+    InvalidConfig {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::LinkFull { link } => write!(f, "link {link:?} is full"),
+            SimError::LinkEmpty { link } => {
+                write!(f, "link {link:?} has no deliverable payload")
+            }
+            SimError::UnknownLink { link } => write!(f, "link {link:?} is not registered"),
+            SimError::Stalled { at, busy } => write!(
+                f,
+                "simulation stalled at {at} with busy components: {}",
+                busy.join(", ")
+            ),
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = SimError::Stalled {
+            at: Time::from_ns(10),
+            busy: vec!["dsp".into(), "lmi".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("stalled"));
+        assert!(s.contains("dsp"));
+        assert!(s.contains("lmi"));
+        assert!(SimError::InvalidConfig {
+            reason: "bad".into()
+        }
+        .to_string()
+        .contains("bad"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

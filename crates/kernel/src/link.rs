@@ -1,0 +1,372 @@
+//! Timed, bounded, point-to-point FIFO links.
+//!
+//! Links are the only communication mechanism between components. They model
+//! a registered hardware queue: a payload pushed at time *t* becomes visible
+//! (peekable/poppable) at *t + latency*, and the slot it occupies is reserved
+//! from the moment of the push, so producers observe cycle-accurate
+//! back-pressure.
+
+use crate::error::{SimError, SimResult};
+use crate::time::Time;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a [`Link`] within a [`LinkPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(u32);
+
+impl LinkId {
+    /// Raw index (for diagnostics and stable ordering).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link#{}", self.0)
+    }
+}
+
+/// Aggregated activity statistics of one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Total payloads ever pushed.
+    pub pushes: u64,
+    /// Total payloads ever popped.
+    pub pops: u64,
+    /// Maximum instantaneous occupancy observed.
+    pub max_occupancy: usize,
+    /// Integral of occupancy over time (payload·ps); divide by elapsed time
+    /// for the mean queue length.
+    pub occupancy_integral: u128,
+}
+
+/// A single bounded, timed FIFO.
+#[derive(Debug)]
+pub struct Link<T> {
+    name: String,
+    capacity: usize,
+    latency: Time,
+    queue: VecDeque<(Time, T)>,
+    stats: LinkStats,
+    last_change: Time,
+}
+
+impl<T> Link<T> {
+    fn new(name: String, capacity: usize, latency: Time) -> Self {
+        Link {
+            name,
+            capacity,
+            latency,
+            queue: VecDeque::with_capacity(capacity.min(64)),
+            stats: LinkStats::default(),
+            last_change: Time::ZERO,
+        }
+    }
+
+    /// The link's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Transport latency applied to each payload.
+    pub fn latency(&self) -> Time {
+        self.latency
+    }
+
+    /// Current number of occupied slots (including in-flight payloads).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the link holds no payloads at all.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the link is full (no slot for a new push).
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    fn integrate(&mut self, now: Time) {
+        let dt = now.saturating_sub(self.last_change).as_ps() as u128;
+        self.stats.occupancy_integral += dt * self.queue.len() as u128;
+        self.last_change = self.last_change.max(now);
+    }
+
+    fn head_ready(&self, now: Time) -> bool {
+        self.queue.front().is_some_and(|(at, _)| *at <= now)
+    }
+}
+
+/// Owner of every link in a simulation.
+///
+/// Components hold [`LinkId`]s and access payloads through the pool borrowed
+/// from their [`TickContext`](crate::TickContext).
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_kernel::{LinkPool, Time};
+///
+/// let mut pool: LinkPool<u32> = LinkPool::new();
+/// let l = pool.add_link("req", 2, Time::from_ns(4));
+/// assert!(pool.can_push(l));
+/// pool.push(l, Time::ZERO, 7)?;
+/// // Not deliverable before the latency elapses.
+/// assert!(pool.peek(l, Time::from_ns(3)).is_none());
+/// assert_eq!(pool.pop(l, Time::from_ns(4)), Some(7));
+/// # Ok::<(), mpsoc_kernel::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct LinkPool<T> {
+    links: Vec<Link<T>>,
+}
+
+impl<T> LinkPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        LinkPool { links: Vec::new() }
+    }
+
+    /// Registers a new link and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity queue can never carry a
+    /// payload and always indicates a wiring bug).
+    pub fn add_link(&mut self, name: impl Into<String>, capacity: usize, latency: Time) -> LinkId {
+        assert!(capacity > 0, "link capacity must be at least 1");
+        let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
+        self.links.push(Link::new(name.into(), capacity, latency));
+        id
+    }
+
+    /// Number of registered links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether no links are registered.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Immutable access to a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this pool.
+    pub fn link(&self, id: LinkId) -> &Link<T> {
+        &self.links[id.index()]
+    }
+
+    /// Whether a push would currently succeed.
+    pub fn can_push(&self, id: LinkId) -> bool {
+        !self.links[id.index()].is_full()
+    }
+
+    /// Pushes a payload, to be delivered at `now + latency`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LinkFull`] if no slot is free. Callers that model
+    /// back-pressure should check [`LinkPool::can_push`] first; an error here
+    /// is normally a component bug.
+    pub fn push(&mut self, id: LinkId, now: Time, payload: T) -> SimResult<()> {
+        self.push_after(id, now, Time::ZERO, payload)
+    }
+
+    /// Pushes a payload with an additional transfer delay: delivery happens
+    /// at `now + latency + extra`.
+    ///
+    /// Bus models use this for multi-cycle channel occupancies (e.g. a write
+    /// burst whose data beats take several cycles to cross the channel). The
+    /// slot is still reserved immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LinkFull`] if no slot is free.
+    pub fn push_after(&mut self, id: LinkId, now: Time, extra: Time, payload: T) -> SimResult<()> {
+        let link = &mut self.links[id.index()];
+        if link.is_full() {
+            return Err(SimError::LinkFull { link: id });
+        }
+        link.integrate(now);
+        let deliver = now + link.latency + extra;
+        // Insert in delivery-time order (stable for equal times). Producers
+        // with multi-cycle transfer occupancies (e.g. the independent AXI
+        // write-data and read-address channels feeding one target) may
+        // legally complete a later push earlier; the wire presents payloads
+        // in arrival order.
+        let pos = link.queue.partition_point(|(t, _)| *t <= deliver);
+        link.queue.insert(pos, (deliver, payload));
+        link.stats.pushes += 1;
+        link.stats.max_occupancy = link.stats.max_occupancy.max(link.queue.len());
+        Ok(())
+    }
+
+    /// Peeks the head payload if it has been delivered by `now`.
+    pub fn peek(&self, id: LinkId, now: Time) -> Option<&T> {
+        let link = &self.links[id.index()];
+        link.queue
+            .front()
+            .and_then(|(at, p)| (*at <= now).then_some(p))
+    }
+
+    /// Whether a deliverable payload is available at `now`.
+    pub fn has_deliverable(&self, id: LinkId, now: Time) -> bool {
+        self.links[id.index()].head_ready(now)
+    }
+
+    /// Pops the head payload if it has been delivered by `now`.
+    pub fn pop(&mut self, id: LinkId, now: Time) -> Option<T> {
+        let link = &mut self.links[id.index()];
+        if !link.head_ready(now) {
+            return None;
+        }
+        link.integrate(now);
+        let (_, payload) = link.queue.pop_front().expect("head checked above");
+        link.stats.pops += 1;
+        Some(payload)
+    }
+
+    /// Total payloads currently queued across all links (used for quiescence
+    /// detection).
+    pub fn total_queued(&self) -> usize {
+        self.links.iter().map(|l| l.queue.len()).sum()
+    }
+
+    /// Iterates over `(id, link)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LinkId, &Link<T>)> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId(i as u32), l))
+    }
+}
+
+impl<T> Default for LinkPool<T> {
+    fn default() -> Self {
+        LinkPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> LinkPool<u32> {
+        LinkPool::new()
+    }
+
+    #[test]
+    fn delivery_respects_latency() {
+        let mut p = pool();
+        let l = p.add_link("l", 4, Time::from_ns(5));
+        p.push(l, Time::from_ns(10), 42).unwrap();
+        assert!(p.peek(l, Time::from_ns(14)).is_none());
+        assert!(!p.has_deliverable(l, Time::from_ns(14)));
+        assert_eq!(p.peek(l, Time::from_ns(15)), Some(&42));
+        assert_eq!(p.pop(l, Time::from_ns(15)), Some(42));
+        assert!(p.pop(l, Time::from_ns(20)).is_none());
+    }
+
+    #[test]
+    fn capacity_reserved_at_push() {
+        let mut p = pool();
+        let l = p.add_link("l", 2, Time::from_ns(100));
+        p.push(l, Time::ZERO, 1).unwrap();
+        p.push(l, Time::ZERO, 2).unwrap();
+        // Slots are taken even though nothing is deliverable yet.
+        assert!(!p.can_push(l));
+        assert_eq!(
+            p.push(l, Time::ZERO, 3),
+            Err(SimError::LinkFull { link: l })
+        );
+        // Popping frees a slot.
+        assert_eq!(p.pop(l, Time::from_ns(100)), Some(1));
+        assert!(p.can_push(l));
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut p = pool();
+        let l = p.add_link("l", 8, Time::from_ns(1));
+        for i in 0..5 {
+            p.push(l, Time::from_ns(i), i as u32).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(p.pop(l, Time::from_ns(100)), Some(i));
+        }
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut p = pool();
+        let l = p.add_link("l", 4, Time::ZERO);
+        p.push(l, Time::ZERO, 1).unwrap();
+        p.push(l, Time::ZERO, 2).unwrap();
+        p.pop(l, Time::from_ns(10)).unwrap();
+        let s = p.link(l).stats();
+        assert_eq!(s.pushes, 2);
+        assert_eq!(s.pops, 1);
+        assert_eq!(s.max_occupancy, 2);
+        // 2 payloads for 10 ns = 20_000 payload·ps.
+        assert_eq!(s.occupancy_integral, 20_000);
+    }
+
+    #[test]
+    fn total_queued_counts_everything() {
+        let mut p = pool();
+        let a = p.add_link("a", 4, Time::ZERO);
+        let b = p.add_link("b", 4, Time::from_ns(50));
+        p.push(a, Time::ZERO, 1).unwrap();
+        p.push(b, Time::ZERO, 2).unwrap();
+        assert_eq!(p.total_queued(), 2);
+        p.pop(a, Time::ZERO).unwrap();
+        assert_eq!(p.total_queued(), 1);
+    }
+
+    #[test]
+    fn earlier_delivery_overtakes_later_one() {
+        let mut p = pool();
+        let l = p.add_link("l", 4, Time::from_ns(1));
+        // A slow transfer pushed first, a fast one pushed second.
+        p.push_after(l, Time::ZERO, Time::from_ns(10), 1).unwrap();
+        p.push_after(l, Time::from_ns(2), Time::ZERO, 2).unwrap();
+        assert_eq!(p.pop(l, Time::from_ns(3)), Some(2));
+        assert_eq!(p.pop(l, Time::from_ns(3)), None);
+        assert_eq!(p.pop(l, Time::from_ns(11)), Some(1));
+    }
+
+    #[test]
+    fn push_after_adds_transfer_delay() {
+        let mut p = pool();
+        let l = p.add_link("l", 4, Time::from_ns(2));
+        p.push_after(l, Time::from_ns(10), Time::from_ns(6), 9)
+            .unwrap();
+        assert!(p.peek(l, Time::from_ns(17)).is_none());
+        assert_eq!(p.pop(l, Time::from_ns(18)), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let mut p = pool();
+        let _ = p.add_link("bad", 0, Time::ZERO);
+    }
+}

@@ -1,0 +1,406 @@
+//! The simulation executor.
+
+use crate::clock::ClockDomain;
+use crate::component::{Component, ComponentId, TickContext};
+use crate::error::{SimError, SimResult};
+use crate::link::LinkPool;
+use crate::rng::SplitMix64;
+use crate::stats::StatsRegistry;
+use crate::time::{Cycles, Time};
+
+struct Slot<T> {
+    component: Box<dyn Component<T>>,
+    clock: ClockDomain,
+    next_tick: Time,
+    ticks: u64,
+}
+
+/// Why a bounded run returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All components reported idle and all links drained.
+    Quiescent {
+        /// The edge at which quiescence was observed.
+        at: Time,
+    },
+    /// The time horizon was reached first.
+    HorizonReached {
+        /// The last edge processed.
+        at: Time,
+    },
+}
+
+impl RunOutcome {
+    /// The time the run ended, regardless of the reason.
+    pub fn at(self) -> Time {
+        match self {
+            RunOutcome::Quiescent { at } | RunOutcome::HorizonReached { at } => at,
+        }
+    }
+}
+
+/// A deterministic multi-clock simulation: components, links, metrics and a
+/// seeded RNG.
+///
+/// Components are ticked on every rising edge of their clock domain; when
+/// several domains share an edge instant, components tick in registration
+/// order. All runs with the same construction sequence and seed produce
+/// bit-identical results.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Simulation<T> {
+    time: Time,
+    slots: Vec<Slot<T>>,
+    links: LinkPool<T>,
+    stats: StatsRegistry,
+    rng: SplitMix64,
+}
+
+impl<T> Simulation<T> {
+    /// Creates an empty simulation with the default seed (0).
+    pub fn new() -> Self {
+        Simulation::with_seed(0)
+    }
+
+    /// Creates an empty simulation whose RNG is seeded with `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        Simulation {
+            time: Time::ZERO,
+            slots: Vec::new(),
+            links: LinkPool::new(),
+            stats: StatsRegistry::new(),
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Registers a component on a clock domain. The first tick fires at the
+    /// clock's phase offset (time zero for unshifted clocks).
+    pub fn add_component(
+        &mut self,
+        component: Box<dyn Component<T>>,
+        clock: ClockDomain,
+    ) -> ComponentId {
+        let id = ComponentId(u32::try_from(self.slots.len()).expect("too many components"));
+        let next_tick = clock.next_edge_at_or_after(self.time);
+        self.slots.push(Slot {
+            component,
+            clock,
+            next_tick,
+            ticks: 0,
+        });
+        id
+    }
+
+    /// Current simulation time (last processed edge).
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Name of a component.
+    pub fn component_name(&self, id: ComponentId) -> &str {
+        self.slots[id.index()].component.name()
+    }
+
+    /// Total ticks executed by a component so far.
+    pub fn component_ticks(&self, id: ComponentId) -> u64 {
+        self.slots[id.index()].ticks
+    }
+
+    /// The shared link pool (for wiring before the run and inspection after).
+    pub fn links(&self) -> &LinkPool<T> {
+        &self.links
+    }
+
+    /// Mutable access to the link pool (wiring phase).
+    pub fn links_mut(&mut self) -> &mut LinkPool<T> {
+        &mut self.links
+    }
+
+    /// The metric registry.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// Mutable access to the metric registry.
+    pub fn stats_mut(&mut self) -> &mut StatsRegistry {
+        &mut self.stats
+    }
+
+    /// The time of the next pending edge, if any component is registered.
+    pub fn next_edge(&self) -> Option<Time> {
+        self.slots.iter().map(|s| s.next_tick).min()
+    }
+
+    /// Advances to the next edge and ticks every component scheduled there.
+    ///
+    /// Returns the edge time, or `None` when no components exist.
+    pub fn step(&mut self) -> Option<Time> {
+        let edge = self.next_edge()?;
+        self.time = edge;
+        for slot in &mut self.slots {
+            if slot.next_tick == edge {
+                let cycle = Cycles::new(slot.ticks);
+                let mut ctx = TickContext {
+                    time: edge,
+                    cycle,
+                    links: &mut self.links,
+                    stats: &mut self.stats,
+                    rng: &mut self.rng,
+                };
+                slot.component.tick(&mut ctx);
+                slot.ticks += 1;
+                slot.next_tick = edge + slot.clock.period();
+            }
+        }
+        Some(edge)
+    }
+
+    /// Runs all edges up to and including `horizon`.
+    pub fn run_until(&mut self, horizon: Time) {
+        while let Some(next) = self.next_edge() {
+            if next > horizon {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Whether every component is idle and every link is drained.
+    pub fn is_quiescent(&self) -> bool {
+        self.links.total_queued() == 0 && self.slots.iter().all(|s| s.component.is_idle())
+    }
+
+    /// Runs until the platform drains (all components idle, all links empty)
+    /// or until `horizon` passes.
+    ///
+    /// The quiescent time is the edge at which quiescence was first observed,
+    /// i.e. the platform's *execution time* for a finite workload.
+    ///
+    /// # Errors
+    ///
+    /// This method never fails; see [`Simulation::run_to_quiescence_strict`]
+    /// for a variant that treats hitting the horizon as an error.
+    pub fn run_to_quiescence(&mut self, horizon: Time) -> RunOutcome {
+        loop {
+            if self.is_quiescent() && self.time > Time::ZERO {
+                return RunOutcome::Quiescent { at: self.time };
+            }
+            match self.next_edge() {
+                Some(next) if next <= horizon => {
+                    self.step();
+                }
+                _ => return RunOutcome::HorizonReached { at: self.time },
+            }
+        }
+    }
+
+    /// Like [`Simulation::run_to_quiescence`], but hitting the horizon while
+    /// work is still pending is reported as a stall.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] naming the still-busy components if the
+    /// workload has not drained by `horizon`.
+    pub fn run_to_quiescence_strict(&mut self, horizon: Time) -> SimResult<Time> {
+        match self.run_to_quiescence(horizon) {
+            RunOutcome::Quiescent { at } => Ok(at),
+            RunOutcome::HorizonReached { at } => Err(SimError::Stalled {
+                at,
+                busy: self
+                    .slots
+                    .iter()
+                    .filter(|s| !s.component.is_idle())
+                    .map(|s| s.component.name().to_owned())
+                    .collect(),
+            }),
+        }
+    }
+}
+
+impl<T> Default for Simulation<T> {
+    fn default() -> Self {
+        Simulation::new()
+    }
+}
+
+impl<T> std::fmt::Debug for Simulation<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("time", &self.time)
+            .field("components", &self.slots.len())
+            .field("links", &self.links.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkId;
+
+    /// Emits `budget` numbered payloads, one per tick.
+    struct Producer {
+        out: LinkId,
+        budget: u64,
+        sent: u64,
+    }
+    impl Component<u64> for Producer {
+        fn name(&self) -> &str {
+            "producer"
+        }
+        fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+            if self.sent < self.budget && ctx.links.can_push(self.out) {
+                ctx.links.push(self.out, ctx.time, self.sent).unwrap();
+                self.sent += 1;
+            }
+        }
+        fn is_idle(&self) -> bool {
+            self.sent == self.budget
+        }
+    }
+
+    /// Consumes payloads, checking order.
+    struct Consumer {
+        input: LinkId,
+        received: Vec<u64>,
+    }
+    impl Component<u64> for Consumer {
+        fn name(&self) -> &str {
+            "consumer"
+        }
+        fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+            if let Some(v) = ctx.links.pop(self.input, ctx.time) {
+                self.received.push(v);
+            }
+        }
+    }
+
+    #[test]
+    fn producer_consumer_drains_to_quiescence() {
+        let mut sim: Simulation<u64> = Simulation::new();
+        let clk = ClockDomain::from_mhz(100);
+        let link = sim.links_mut().add_link("pc", 2, clk.period());
+        sim.add_component(
+            Box::new(Producer {
+                out: link,
+                budget: 10,
+                sent: 0,
+            }),
+            clk,
+        );
+        sim.add_component(
+            Box::new(Consumer {
+                input: link,
+                received: Vec::new(),
+            }),
+            clk,
+        );
+        let t = sim
+            .run_to_quiescence_strict(Time::from_us(100))
+            .expect("must drain");
+        assert!(t > Time::ZERO);
+        assert_eq!(sim.links().link(link).stats().pops, 10);
+    }
+
+    #[test]
+    fn stall_reports_busy_components() {
+        let mut sim: Simulation<u64> = Simulation::new();
+        let clk = ClockDomain::from_mhz(100);
+        // A producer whose link has no consumer: capacity 1 fills and the
+        // producer stays busy forever.
+        let link = sim.links_mut().add_link("dead", 1, clk.period());
+        sim.add_component(
+            Box::new(Producer {
+                out: link,
+                budget: 5,
+                sent: 0,
+            }),
+            clk,
+        );
+        let err = sim
+            .run_to_quiescence_strict(Time::from_ns(200))
+            .unwrap_err();
+        match err {
+            SimError::Stalled { busy, .. } => assert_eq!(busy, vec!["producer".to_owned()]),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_clock_interleaving_is_deterministic() {
+        struct Tracer {
+            label: char,
+            log: std::rc::Rc<std::cell::RefCell<Vec<(u64, char)>>>,
+        }
+        impl Component<u64> for Tracer {
+            fn name(&self) -> &str {
+                "tracer"
+            }
+            fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+                self.log.borrow_mut().push((ctx.time.as_ps(), self.label));
+            }
+        }
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim: Simulation<u64> = Simulation::new();
+        sim.add_component(
+            Box::new(Tracer {
+                label: 'a',
+                log: log.clone(),
+            }),
+            ClockDomain::from_mhz(100), // 10 ns
+        );
+        sim.add_component(
+            Box::new(Tracer {
+                label: 'b',
+                log: log.clone(),
+            }),
+            ClockDomain::from_mhz(200), // 5 ns
+        );
+        sim.run_until(Time::from_ns(10));
+        // Edges: t=0 (a then b, registration order), t=5ns (b), t=10ns (a, b).
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                (0, 'a'),
+                (0, 'b'),
+                (5_000, 'b'),
+                (10_000, 'a'),
+                (10_000, 'b'),
+            ]
+        );
+    }
+
+    #[test]
+    fn component_metadata_accessors() {
+        let mut sim: Simulation<u64> = Simulation::new();
+        let clk = ClockDomain::from_mhz(100);
+        let link = sim.links_mut().add_link("x", 1, clk.period());
+        let id = sim.add_component(
+            Box::new(Consumer {
+                input: link,
+                received: Vec::new(),
+            }),
+            clk,
+        );
+        assert_eq!(sim.component_count(), 1);
+        assert_eq!(sim.component_name(id), "consumer");
+        sim.run_until(Time::from_ns(25));
+        assert_eq!(sim.component_ticks(id), 3); // edges at 0, 10, 20 ns
+    }
+
+    #[test]
+    fn empty_simulation_has_no_edges() {
+        let mut sim: Simulation<u64> = Simulation::new();
+        assert_eq!(sim.next_edge(), None);
+        assert_eq!(sim.step(), None);
+        assert!(matches!(
+            sim.run_to_quiescence(Time::from_ns(10)),
+            RunOutcome::HorizonReached { .. }
+        ));
+    }
+}

@@ -1,0 +1,487 @@
+//! Metric collection: counters, histograms and time-weighted state residency.
+//!
+//! The paper's Section 5 ("fine-grain platform performance analysis") rests
+//! on a statistics collection system able to report, e.g., for which fraction
+//! of time the memory-controller bus-interface FIFO was *full*, *storing new
+//! requests*, *idle with no incoming requests* or *empty*. [`StateResidency`]
+//! timers provide exactly that; counters and histograms cover throughput and
+//! latency reporting.
+
+use crate::time::Time;
+use crate::trace::{TraceBuffer, TraceKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a monotonically increasing counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(usize);
+
+/// Handle to a latency/value histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramId(usize);
+
+/// Handle to a time-weighted state-residency timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResidencyId(usize);
+
+/// A histogram over `u64` samples with power-of-two buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// bucket `i` counts samples in `[2^(i-1), 2^i)`, bucket 0 counts zeros
+    /// and ones.
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        let b = (64 - v.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate p-th percentile (0.0–1.0) using bucket upper bounds.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return Some(if i == 0 { 1 } else { 1u64 << i });
+            }
+        }
+        Some(self.max)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Time-weighted residency over a small set of named states.
+///
+/// The timer starts in state 0 at time zero; every [`set_state`] call
+/// attributes elapsed time to the previous state.
+///
+/// [`set_state`]: StatsRegistry::set_state
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateResidency {
+    states: Vec<String>,
+    acc: Vec<Time>,
+    current: usize,
+    since: Time,
+}
+
+impl StateResidency {
+    fn new(states: Vec<String>) -> Self {
+        let n = states.len();
+        StateResidency {
+            states,
+            acc: vec![Time::ZERO; n],
+            current: 0,
+            since: Time::ZERO,
+        }
+    }
+
+    fn set(&mut self, state: usize, now: Time) {
+        assert!(state < self.states.len(), "unknown residency state");
+        self.acc[self.current] += now.saturating_sub(self.since);
+        self.since = self.since.max(now);
+        self.current = state;
+    }
+
+    /// State names in index order.
+    pub fn state_names(&self) -> &[String] {
+        &self.states
+    }
+
+    /// Currently active state index.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Residency totals up to `now`, including time in the current state.
+    pub fn totals(&self, now: Time) -> Vec<Time> {
+        let mut acc = self.acc.clone();
+        acc[self.current] += now.saturating_sub(self.since);
+        acc
+    }
+
+    /// Residency totals as fractions of the elapsed time covered.
+    pub fn fractions(&self, now: Time) -> Vec<f64> {
+        let totals = self.totals(now);
+        let sum: u64 = totals.iter().map(|t| t.as_ps()).sum();
+        if sum == 0 {
+            return vec![0.0; totals.len()];
+        }
+        totals
+            .iter()
+            .map(|t| t.as_ps() as f64 / sum as f64)
+            .collect()
+    }
+}
+
+/// Named snapshot of every metric, produced by [`StatsRegistry::report`].
+#[derive(Debug, Clone, Default)]
+pub struct StatsReport {
+    /// Counter values by name.
+    pub counters: HashMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: HashMap<String, Histogram>,
+    /// Residency fractions (per state name) by timer name.
+    pub residencies: HashMap<String, Vec<(String, f64)>>,
+}
+
+impl fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<_> = self.counters.keys().collect();
+        names.sort();
+        for n in names {
+            writeln!(f, "{n}: {}", self.counters[n])?;
+        }
+        let mut names: Vec<_> = self.histograms.keys().collect();
+        names.sort();
+        for n in names {
+            let h = &self.histograms[n];
+            writeln!(
+                f,
+                "{n}: n={} mean={:.1} min={:?} max={:?}",
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.max()
+            )?;
+        }
+        let mut names: Vec<_> = self.residencies.keys().collect();
+        names.sort();
+        for n in names {
+            write!(f, "{n}:")?;
+            for (state, frac) in &self.residencies[n] {
+                write!(f, " {state}={:.1}%", frac * 100.0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Central, string-keyed metric registry shared by all components.
+///
+/// Metrics are registered lazily by name: the first call with a given name
+/// creates the metric, later calls return the same handle. This lets deeply
+/// nested component models record metrics without threading ids through
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_kernel::{StatsRegistry, Time};
+///
+/// let mut stats = StatsRegistry::new();
+/// let c = stats.counter("bus.requests");
+/// stats.inc(c, 3);
+/// assert_eq!(stats.counter_value(c), 3);
+///
+/// let r = stats.residency("fifo.state", &["empty", "busy", "full"]);
+/// stats.set_state(r, 2, Time::from_ns(10)); // empty for 10 ns, then full
+/// let totals = stats.residency_totals(r, Time::from_ns(15));
+/// assert_eq!(totals[0], Time::from_ns(10));
+/// assert_eq!(totals[2], Time::from_ns(5));
+/// ```
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    counter_names: HashMap<String, CounterId>,
+    counters: Vec<(String, u64)>,
+    histogram_names: HashMap<String, HistogramId>,
+    histograms: Vec<(String, Histogram)>,
+    residency_names: HashMap<String, ResidencyId>,
+    residencies: Vec<(String, StateResidency)>,
+    trace: TraceBuffer,
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        StatsRegistry::default()
+    }
+
+    /// Returns (creating on first use) the counter with this name.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(&id) = self.counter_names.get(name) {
+            return id;
+        }
+        let id = CounterId(self.counters.len());
+        self.counters.push((name.to_owned(), 0));
+        self.counter_names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Adds `by` to a counter.
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].1 += by;
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Looks up a counter's value by name (0 if never created).
+    pub fn counter_by_name(&self, name: &str) -> u64 {
+        self.counter_names
+            .get(name)
+            .map_or(0, |id| self.counters[id.0].1)
+    }
+
+    /// Returns (creating on first use) the histogram with this name.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        if let Some(&id) = self.histogram_names.get(name) {
+            return id;
+        }
+        let id = HistogramId(self.histograms.len());
+        self.histograms.push((name.to_owned(), Histogram::new()));
+        self.histogram_names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Records a sample into a histogram.
+    pub fn record(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].1.record(value);
+    }
+
+    /// Read access to a histogram.
+    pub fn histogram_data(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].1
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        self.histogram_names
+            .get(name)
+            .map(|id| &self.histograms[id.0].1)
+    }
+
+    /// Returns (creating on first use) a residency timer with the given
+    /// states. The timer starts in state 0 at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timer exists with a different state list, or if
+    /// `states` is empty.
+    pub fn residency(&mut self, name: &str, states: &[&str]) -> ResidencyId {
+        assert!(!states.is_empty(), "residency needs at least one state");
+        if let Some(&id) = self.residency_names.get(name) {
+            assert_eq!(
+                self.residencies[id.0].1.states.len(),
+                states.len(),
+                "residency {name} re-registered with different states"
+            );
+            return id;
+        }
+        let id = ResidencyId(self.residencies.len());
+        self.residencies.push((
+            name.to_owned(),
+            StateResidency::new(states.iter().map(|s| (*s).to_owned()).collect()),
+        ));
+        self.residency_names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Switches a residency timer to `state` at time `now`.
+    pub fn set_state(&mut self, id: ResidencyId, state: usize, now: Time) {
+        self.residencies[id.0].1.set(state, now);
+    }
+
+    /// Residency totals up to `now`.
+    pub fn residency_totals(&self, id: ResidencyId, now: Time) -> Vec<Time> {
+        self.residencies[id.0].1.totals(now)
+    }
+
+    /// Residency data by name.
+    pub fn residency_by_name(&self, name: &str) -> Option<&StateResidency> {
+        self.residency_names
+            .get(name)
+            .map(|id| &self.residencies[id.0].1)
+    }
+
+    /// Produces a complete named snapshot at time `now`.
+    pub fn report(&self, now: Time) -> StatsReport {
+        StatsReport {
+            counters: self.counters.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.clone()))
+                .collect(),
+            residencies: self
+                .residencies
+                .iter()
+                .map(|(n, r)| {
+                    (
+                        n.clone(),
+                        r.state_names()
+                            .iter()
+                            .cloned()
+                            .zip(r.fractions(now))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Names of all counters, in creation order.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The event-trace buffer (disabled by default; see
+    /// [`TraceBuffer::enable`]).
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Mutable access to the event-trace buffer (to enable/disable it).
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
+    }
+
+    /// Records a trace event; free when tracing is disabled.
+    #[inline]
+    pub fn emit_trace<F: FnOnce() -> String>(
+        &mut self,
+        time: Time,
+        source: &str,
+        kind: TraceKind,
+        detail: F,
+    ) {
+        self.trace.emit(time, source, kind, detail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_dedupe_by_name() {
+        let mut s = StatsRegistry::new();
+        let a = s.counter("x");
+        let b = s.counter("x");
+        assert_eq!(a, b);
+        s.inc(a, 2);
+        s.inc(b, 3);
+        assert_eq!(s.counter_value(a), 5);
+        assert_eq!(s.counter_by_name("x"), 5);
+        assert_eq!(s.counter_by_name("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - 203.0).abs() < 1e-9);
+        assert!(h.percentile(0.5).unwrap() <= 8);
+        assert!(h.percentile(1.0).unwrap() >= 512);
+        assert_eq!(Histogram::new().percentile(0.5), None);
+    }
+
+    #[test]
+    fn residency_attributes_time_correctly() {
+        let mut r = StateResidency::new(vec!["a".into(), "b".into()]);
+        r.set(1, Time::from_ns(4));
+        r.set(0, Time::from_ns(10));
+        let totals = r.totals(Time::from_ns(12));
+        assert_eq!(totals[0], Time::from_ns(6)); // 0–4 and 10–12
+        assert_eq!(totals[1], Time::from_ns(6)); // 4–10
+        let fr = r.fractions(Time::from_ns(12));
+        assert!((fr[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residency_same_state_is_a_no_op_transition() {
+        let mut r = StateResidency::new(vec!["a".into(), "b".into()]);
+        r.set(1, Time::from_ns(5));
+        r.set(1, Time::from_ns(9));
+        let totals = r.totals(Time::from_ns(10));
+        assert_eq!(totals[1], Time::from_ns(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "different states")]
+    fn residency_reregistration_with_mismatched_states_panics() {
+        let mut s = StatsRegistry::new();
+        s.residency("r", &["a", "b"]);
+        s.residency("r", &["a"]);
+    }
+
+    #[test]
+    fn report_contains_everything() {
+        let mut s = StatsRegistry::new();
+        let c = s.counter("count");
+        s.inc(c, 7);
+        let h = s.histogram("lat");
+        s.record(h, 5);
+        let r = s.residency("state", &["idle", "busy"]);
+        s.set_state(r, 1, Time::from_ns(5));
+        let rep = s.report(Time::from_ns(10));
+        assert_eq!(rep.counters["count"], 7);
+        assert_eq!(rep.histograms["lat"].count(), 1);
+        let st = &rep.residencies["state"];
+        assert_eq!(st[0].0, "idle");
+        assert!((st[0].1 - 0.5).abs() < 1e-9);
+        let shown = rep.to_string();
+        assert!(shown.contains("count: 7"));
+        assert!(shown.contains("busy"));
+    }
+}

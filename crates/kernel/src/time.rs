@@ -1,0 +1,324 @@
+//! Simulation time and cycle-count newtypes.
+//!
+//! All kernel time keeping happens in **picoseconds** stored in a `u64`,
+//! which comfortably covers ~213 days of simulated time — far beyond any
+//! platform run. Picosecond granularity lets heterogeneous clock domains
+//! (e.g. the 400 MHz ST220 next to a 250 MHz or 133 MHz interconnect, as in
+//! the reference platform) coexist on one integer timeline without drift.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant (or a duration) on the simulation timeline, in
+/// picoseconds.
+///
+/// `Time` is used both as a point in time and as a span; arithmetic is
+/// saturating-free (plain checked-by-debug `u64` ops) because simulations
+/// never get anywhere near the representable range.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_kernel::Time;
+///
+/// let t = Time::from_ns(4) + Time::from_ps(500);
+/// assert_eq!(t.as_ps(), 4_500);
+/// assert!(t < Time::from_ns(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The time origin (0 ps).
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable instant; used as an "infinity" sentinel for
+    /// idle schedulers and never-expiring deadlines.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * 1_000_000_000)
+    }
+
+    /// Raw picosecond value.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (truncated) nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Value in (truncated) microseconds.
+    #[inline]
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Saturating subtraction: returns [`Time::ZERO`] instead of underflowing.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow (relevant only when adding to
+    /// [`Time::MAX`] sentinels).
+    #[inline]
+    pub fn checked_add(self, rhs: Time) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// The larger of two instants.
+    #[inline]
+    pub fn max(self, rhs: Time) -> Time {
+        Time(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two instants.
+    #[inline]
+    pub fn min(self, rhs: Time) -> Time {
+        Time(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == u64::MAX {
+            write!(f, "+inf")
+        } else if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} ms", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} ns", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+/// A number of clock cycles of some (contextual) clock domain.
+///
+/// `Cycles` deliberately does **not** convert to [`Time`] on its own: the
+/// conversion requires a [`ClockDomain`](crate::ClockDomain), via
+/// [`ClockDomain::cycles_to_time`](crate::ClockDomain::cycles_to_time). The
+/// newtype prevents accidentally mixing cycle counts of different domains.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_kernel::{Cycles, ClockDomain};
+///
+/// let clk = ClockDomain::from_mhz(250);
+/// assert_eq!(clk.cycles_to_time(Cycles::new(3)).as_ps(), 12_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// The raw count.
+    #[inline]
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(n: u64) -> Self {
+        Cycles(n)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        assert_eq!(Time::from_ns(1).as_ps(), 1_000);
+        assert_eq!(Time::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(Time::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(Time::from_ps(2_500).as_ns(), 2);
+        assert_eq!(Time::from_ps(2_500_000).as_us(), 2);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(4);
+        assert_eq!((a + b).as_ns(), 14);
+        assert_eq!((a - b).as_ns(), 6);
+        assert_eq!((a * 3).as_ns(), 30);
+        assert_eq!((a / 2).as_ns(), 5);
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(Time::MAX.checked_add(Time::from_ps(1)).is_none());
+        assert_eq!(
+            Time::from_ps(1).checked_add(Time::from_ps(2)),
+            Some(Time::from_ps(3))
+        );
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Time::from_ps(12).to_string(), "12 ps");
+        assert_eq!(Time::from_ns(3).to_string(), "3.000 ns");
+        assert_eq!(Time::from_us(7).to_string(), "7.000 us");
+        assert_eq!(Time::MAX.to_string(), "+inf");
+    }
+
+    #[test]
+    fn cycles_arithmetic() {
+        let c = Cycles::new(5) + Cycles::new(3);
+        assert_eq!(c.count(), 8);
+        assert_eq!((c - Cycles::new(2)).count(), 6);
+        assert_eq!((c * 2).count(), 16);
+        assert_eq!(Cycles::new(1).saturating_sub(Cycles::new(9)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn sums_fold_from_zero() {
+        let total: Time = [Time::from_ns(1), Time::from_ns(2)].into_iter().sum();
+        assert_eq!(total, Time::from_ns(3));
+        let total: Cycles = [Cycles::new(4), Cycles::new(6)].into_iter().sum();
+        assert_eq!(total, Cycles::new(10));
+    }
+}

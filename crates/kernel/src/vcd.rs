@@ -1,0 +1,214 @@
+//! Value-change-dump (VCD) export.
+//!
+//! A lightweight writer for the classic VCD waveform format, so platform
+//! runs can be inspected in GTKWave or any other waveform viewer: sample
+//! whatever quantities matter (FIFO occupancies, arbiter states, channel
+//! busy flags) at a fixed cadence and dump the change list.
+//!
+//! The writer is sampling-based rather than event-based: call
+//! [`VcdWriter::sample`] with the current value of every signal; only
+//! changes are stored.
+
+use crate::time::Time;
+use std::fmt::Write as _;
+
+/// Handle to a registered VCD signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VcdSignalId(usize);
+
+#[derive(Debug)]
+struct Signal {
+    name: String,
+    bits: u32,
+    last: Option<u64>,
+}
+
+/// A sampling VCD writer.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_kernel::{vcd::VcdWriter, Time};
+///
+/// let mut vcd = VcdWriter::new("sim");
+/// let fifo = vcd.add_signal("lmi_fifo", 4);
+/// vcd.sample(Time::ZERO, &[(fifo, 0)]);
+/// vcd.sample(Time::from_ns(8), &[(fifo, 5)]);
+/// let text = vcd.render();
+/// assert!(text.contains("$var wire 4"));
+/// assert!(text.contains("b101"));
+/// ```
+#[derive(Debug)]
+pub struct VcdWriter {
+    module: String,
+    signals: Vec<Signal>,
+    /// Change list: `(time, signal index, value)`.
+    changes: Vec<(Time, usize, u64)>,
+    last_time: Time,
+}
+
+impl VcdWriter {
+    /// Creates a writer; `module` names the VCD scope.
+    pub fn new(module: impl Into<String>) -> Self {
+        VcdWriter {
+            module: module.into(),
+            signals: Vec::new(),
+            changes: Vec::new(),
+            last_time: Time::ZERO,
+        }
+    }
+
+    /// Registers a signal of the given bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or above 64.
+    pub fn add_signal(&mut self, name: impl Into<String>, bits: u32) -> VcdSignalId {
+        assert!((1..=64).contains(&bits), "signal width must be 1..=64 bits");
+        self.signals.push(Signal {
+            name: name.into(),
+            bits,
+            last: None,
+        });
+        VcdSignalId(self.signals.len() - 1)
+    }
+
+    /// Records the current values; only changes are kept. Samples must be
+    /// given in non-decreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` goes backwards.
+    pub fn sample(&mut self, time: Time, values: &[(VcdSignalId, u64)]) {
+        assert!(time >= self.last_time, "VCD samples must not go backwards");
+        self.last_time = time;
+        for &(id, value) in values {
+            let sig = &mut self.signals[id.0];
+            if sig.last != Some(value) {
+                sig.last = Some(value);
+                self.changes.push((time, id.0, value));
+            }
+        }
+    }
+
+    /// Number of registered signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Number of recorded value changes.
+    pub fn change_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    fn id_code(index: usize) -> String {
+        // Printable identifier characters, '!'..='~'.
+        let mut code = String::new();
+        let mut n = index;
+        loop {
+            code.push(char::from(b'!' + (n % 94) as u8));
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+        }
+        code
+    }
+
+    /// Renders the VCD document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$comment mpsoc-platform waveform dump $end\n");
+        out.push_str("$timescale 1 ps $end\n");
+        let _ = writeln!(out, "$scope module {} $end", self.module);
+        for (i, sig) in self.signals.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                sig.bits,
+                Self::id_code(i),
+                sig.name
+            );
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut current = None;
+        for &(time, idx, value) in &self.changes {
+            if current != Some(time) {
+                current = Some(time);
+                let _ = writeln!(out, "#{}", time.as_ps());
+            }
+            let sig = &self.signals[idx];
+            if sig.bits == 1 {
+                let _ = writeln!(out, "{}{}", value & 1, Self::id_code(idx));
+            } else {
+                let _ = writeln!(out, "b{:b} {}", value, Self::id_code(idx));
+            }
+        }
+        let _ = writeln!(out, "#{}", self.last_time.as_ps());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_lists_all_signals() {
+        let mut vcd = VcdWriter::new("top");
+        vcd.add_signal("a", 1);
+        vcd.add_signal("fifo_level", 8);
+        let text = vcd.render();
+        assert!(text.contains("$scope module top $end"));
+        assert!(text.contains("$var wire 1 ! a $end"));
+        assert!(text.contains("$var wire 8 \" fifo_level $end"));
+        assert!(text.contains("$enddefinitions"));
+    }
+
+    #[test]
+    fn only_changes_are_recorded() {
+        let mut vcd = VcdWriter::new("top");
+        let s = vcd.add_signal("s", 4);
+        vcd.sample(Time::ZERO, &[(s, 3)]);
+        vcd.sample(Time::from_ns(1), &[(s, 3)]);
+        vcd.sample(Time::from_ns(2), &[(s, 7)]);
+        assert_eq!(vcd.change_count(), 2);
+        let text = vcd.render();
+        assert!(text.contains("#0\nb11 !"));
+        assert!(text.contains("#2000\nb111 !"));
+        assert!(!text.contains("#1000"));
+    }
+
+    #[test]
+    fn scalar_signals_use_short_form() {
+        let mut vcd = VcdWriter::new("top");
+        let s = vcd.add_signal("flag", 1);
+        vcd.sample(Time::from_ns(4), &[(s, 1)]);
+        assert!(vcd.render().contains("1!"));
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let code = VcdWriter::id_code(i);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code), "duplicate id for {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_must_be_monotone() {
+        let mut vcd = VcdWriter::new("top");
+        let s = vcd.add_signal("s", 2);
+        vcd.sample(Time::from_ns(5), &[(s, 1)]);
+        vcd.sample(Time::from_ns(4), &[(s, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        VcdWriter::new("top").add_signal("bad", 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # mpsoc-memory
+//!
+//! The memory subsystem of the virtual platform: on-chip shared memory,
+//! an SDRAM device model with full command timing, and the **LMI memory
+//! controller** — the reverse-engineered off-chip memory interface that is
+//! the performance bottleneck of the paper's memory-centric platform.
+//!
+//! All targets speak the workspace-wide link convention: a request link
+//! (carrying [`Packet::Request`]) feeding the target and a response link
+//! (carrying [`Packet::Response`]) draining it. Back-pressure is physical:
+//! a full link or FIFO stalls the producer.
+//!
+//! ## Components
+//!
+//! * [`OnChipMemory`] — the "simple memory controller driving an on-chip
+//!   shared memory with *n* wait states" used throughout Section 4 of the
+//!   paper. Single-slot interface: each transaction blocks the target until
+//!   its response has drained, which is what makes multiple-outstanding
+//!   support useless in the collapsed platforms of Fig. 3.
+//! * [`SdramDevice`] + [`SdramTiming`] — bank/row state machine enforcing
+//!   tRCD/tRP/tRAS/tRC/tWR/CL and refresh timing for SDR and DDR devices.
+//! * [`LmiController`] — multi-slot input/output FIFOs, an optimization
+//!   engine performing **opcode merging** and **variable-depth lookahead**
+//!   (open-row preference), SDRAM command generation, and the bus-interface
+//!   statistics (FIFO full / storing / no-request / empty residency) behind
+//!   the paper's Figure 6.
+//!
+//! [`Packet::Request`]: mpsoc_protocol::Packet::Request
+//! [`Packet::Response`]: mpsoc_protocol::Packet::Response
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lmi;
+mod on_chip;
+mod sdram;
+
+pub use lmi::{LmiConfig, LmiController, LmiInterfaceState};
+pub use on_chip::{OnChipMemory, OnChipMemoryConfig};
+pub use sdram::{AccessPlan, SdramDevice, SdramGeometry, SdramKind, SdramTiming};

@@ -1,0 +1,459 @@
+//! Mesh construction.
+
+use crate::router::{Dir, NocConfig, Router, ALL_DIRS};
+use mpsoc_kernel::{ClockDomain, Component, LinkId, LinkPool};
+use mpsoc_protocol::{AddressMap, AddressRange, Packet};
+use std::error::Error;
+use std::fmt;
+
+/// Errors building a mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// Coordinates outside the grid.
+    OutOfBounds {
+        /// Requested coordinates.
+        coords: (u32, u32),
+        /// Grid size.
+        size: (u32, u32),
+    },
+    /// The node already hosts an endpoint.
+    NodeOccupied {
+        /// The contended coordinates.
+        coords: (u32, u32),
+    },
+    /// An address range overlaps an existing route.
+    RouteOverlap {
+        /// Description from the address map.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::OutOfBounds { coords, size } => {
+                write!(f, "node {coords:?} outside the {size:?} mesh")
+            }
+            MeshError::NodeOccupied { coords } => {
+                write!(f, "node {coords:?} already hosts an endpoint")
+            }
+            MeshError::RouteOverlap { reason } => write!(f, "route overlap: {reason}"),
+        }
+    }
+}
+
+impl Error for MeshError {}
+
+/// The link pair through which a target attaches to the mesh.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetIface {
+    /// Requests flowing towards the target (pop from here).
+    pub req: LinkId,
+    /// Responses flowing back into the mesh (push here).
+    pub resp: LinkId,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct NodeEndpoint {
+    /// Link the router consumes from (local input).
+    to_mesh: Option<LinkId>,
+    /// Link the router produces into (local output).
+    from_mesh: Option<LinkId>,
+}
+
+/// Builder for a `w × h` mesh of [`Router`]s.
+///
+/// Attach endpoints (one per node), then call [`Mesh::build`] to create the
+/// inter-router links and the router components. See the
+/// [crate documentation](crate) for a complete example.
+#[derive(Debug)]
+pub struct Mesh {
+    name: String,
+    config: NocConfig,
+    clock: ClockDomain,
+    width: u32,
+    height: u32,
+    endpoints: Vec<NodeEndpoint>,
+    routes: AddressMap<(u32, u32)>,
+}
+
+impl Mesh {
+    /// Creates a mesh builder for a `w × h` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(
+        name: impl Into<String>,
+        config: NocConfig,
+        clock: ClockDomain,
+        width: u32,
+        height: u32,
+    ) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        Mesh {
+            name: name.into(),
+            config,
+            clock,
+            width,
+            height,
+            endpoints: vec![NodeEndpoint::default(); (width * height) as usize],
+            routes: AddressMap::new(),
+        }
+    }
+
+    fn index(&self, x: u32, y: u32) -> usize {
+        (y * self.width + x) as usize
+    }
+
+    fn check_bounds(&self, x: u32, y: u32) -> Result<(), MeshError> {
+        if x >= self.width || y >= self.height {
+            return Err(MeshError::OutOfBounds {
+                coords: (x, y),
+                size: (self.width, self.height),
+            });
+        }
+        Ok(())
+    }
+
+    fn claim(&mut self, x: u32, y: u32) -> Result<(), MeshError> {
+        self.check_bounds(x, y)?;
+        let idx = self.index(x, y);
+        if self.endpoints[idx].to_mesh.is_some() {
+            return Err(MeshError::NodeOccupied { coords: (x, y) });
+        }
+        Ok(())
+    }
+
+    /// Attaches an initiator at `(x, y)`; returns its `(req, resp)` links
+    /// (push requests into `req`, pop responses from `resp`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is occupied or out of bounds (the infallible
+    /// variant of [`Mesh::try_attach_initiator`]).
+    pub fn attach_initiator(
+        &mut self,
+        links: &mut LinkPool<Packet>,
+        x: u32,
+        y: u32,
+    ) -> (LinkId, LinkId) {
+        self.try_attach_initiator(links, x, y)
+            .expect("attach failed")
+    }
+
+    /// Fallible variant of [`Mesh::attach_initiator`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the node is out of bounds or occupied.
+    pub fn try_attach_initiator(
+        &mut self,
+        links: &mut LinkPool<Packet>,
+        x: u32,
+        y: u32,
+    ) -> Result<(LinkId, LinkId), MeshError> {
+        self.claim(x, y)?;
+        let period = self.clock.period();
+        let req = links.add_link(
+            format!("{}.{x}_{y}.ni.req", self.name),
+            self.config.port_fifo_depth,
+            period,
+        );
+        let resp = links.add_link(
+            format!("{}.{x}_{y}.ni.resp", self.name),
+            self.config.port_fifo_depth,
+            period,
+        );
+        let idx = self.index(x, y);
+        self.endpoints[idx] = NodeEndpoint {
+            to_mesh: Some(req),
+            from_mesh: Some(resp),
+        };
+        Ok((req, resp))
+    }
+
+    /// Attaches a target at `(x, y)` serving `range`; returns the link pair
+    /// the target component should use.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the node is out of bounds or occupied, or the range
+    /// overlaps an existing route.
+    pub fn attach_target(
+        &mut self,
+        links: &mut LinkPool<Packet>,
+        x: u32,
+        y: u32,
+        range: AddressRange,
+    ) -> Result<TargetIface, MeshError> {
+        self.claim(x, y)?;
+        self.routes
+            .add(range, (x, y))
+            .map_err(|e| MeshError::RouteOverlap {
+                reason: e.to_string(),
+            })?;
+        let period = self.clock.period();
+        let req = links.add_link(
+            format!("{}.{x}_{y}.tgt.req", self.name),
+            self.config.port_fifo_depth,
+            period,
+        );
+        let resp = links.add_link(
+            format!("{}.{x}_{y}.tgt.resp", self.name),
+            self.config.port_fifo_depth,
+            period,
+        );
+        let idx = self.index(x, y);
+        self.endpoints[idx] = NodeEndpoint {
+            to_mesh: Some(resp),
+            from_mesh: Some(req),
+        };
+        Ok(TargetIface { req, resp })
+    }
+
+    /// Creates the inter-router links and returns the router components,
+    /// ready to be registered on the mesh clock.
+    pub fn build(self, links: &mut LinkPool<Packet>) -> Vec<Box<dyn Component<Packet>>> {
+        let period = self.clock.period();
+        let w = self.width;
+        let h = self.height;
+        // Directed links between neighbours: link_between[(from, to)].
+        let mut inter = std::collections::HashMap::new();
+        for y in 0..h {
+            for x in 0..w {
+                let neighbours = [
+                    (x.wrapping_sub(1), y),
+                    (x + 1, y),
+                    (x, y.wrapping_sub(1)),
+                    (x, y + 1),
+                ];
+                for (nx, ny) in neighbours {
+                    if nx < w && ny < h {
+                        let id = links.add_link(
+                            format!("{}.link.{x}_{y}.to.{nx}_{ny}", self.name),
+                            self.config.port_fifo_depth,
+                            period * self.config.hop_cycles.max(1),
+                        );
+                        inter.insert(((x, y), (nx, ny)), id);
+                    }
+                }
+            }
+        }
+        let mut routers: Vec<Box<dyn Component<Packet>>> = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let mut inputs = [None; 5];
+                let mut outputs = [None; 5];
+                let endpoint = self.endpoints[(y * w + x) as usize];
+                inputs[Dir::Local as usize] = endpoint.to_mesh;
+                outputs[Dir::Local as usize] = endpoint.from_mesh;
+                for dir in ALL_DIRS {
+                    let neighbour = match dir {
+                        Dir::Local => continue,
+                        Dir::North => (x, y + 1),
+                        Dir::South => (x, y.wrapping_sub(1)),
+                        Dir::East => (x + 1, y),
+                        Dir::West => (x.wrapping_sub(1), y),
+                    };
+                    if neighbour.0 < w && neighbour.1 < h {
+                        inputs[dir as usize] = inter.get(&(neighbour, (x, y))).copied();
+                        outputs[dir as usize] = inter.get(&((x, y), neighbour)).copied();
+                    }
+                }
+                routers.push(Box::new(Router::new(
+                    format!("{}.r{x}_{y}", self.name),
+                    self.config,
+                    self.clock,
+                    (x, y),
+                    inputs,
+                    outputs,
+                    self.routes.clone(),
+                )));
+            }
+        }
+        routers
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_kernel::{Simulation, Time};
+    use mpsoc_protocol::testing::{FixedLatencyTarget, ScriptedInitiator};
+    use mpsoc_protocol::{DataWidth, InitiatorId, Transaction};
+
+    fn reads(initiator: u16, n: u64, base: u64) -> Vec<Transaction> {
+        (0..n)
+            .map(|s| {
+                Transaction::builder(InitiatorId::new(initiator), s)
+                    .read(base + s * 64)
+                    .beats(4)
+                    .width(DataWidth::BITS64)
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corner_to_corner_round_trip() {
+        let mut sim: Simulation<Packet> = Simulation::new();
+        let clk = ClockDomain::from_mhz(500);
+        let mut mesh = Mesh::new("noc", NocConfig::default(), clk, 3, 3);
+        let (req, resp) = mesh.attach_initiator(sim.links_mut(), 0, 0);
+        let iface = mesh
+            .attach_target(sim.links_mut(), 2, 2, AddressRange::new(0, 1 << 24))
+            .unwrap();
+        for r in mesh.build(sim.links_mut()) {
+            sim.add_component(r, clk);
+        }
+        sim.add_component(
+            Box::new(ScriptedInitiator::new(
+                "i",
+                req,
+                resp,
+                reads(0, 10, 0x100),
+                4,
+            )),
+            clk,
+        );
+        sim.add_component(
+            Box::new(FixedLatencyTarget::new("t", clk, iface.req, iface.resp, 1)),
+            clk,
+        );
+        sim.run_to_quiescence_strict(Time::from_ms(10))
+            .expect("drains");
+        assert_eq!(sim.links().link(resp).stats().pops, 10);
+    }
+
+    #[test]
+    fn disjoint_flows_proceed_in_parallel() {
+        // Two flows on opposite mesh edges: running both together should
+        // cost barely more than the slower one alone.
+        let run = |both: bool| {
+            let mut sim: Simulation<Packet> = Simulation::new();
+            let clk = ClockDomain::from_mhz(500);
+            let mut mesh = Mesh::new("noc", NocConfig::default(), clk, 3, 3);
+            let (req0, resp0) = mesh.attach_initiator(sim.links_mut(), 0, 0);
+            let t0 = mesh
+                .attach_target(sim.links_mut(), 2, 0, AddressRange::new(0, 1 << 20))
+                .unwrap();
+            let (req1, resp1) = mesh.attach_initiator(sim.links_mut(), 0, 2);
+            let t1 = mesh
+                .attach_target(sim.links_mut(), 2, 2, AddressRange::new(1 << 20, 2 << 20))
+                .unwrap();
+            for r in mesh.build(sim.links_mut()) {
+                sim.add_component(r, clk);
+            }
+            sim.add_component(
+                Box::new(ScriptedInitiator::new(
+                    "i0",
+                    req0,
+                    resp0,
+                    reads(0, 30, 0x100),
+                    4,
+                )),
+                clk,
+            );
+            sim.add_component(
+                Box::new(FixedLatencyTarget::new("t0", clk, t0.req, t0.resp, 1)),
+                clk,
+            );
+            if both {
+                sim.add_component(
+                    Box::new(ScriptedInitiator::new(
+                        "i1",
+                        req1,
+                        resp1,
+                        reads(1, 30, (1 << 20) + 0x100),
+                        4,
+                    )),
+                    clk,
+                );
+            }
+            sim.add_component(
+                Box::new(FixedLatencyTarget::new("t1", clk, t1.req, t1.resp, 1)),
+                clk,
+            );
+            sim.run_to_quiescence_strict(Time::from_ms(10))
+                .expect("drains")
+        };
+        let single = run(false);
+        let both = run(true);
+        let ratio = both.as_ps() as f64 / single.as_ps() as f64;
+        assert!(
+            ratio < 1.15,
+            "disjoint flows must not serialize, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn posted_writes_leave_no_breadcrumbs() {
+        let mut sim: Simulation<Packet> = Simulation::new();
+        let clk = ClockDomain::from_mhz(500);
+        let mut mesh = Mesh::new("noc", NocConfig::default(), clk, 2, 2);
+        let (req, resp) = mesh.attach_initiator(sim.links_mut(), 0, 0);
+        let iface = mesh
+            .attach_target(sim.links_mut(), 1, 1, AddressRange::new(0, 1 << 24))
+            .unwrap();
+        for r in mesh.build(sim.links_mut()) {
+            sim.add_component(r, clk);
+        }
+        let script: Vec<Transaction> = (0..8)
+            .map(|s| {
+                Transaction::builder(InitiatorId::new(0), s)
+                    .write(0x40 * s)
+                    .beats(4)
+                    .width(DataWidth::BITS64)
+                    .posted(true)
+                    .build()
+            })
+            .collect();
+        sim.add_component(
+            Box::new(ScriptedInitiator::new("i", req, resp, script, 2)),
+            clk,
+        );
+        sim.add_component(
+            Box::new(FixedLatencyTarget::new("t", clk, iface.req, iface.resp, 1)),
+            clk,
+        );
+        // Quiescence requires every router's breadcrumb table to be empty.
+        sim.run_to_quiescence_strict(Time::from_ms(10))
+            .expect("drains");
+        assert!(sim.links().link(resp).is_empty());
+    }
+
+    #[test]
+    fn occupancy_and_bounds_are_validated() {
+        let mut sim: Simulation<Packet> = Simulation::new();
+        let clk = ClockDomain::from_mhz(500);
+        let mut mesh = Mesh::new("noc", NocConfig::default(), clk, 2, 2);
+        mesh.attach_initiator(sim.links_mut(), 0, 0);
+        let err = mesh
+            .try_attach_initiator(sim.links_mut(), 0, 0)
+            .unwrap_err();
+        assert!(matches!(err, MeshError::NodeOccupied { coords: (0, 0) }));
+        let err = mesh
+            .try_attach_initiator(sim.links_mut(), 5, 0)
+            .unwrap_err();
+        assert!(matches!(err, MeshError::OutOfBounds { .. }));
+        // Overlapping target ranges are rejected.
+        mesh.attach_target(sim.links_mut(), 1, 0, AddressRange::new(0, 0x1000))
+            .unwrap();
+        let err = mesh
+            .attach_target(sim.links_mut(), 1, 1, AddressRange::new(0x800, 0x2000))
+            .unwrap_err();
+        assert!(matches!(err, MeshError::RouteOverlap { .. }));
+        assert!(err.to_string().contains("overlap"));
+    }
+}

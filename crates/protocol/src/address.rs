@@ -1,0 +1,208 @@
+//! Validated address decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// A half-open byte-address range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressRange {
+    /// First byte covered.
+    pub start: u64,
+    /// One past the last byte covered.
+    pub end: u64,
+}
+
+impl AddressRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start < end, "empty address range [{start:#x}, {end:#x})");
+        AddressRange { start, end }
+    }
+
+    /// Range size in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty (never true for a constructed range).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Whether `addr` falls inside.
+    pub fn contains(&self, addr: u64) -> bool {
+        (self.start..self.end).contains(&addr)
+    }
+
+    /// Whether two ranges share any address.
+    pub fn overlaps(&self, other: &AddressRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Display for AddressRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end)
+    }
+}
+
+/// Errors adding ranges to an [`AddressMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddressMapError {
+    /// The new range overlaps an existing one.
+    Overlap {
+        /// The rejected range.
+        new: AddressRange,
+        /// The existing range it collides with.
+        existing: AddressRange,
+    },
+}
+
+impl fmt::Display for AddressMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressMapError::Overlap { new, existing } => {
+                write!(f, "address range {new} overlaps existing {existing}")
+            }
+        }
+    }
+}
+
+impl Error for AddressMapError {}
+
+/// A non-overlapping mapping from address ranges to route values (typically
+/// a bus-local target-port index).
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_protocol::{AddressMap, AddressRange};
+///
+/// let mut map: AddressMap<usize> = AddressMap::new();
+/// map.add(AddressRange::new(0x0000, 0x1000), 0)?;
+/// map.add(AddressRange::new(0x8000_0000, 0x9000_0000), 1)?;
+/// assert_eq!(map.route(0x42), Some(0));
+/// assert_eq!(map.route(0x8000_0010), Some(1));
+/// assert_eq!(map.route(0x7000_0000), None);
+/// # Ok::<(), mpsoc_protocol::AddressMapError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressMap<V> {
+    // Sorted by start address.
+    ranges: Vec<(AddressRange, V)>,
+}
+
+impl<V: Copy> AddressMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        AddressMap { ranges: Vec::new() }
+    }
+
+    /// Adds a range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressMapError::Overlap`] if the range collides with an
+    /// existing entry.
+    pub fn add(&mut self, range: AddressRange, value: V) -> Result<(), AddressMapError> {
+        if let Some((existing, _)) = self.ranges.iter().find(|(r, _)| r.overlaps(&range)) {
+            return Err(AddressMapError::Overlap {
+                new: range,
+                existing: *existing,
+            });
+        }
+        let pos = self.ranges.partition_point(|(r, _)| r.start < range.start);
+        self.ranges.insert(pos, (range, value));
+        Ok(())
+    }
+
+    /// Resolves an address to its route value.
+    pub fn route(&self, addr: u64) -> Option<V> {
+        let idx = self.ranges.partition_point(|(r, _)| r.start <= addr);
+        idx.checked_sub(1).and_then(|i| {
+            let (r, v) = &self.ranges[i];
+            r.contains(addr).then_some(*v)
+        })
+    }
+
+    /// Number of mapped ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Iterates over `(range, value)` in ascending address order.
+    pub fn iter(&self) -> impl Iterator<Item = (AddressRange, V)> + '_ {
+        self.ranges.iter().map(|(r, v)| (*r, *v))
+    }
+}
+
+impl<V: Copy> Default for AddressMap<V> {
+    fn default() -> Self {
+        AddressMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_basics() {
+        let mut m = AddressMap::new();
+        m.add(AddressRange::new(0x100, 0x200), 'a').unwrap();
+        m.add(AddressRange::new(0x300, 0x400), 'b').unwrap();
+        assert_eq!(m.route(0x100), Some('a'));
+        assert_eq!(m.route(0x1ff), Some('a'));
+        assert_eq!(m.route(0x200), None);
+        assert_eq!(m.route(0x350), Some('b'));
+        assert_eq!(m.route(0x0), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut m = AddressMap::new();
+        m.add(AddressRange::new(0x300, 0x400), 'b').unwrap();
+        m.add(AddressRange::new(0x100, 0x200), 'a').unwrap();
+        assert_eq!(m.route(0x150), Some('a'));
+        let starts: Vec<u64> = m.iter().map(|(r, _)| r.start).collect();
+        assert_eq!(starts, vec![0x100, 0x300]);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut m = AddressMap::new();
+        m.add(AddressRange::new(0x100, 0x200), 1).unwrap();
+        let err = m.add(AddressRange::new(0x180, 0x280), 2).unwrap_err();
+        assert!(matches!(err, AddressMapError::Overlap { .. }));
+        assert!(err.to_string().contains("overlaps"));
+        // Adjacent ranges are fine.
+        m.add(AddressRange::new(0x200, 0x280), 2).unwrap();
+    }
+
+    #[test]
+    fn range_predicates() {
+        let r = AddressRange::new(0x10, 0x20);
+        assert_eq!(r.len(), 0x10);
+        assert!(!r.is_empty());
+        assert!(r.contains(0x10));
+        assert!(!r.contains(0x20));
+        assert!(r.overlaps(&AddressRange::new(0x1f, 0x30)));
+        assert!(!r.overlaps(&AddressRange::new(0x20, 0x30)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty address range")]
+    fn empty_range_panics() {
+        let _ = AddressRange::new(5, 5);
+    }
+}

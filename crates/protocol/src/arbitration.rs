@@ -1,0 +1,147 @@
+//! Arbitration policies for bus nodes.
+
+use mpsoc_kernel::Time;
+use std::fmt;
+
+/// A request competing for a grant, as seen by the arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contender {
+    /// Index of the initiator port.
+    pub port: usize,
+    /// STBus priority label of the head transaction.
+    pub priority: u8,
+    /// Creation time of the head transaction (for oldest-first policies).
+    pub created_at: Time,
+}
+
+/// How a node picks among simultaneously requesting initiators.
+///
+/// With STBus *message-based arbitration* the policy is consulted only at
+/// message boundaries; within a message the previous winner keeps the grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArbitrationPolicy {
+    /// Rotating fairness: the port after the previous winner gets the first
+    /// chance.
+    #[default]
+    RoundRobin,
+    /// Highest [`Contender::priority`] wins; ties break to the lowest port
+    /// index. Can starve low-priority ports under saturation.
+    FixedPriority,
+    /// The transaction that has waited longest wins (global age order).
+    OldestFirst,
+}
+
+impl ArbitrationPolicy {
+    /// Picks the winning contender.
+    ///
+    /// `last_winner` is the port that won most recently and `port_count`
+    /// the total number of initiator ports (both used by round-robin).
+    /// Returns `None` when `contenders` is empty.
+    pub fn pick(
+        self,
+        contenders: &[Contender],
+        last_winner: usize,
+        port_count: usize,
+    ) -> Option<Contender> {
+        if contenders.is_empty() {
+            return None;
+        }
+        let winner = match self {
+            ArbitrationPolicy::RoundRobin => {
+                let n = port_count.max(1);
+                let first = (last_winner + 1) % n;
+                *contenders
+                    .iter()
+                    .min_by_key(|c| (c.port + n - first) % n)
+                    .expect("non-empty")
+            }
+            ArbitrationPolicy::FixedPriority => *contenders
+                .iter()
+                .max_by(|a, b| a.priority.cmp(&b.priority).then(b.port.cmp(&a.port)))
+                .expect("non-empty"),
+            ArbitrationPolicy::OldestFirst => *contenders
+                .iter()
+                .min_by(|a, b| a.created_at.cmp(&b.created_at).then(a.port.cmp(&b.port)))
+                .expect("non-empty"),
+        };
+        Some(winner)
+    }
+}
+
+impl fmt::Display for ArbitrationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArbitrationPolicy::RoundRobin => write!(f, "round-robin"),
+            ArbitrationPolicy::FixedPriority => write!(f, "fixed-priority"),
+            ArbitrationPolicy::OldestFirst => write!(f, "oldest-first"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(port: usize, priority: u8, age_ns: u64) -> Contender {
+        Contender {
+            port,
+            priority,
+            created_at: Time::from_ns(age_ns),
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let contenders = vec![c(0, 0, 0), c(1, 0, 0), c(3, 0, 0)];
+        let p = ArbitrationPolicy::RoundRobin;
+        assert_eq!(p.pick(&contenders, 0, 4).unwrap().port, 1);
+        assert_eq!(p.pick(&contenders, 1, 4).unwrap().port, 3);
+        assert_eq!(p.pick(&contenders, 3, 4).unwrap().port, 0);
+    }
+
+    #[test]
+    fn round_robin_gives_everyone_a_turn() {
+        let contenders = vec![c(0, 0, 0), c(1, 0, 0), c(2, 0, 0)];
+        let p = ArbitrationPolicy::RoundRobin;
+        let mut last = 2;
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let w = p.pick(&contenders, last, 3).unwrap().port;
+            seen.push(w);
+            last = w;
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fixed_priority_prefers_high_then_low_port() {
+        let p = ArbitrationPolicy::FixedPriority;
+        let contenders = vec![c(0, 1, 0), c(1, 7, 0), c(2, 7, 0)];
+        assert_eq!(p.pick(&contenders, 0, 3).unwrap().port, 1);
+    }
+
+    #[test]
+    fn oldest_first_prefers_age() {
+        let p = ArbitrationPolicy::OldestFirst;
+        let contenders = vec![c(0, 0, 50), c(1, 0, 10), c(2, 0, 10)];
+        let w = p.pick(&contenders, 0, 3).unwrap();
+        assert_eq!(w.port, 1); // oldest, tie broken to lower port
+    }
+
+    #[test]
+    fn empty_contender_list() {
+        assert_eq!(ArbitrationPolicy::RoundRobin.pick(&[], 0, 4), None);
+        assert_eq!(ArbitrationPolicy::FixedPriority.pick(&[], 0, 4), None);
+    }
+
+    #[test]
+    fn displays_are_stable() {
+        assert_eq!(ArbitrationPolicy::RoundRobin.to_string(), "round-robin");
+        assert_eq!(
+            ArbitrationPolicy::FixedPriority.to_string(),
+            "fixed-priority"
+        );
+        assert_eq!(ArbitrationPolicy::OldestFirst.to_string(), "oldest-first");
+    }
+}

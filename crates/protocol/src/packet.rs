@@ -1,0 +1,170 @@
+//! The link payload: request and response packets.
+
+use crate::transaction::Transaction;
+use mpsoc_kernel::Time;
+use std::fmt;
+
+/// A completed transaction travelling back towards its initiator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The original transaction (echoed in full so that bridges and
+    /// interconnects can re-associate responses without side tables).
+    pub txn: Transaction,
+    /// Extra idle cycles the producer interleaves between consecutive
+    /// response beats when streaming over a bus channel. An on-chip memory
+    /// with 1 wait state sets this to 1, which is exactly the paper's
+    /// "1 data transfer followed by 1 idle cycle" — a 50 % response-channel
+    /// efficiency ceiling.
+    pub gap_per_beat: u32,
+    /// Time the target finished servicing the access (for latency
+    /// decomposition: queueing vs service vs return path).
+    pub serviced_at: Time,
+}
+
+impl Response {
+    /// Creates a response for `txn` with no streaming gaps.
+    pub fn new(txn: Transaction, serviced_at: Time) -> Self {
+        Response {
+            txn,
+            gap_per_beat: 0,
+            serviced_at,
+        }
+    }
+
+    /// Sets the per-beat streaming gap.
+    pub fn with_gap(mut self, gap_per_beat: u32) -> Self {
+        self.gap_per_beat = gap_per_beat;
+        self
+    }
+
+    /// Bus cycles the response occupies on a response channel of the
+    /// transaction's width, including streaming gaps.
+    pub fn channel_cycles(&self) -> u64 {
+        let beats = self.txn.response_cycles();
+        beats + beats.saturating_sub(1) * self.gap_per_beat as u64
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "resp({})", self.txn)
+    }
+}
+
+/// What flows on kernel links: requests travel initiator→target, responses
+/// travel target→initiator.
+///
+/// By convention a link carries only one variant (request links vs response
+/// links); the [`Packet::expect_request`] / [`Packet::expect_response`]
+/// accessors make violations loud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// A request (the transaction itself).
+    Request(Transaction),
+    /// A response.
+    Response(Response),
+}
+
+impl Packet {
+    /// Unwraps a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a response — that indicates mis-wired links.
+    pub fn expect_request(self) -> Transaction {
+        match self {
+            Packet::Request(t) => t,
+            Packet::Response(r) => panic!("expected request packet, got {r}"),
+        }
+    }
+
+    /// Unwraps a response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a request — that indicates mis-wired links.
+    pub fn expect_response(self) -> Response {
+        match self {
+            Packet::Response(r) => r,
+            Packet::Request(t) => panic!("expected response packet, got {t}"),
+        }
+    }
+
+    /// Borrowing view of the request, if it is one.
+    pub fn as_request(&self) -> Option<&Transaction> {
+        match self {
+            Packet::Request(t) => Some(t),
+            Packet::Response(_) => None,
+        }
+    }
+
+    /// Borrowing view of the response, if it is one.
+    pub fn as_response(&self) -> Option<&Response> {
+        match self {
+            Packet::Response(r) => Some(r),
+            Packet::Request(_) => None,
+        }
+    }
+}
+
+impl From<Transaction> for Packet {
+    fn from(txn: Transaction) -> Self {
+        Packet::Request(txn)
+    }
+}
+
+impl From<Response> for Packet {
+    fn from(resp: Response) -> Self {
+        Packet::Response(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::InitiatorId;
+
+    fn read(beats: u32) -> Transaction {
+        Transaction::builder(InitiatorId::new(0), 1)
+            .read(0x40)
+            .beats(beats)
+            .build()
+    }
+
+    #[test]
+    fn response_channel_cycles_with_gap() {
+        let r = Response::new(read(4), Time::ZERO);
+        assert_eq!(r.channel_cycles(), 4);
+        let gapped = r.with_gap(1);
+        // 4 beats with 1 idle cycle between them: d.d.d.d = 7 cycles.
+        assert_eq!(gapped.channel_cycles(), 7);
+        let single = Response::new(read(1), Time::ZERO).with_gap(3);
+        assert_eq!(single.channel_cycles(), 1);
+    }
+
+    #[test]
+    fn packet_round_trips() {
+        let t = read(2);
+        let p: Packet = t.clone().into();
+        assert_eq!(p.as_request(), Some(&t));
+        assert!(p.as_response().is_none());
+        assert_eq!(p.expect_request(), t);
+
+        let r = Response::new(read(2), Time::from_ns(5));
+        let p: Packet = r.clone().into();
+        assert_eq!(p.as_response(), Some(&r));
+        assert_eq!(p.expect_response(), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected request")]
+    fn expect_request_on_response_panics() {
+        Packet::from(Response::new(read(1), Time::ZERO)).expect_request();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected response")]
+    fn expect_response_on_request_panics() {
+        Packet::from(read(1)).expect_response();
+    }
+}

@@ -1,0 +1,131 @@
+//! The protocol capability matrix.
+
+use std::fmt;
+
+/// The on-chip communication protocols modelled in the workspace, with the
+/// capability differences the paper's analysis turns on.
+///
+/// | capability | STBus T1 | STBus T2 | STBus T3 | AHB | AXI |
+/// |---|---|---|---|---|---|
+/// | split transactions | yes | yes | yes | **no** | yes |
+/// | posted writes | no | yes | yes | no | yes |
+/// | multiple outstanding | yes | yes | yes | **no** | yes |
+/// | out-of-order responses | no | no | yes | no | yes |
+/// | handover hiding | grant propagation | grant propagation | grant propagation | early `HGRANTx` | burst overlap |
+///
+/// (The AHB column reflects the paper's model, which — like ours — does not
+/// implement AHB SPLIT/RETRY.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// STBus Type 1: low-cost implementation for low/medium performance.
+    StbusT1,
+    /// STBus Type 2: adds compound operations, source/priority labelling and
+    /// posted writes; split and pipelined transactions fully supported.
+    StbusT2,
+    /// STBus Type 3: adds shaped request/response packets and out-of-order
+    /// transaction support.
+    StbusT3,
+    /// AMBA AHB: shared channel, pipelined but non-split, non-posted writes.
+    Ahb,
+    /// AMBA AXI: five independent channels, multiple outstanding
+    /// transactions, optional out-of-order completion via transaction IDs.
+    Axi,
+}
+
+impl ProtocolKind {
+    /// Whether the protocol frees the request path while the target
+    /// services the access (split transactions). Non-split protocols hold
+    /// the bus for the entire access — the root cause of the multi-layer
+    /// AHB collapse in the paper's Figure 3/5 experiments.
+    pub fn supports_split(self) -> bool {
+        !matches!(self, ProtocolKind::Ahb)
+    }
+
+    /// Whether write transactions may be posted (completed on acceptance).
+    pub fn supports_posted_writes(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::StbusT2 | ProtocolKind::StbusT3 | ProtocolKind::Axi
+        )
+    }
+
+    /// Whether an initiator interface may have several transactions in
+    /// flight concurrently.
+    pub fn supports_multiple_outstanding(self) -> bool {
+        !matches!(self, ProtocolKind::Ahb)
+    }
+
+    /// Whether responses may return in a different order than requests were
+    /// issued.
+    pub fn supports_out_of_order(self) -> bool {
+        matches!(self, ProtocolKind::StbusT3 | ProtocolKind::Axi)
+    }
+
+    /// Whether this is any STBus type.
+    pub fn is_stbus(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::StbusT1 | ProtocolKind::StbusT2 | ProtocolKind::StbusT3
+        )
+    }
+
+    /// Clamps a requested outstanding-transaction budget to what the
+    /// protocol allows (AHB is forced to 1).
+    pub fn clamp_outstanding(self, requested: usize) -> usize {
+        if self.supports_multiple_outstanding() {
+            requested.max(1)
+        } else {
+            1
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolKind::StbusT1 => write!(f, "STBus Type 1"),
+            ProtocolKind::StbusT2 => write!(f, "STBus Type 2"),
+            ProtocolKind::StbusT3 => write!(f, "STBus Type 3"),
+            ProtocolKind::Ahb => write!(f, "AMBA AHB"),
+            ProtocolKind::Axi => write!(f, "AMBA AXI"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix_matches_paper() {
+        use ProtocolKind::*;
+        assert!(StbusT1.supports_split());
+        assert!(StbusT3.supports_split());
+        assert!(!Ahb.supports_split());
+        assert!(Axi.supports_split());
+
+        assert!(!StbusT1.supports_posted_writes());
+        assert!(StbusT2.supports_posted_writes());
+        assert!(!Ahb.supports_posted_writes());
+
+        assert!(!StbusT2.supports_out_of_order());
+        assert!(StbusT3.supports_out_of_order());
+        assert!(Axi.supports_out_of_order());
+
+        assert!(!Ahb.supports_multiple_outstanding());
+        assert!(StbusT1.supports_multiple_outstanding());
+    }
+
+    #[test]
+    fn outstanding_clamp() {
+        assert_eq!(ProtocolKind::Ahb.clamp_outstanding(8), 1);
+        assert_eq!(ProtocolKind::Axi.clamp_outstanding(8), 8);
+        assert_eq!(ProtocolKind::StbusT2.clamp_outstanding(0), 1);
+    }
+
+    #[test]
+    fn stbus_family() {
+        assert!(ProtocolKind::StbusT1.is_stbus());
+        assert!(!ProtocolKind::Axi.is_stbus());
+    }
+}

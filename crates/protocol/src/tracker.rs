@@ -1,0 +1,198 @@
+//! Transaction conservation and latency bookkeeping.
+
+use crate::ids::TransactionId;
+use crate::transaction::Transaction;
+use mpsoc_kernel::Time;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected by the [`TransactionTracker`]; any of these indicates a
+/// platform model bug (duplicated or spurious responses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrackerError {
+    /// The same transaction id was injected twice.
+    DuplicateInjection(TransactionId),
+    /// A completion arrived for an id that was never injected (or already
+    /// completed).
+    UnknownCompletion(TransactionId),
+}
+
+impl fmt::Display for TrackerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrackerError::DuplicateInjection(id) => write!(f, "{id} injected twice"),
+            TrackerError::UnknownCompletion(id) => {
+                write!(f, "completion for unknown or finished {id}")
+            }
+        }
+    }
+}
+
+impl Error for TrackerError {}
+
+/// Tracks outstanding transactions to assert conservation (every request is
+/// answered exactly once) and to aggregate end-to-end latency.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_protocol::{TransactionTracker, Transaction, InitiatorId};
+/// use mpsoc_kernel::Time;
+///
+/// let mut tracker = TransactionTracker::new();
+/// let txn = Transaction::builder(InitiatorId::new(0), 1).read(0x10).build();
+/// tracker.on_inject(&txn, Time::from_ns(5))?;
+/// assert_eq!(tracker.outstanding(), 1);
+/// let latency = tracker.on_complete(txn.id, Time::from_ns(45))?;
+/// assert_eq!(latency, Time::from_ns(40));
+/// assert!(tracker.is_balanced());
+/// # Ok::<(), mpsoc_protocol::TrackerError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TransactionTracker {
+    in_flight: HashMap<TransactionId, Time>,
+    injected: u64,
+    completed: u64,
+    latency_sum: u128,
+    latency_max: Time,
+}
+
+impl TransactionTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        TransactionTracker::default()
+    }
+
+    /// Records a request injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::DuplicateInjection`] if the id is already in
+    /// flight.
+    pub fn on_inject(&mut self, txn: &Transaction, now: Time) -> Result<(), TrackerError> {
+        if self.in_flight.insert(txn.id, now).is_some() {
+            return Err(TrackerError::DuplicateInjection(txn.id));
+        }
+        self.injected += 1;
+        Ok(())
+    }
+
+    /// Records a completion and returns the end-to-end latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::UnknownCompletion`] for ids that were never
+    /// injected or have already completed.
+    pub fn on_complete(&mut self, id: TransactionId, now: Time) -> Result<Time, TrackerError> {
+        let start = self
+            .in_flight
+            .remove(&id)
+            .ok_or(TrackerError::UnknownCompletion(id))?;
+        self.completed += 1;
+        let latency = now.saturating_sub(start);
+        self.latency_sum += latency.as_ps() as u128;
+        self.latency_max = self.latency_max.max(latency);
+        Ok(latency)
+    }
+
+    /// Transactions currently in flight.
+    pub fn outstanding(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Total injections seen.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Total completions seen.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Whether every injected transaction has completed.
+    pub fn is_balanced(&self) -> bool {
+        self.in_flight.is_empty() && self.injected == self.completed
+    }
+
+    /// Mean end-to-end latency over all completions.
+    pub fn mean_latency(&self) -> Time {
+        if self.completed == 0 {
+            Time::ZERO
+        } else {
+            Time::from_ps((self.latency_sum / self.completed as u128) as u64)
+        }
+    }
+
+    /// Worst-case end-to-end latency.
+    pub fn max_latency(&self) -> Time {
+        self.latency_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::InitiatorId;
+
+    fn txn(seq: u64) -> Transaction {
+        Transaction::builder(InitiatorId::new(0), seq)
+            .read(0x100)
+            .build()
+    }
+
+    #[test]
+    fn balanced_lifecycle() {
+        let mut t = TransactionTracker::new();
+        let a = txn(1);
+        let b = txn(2);
+        t.on_inject(&a, Time::from_ns(0)).unwrap();
+        t.on_inject(&b, Time::from_ns(10)).unwrap();
+        assert_eq!(t.outstanding(), 2);
+        assert!(!t.is_balanced());
+        assert_eq!(
+            t.on_complete(a.id, Time::from_ns(30)).unwrap(),
+            Time::from_ns(30)
+        );
+        assert_eq!(
+            t.on_complete(b.id, Time::from_ns(20)).unwrap(),
+            Time::from_ns(10)
+        );
+        assert!(t.is_balanced());
+        assert_eq!(t.mean_latency(), Time::from_ns(20));
+        assert_eq!(t.max_latency(), Time::from_ns(30));
+    }
+
+    #[test]
+    fn duplicate_injection_detected() {
+        let mut t = TransactionTracker::new();
+        let a = txn(1);
+        t.on_inject(&a, Time::ZERO).unwrap();
+        assert_eq!(
+            t.on_inject(&a, Time::ZERO),
+            Err(TrackerError::DuplicateInjection(a.id))
+        );
+    }
+
+    #[test]
+    fn unknown_completion_detected() {
+        let mut t = TransactionTracker::new();
+        let a = txn(1);
+        assert_eq!(
+            t.on_complete(a.id, Time::ZERO),
+            Err(TrackerError::UnknownCompletion(a.id))
+        );
+        t.on_inject(&a, Time::ZERO).unwrap();
+        t.on_complete(a.id, Time::ZERO).unwrap();
+        assert!(t.on_complete(a.id, Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn empty_tracker_statistics() {
+        let t = TransactionTracker::new();
+        assert!(t.is_balanced());
+        assert_eq!(t.mean_latency(), Time::ZERO);
+        assert_eq!(t.max_latency(), Time::ZERO);
+    }
+}

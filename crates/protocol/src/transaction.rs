@@ -1,0 +1,318 @@
+//! Bus transactions.
+
+use crate::ids::{InitiatorId, MessageId, TransactionId};
+use crate::width::DataWidth;
+use mpsoc_kernel::Time;
+use std::fmt;
+
+/// Direction of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// A read burst: the response carries the data beats.
+    Read,
+    /// A write burst: the request carries the data beats; the response is a
+    /// single acknowledgement (omitted entirely for *posted* writes once the
+    /// request has been accepted downstream).
+    Write,
+}
+
+impl Opcode {
+    /// Whether this is a read.
+    pub fn is_read(self) -> bool {
+        matches!(self, Opcode::Read)
+    }
+
+    /// Whether this is a write.
+    pub fn is_write(self) -> bool {
+        matches!(self, Opcode::Write)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opcode::Read => write!(f, "RD"),
+            Opcode::Write => write!(f, "WR"),
+        }
+    }
+}
+
+/// A single bus transaction: a read or write burst issued by an initiator.
+///
+/// Data *values* are not modelled (this is a timing-accuracy platform, like
+/// the IPTG abstraction in the paper), but the **address stream** is, because
+/// the LMI memory controller's optimization engine (opcode merging, row-hit
+/// lookahead) depends on it.
+///
+/// Use [`TransactionBuilder`] (via [`Transaction::builder`]) to construct
+/// one:
+///
+/// ```
+/// use mpsoc_protocol::{Transaction, Opcode, InitiatorId, DataWidth};
+/// use mpsoc_kernel::Time;
+///
+/// let txn = Transaction::builder(InitiatorId::new(2), 1)
+///     .read(0x8000_0000)
+///     .beats(8)
+///     .width(DataWidth::BITS64)
+///     .created_at(Time::from_ns(40))
+///     .build();
+/// assert_eq!(txn.opcode, Opcode::Read);
+/// assert_eq!(txn.bytes(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Globally unique id.
+    pub id: TransactionId,
+    /// The issuing master.
+    pub initiator: InitiatorId,
+    /// Read or write.
+    pub opcode: Opcode,
+    /// Byte address of the first beat.
+    pub addr: u64,
+    /// Number of data beats at [`Transaction::width`].
+    pub beats: u32,
+    /// Data-path width the beats are expressed in. Bridges performing
+    /// datawidth conversion rewrite `beats`/`width` while preserving
+    /// [`Transaction::bytes`].
+    pub width: DataWidth,
+    /// Arbitration priority (higher wins for priority-based policies);
+    /// STBus Type 2 *priority labelling*.
+    pub priority: u8,
+    /// Whether a write is *posted*: the initiator considers it complete as
+    /// soon as the first downstream stage accepts it. Only meaningful for
+    /// writes and only honoured by protocols whose
+    /// [`ProtocolKind::supports_posted_writes`](crate::ProtocolKind::supports_posted_writes)
+    /// is true.
+    pub posted: bool,
+    /// Message this transaction belongs to (STBus message-based
+    /// arbitration).
+    pub message: MessageId,
+    /// Whether this is the final transaction of its message; arbiters may
+    /// re-arbitrate after it.
+    pub last_in_message: bool,
+    /// Time the initiator created the transaction (for latency accounting).
+    pub created_at: Time,
+}
+
+impl Transaction {
+    /// Starts building a transaction; `seq` is the initiator-local sequence
+    /// number used to derive the unique id.
+    pub fn builder(initiator: InitiatorId, seq: u64) -> TransactionBuilder {
+        TransactionBuilder::new(initiator, seq)
+    }
+
+    /// Total payload size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.beats as u64 * self.width.bytes() as u64
+    }
+
+    /// The address one past the last byte of the burst.
+    pub fn end_addr(&self) -> u64 {
+        self.addr + self.bytes()
+    }
+
+    /// Returns a copy re-expressed at a different data width (beat count
+    /// recomputed, payload size preserved).
+    pub fn with_width(&self, width: DataWidth) -> Transaction {
+        let mut t = self.clone();
+        t.beats = width.convert_beats(self.beats, self.width);
+        t.width = width;
+        t
+    }
+
+    /// Number of request-channel cycles this transaction occupies on a bus
+    /// of its width: one address/opcode cell, plus the data beats for a
+    /// write.
+    pub fn request_cycles(&self) -> u64 {
+        match self.opcode {
+            Opcode::Read => 1,
+            Opcode::Write => 1 + self.beats as u64,
+        }
+    }
+
+    /// Number of response-channel cycles: the data beats for a read, a
+    /// single acknowledgement cell for a write.
+    pub fn response_cycles(&self) -> u64 {
+        match self.opcode {
+            Opcode::Read => self.beats as u64,
+            Opcode::Write => 1,
+        }
+    }
+
+    /// Whether a downstream acceptance completes this transaction from the
+    /// initiator's point of view (posted write).
+    pub fn completes_on_acceptance(&self) -> bool {
+        self.posted && self.opcode.is_write()
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} @0x{:x} x{} ({})",
+            self.id, self.opcode, self.addr, self.beats, self.width
+        )
+    }
+}
+
+/// Builder for [`Transaction`] (see there for an example).
+#[derive(Debug, Clone)]
+pub struct TransactionBuilder {
+    txn: Transaction,
+}
+
+impl TransactionBuilder {
+    fn new(initiator: InitiatorId, seq: u64) -> Self {
+        TransactionBuilder {
+            txn: Transaction {
+                id: TransactionId::new(initiator, seq),
+                initiator,
+                opcode: Opcode::Read,
+                addr: 0,
+                beats: 1,
+                width: DataWidth::BITS32,
+                priority: 0,
+                posted: false,
+                message: MessageId::new(TransactionId::new(initiator, seq).raw()),
+                last_in_message: true,
+                created_at: Time::ZERO,
+            },
+        }
+    }
+
+    /// Makes this a read burst starting at `addr`.
+    pub fn read(mut self, addr: u64) -> Self {
+        self.txn.opcode = Opcode::Read;
+        self.txn.addr = addr;
+        self
+    }
+
+    /// Makes this a write burst starting at `addr`.
+    pub fn write(mut self, addr: u64) -> Self {
+        self.txn.opcode = Opcode::Write;
+        self.txn.addr = addr;
+        self
+    }
+
+    /// Sets the number of data beats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beats` is zero.
+    pub fn beats(mut self, beats: u32) -> Self {
+        assert!(beats > 0, "a transaction needs at least one beat");
+        self.txn.beats = beats;
+        self
+    }
+
+    /// Sets the data-path width.
+    pub fn width(mut self, width: DataWidth) -> Self {
+        self.txn.width = width;
+        self
+    }
+
+    /// Sets the arbitration priority.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.txn.priority = priority;
+        self
+    }
+
+    /// Marks a write as posted.
+    pub fn posted(mut self, posted: bool) -> Self {
+        self.txn.posted = posted;
+        self
+    }
+
+    /// Assigns the transaction to a message group.
+    pub fn message(mut self, message: MessageId, last_in_message: bool) -> Self {
+        self.txn.message = message;
+        self.txn.last_in_message = last_in_message;
+        self
+    }
+
+    /// Stamps the creation time.
+    pub fn created_at(mut self, at: Time) -> Self {
+        self.txn.created_at = at;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Transaction {
+        self.txn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn() -> Transaction {
+        Transaction::builder(InitiatorId::new(1), 7)
+            .write(0x100)
+            .beats(4)
+            .width(DataWidth::BITS32)
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let t = Transaction::builder(InitiatorId::new(0), 0).build();
+        assert_eq!(t.opcode, Opcode::Read);
+        assert_eq!(t.beats, 1);
+        assert!(t.last_in_message);
+        assert!(!t.posted);
+    }
+
+    #[test]
+    fn byte_and_address_arithmetic() {
+        let t = txn();
+        assert_eq!(t.bytes(), 16);
+        assert_eq!(t.end_addr(), 0x110);
+    }
+
+    #[test]
+    fn width_conversion_preserves_bytes() {
+        let t = txn();
+        let wide = t.with_width(DataWidth::BITS64);
+        assert_eq!(wide.bytes(), t.bytes());
+        assert_eq!(wide.beats, 2);
+        // Odd sizes round the beat count up, growing the payload.
+        let t3 = Transaction::builder(InitiatorId::new(1), 8)
+            .read(0)
+            .beats(3)
+            .width(DataWidth::BITS32)
+            .build();
+        assert_eq!(t3.with_width(DataWidth::BITS64).beats, 2);
+    }
+
+    #[test]
+    fn channel_cycle_counts() {
+        let w = txn();
+        assert_eq!(w.request_cycles(), 5); // address + 4 data beats
+        assert_eq!(w.response_cycles(), 1); // ack
+        let r = Transaction::builder(InitiatorId::new(1), 9)
+            .read(0)
+            .beats(8)
+            .build();
+        assert_eq!(r.request_cycles(), 1);
+        assert_eq!(r.response_cycles(), 8);
+    }
+
+    #[test]
+    fn posted_write_completes_on_acceptance() {
+        let mut t = txn();
+        t.posted = true;
+        assert!(t.completes_on_acceptance());
+        let mut r = t.clone();
+        r.opcode = Opcode::Read;
+        assert!(!r.completes_on_acceptance());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one beat")]
+    fn zero_beats_rejected() {
+        let _ = Transaction::builder(InitiatorId::new(0), 0).beats(0);
+    }
+}

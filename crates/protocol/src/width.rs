@@ -1,0 +1,136 @@
+//! Bus data-width algebra.
+
+use std::fmt;
+
+/// The width of a bus data path, in bytes per beat.
+///
+/// The reference platform mixes 32-bit (4-byte) IP-core interfaces with a
+/// 64-bit (8-byte) central interconnect; GenConv instances perform the
+/// *datawidth conversion* between them. `DataWidth` provides the beat-count
+/// arithmetic those converters need.
+///
+/// # Examples
+///
+/// ```
+/// use mpsoc_protocol::DataWidth;
+///
+/// let narrow = DataWidth::BITS32;
+/// let wide = DataWidth::BITS64;
+/// // A 64-byte cache line is 16 beats at 32 bits, 8 beats at 64 bits.
+/// assert_eq!(narrow.beats_for_bytes(64), 16);
+/// assert_eq!(wide.beats_for_bytes(64), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataWidth {
+    bytes: u32,
+}
+
+impl DataWidth {
+    /// 32-bit data path.
+    pub const BITS32: DataWidth = DataWidth { bytes: 4 };
+    /// 64-bit data path.
+    pub const BITS64: DataWidth = DataWidth { bytes: 8 };
+    /// 128-bit data path.
+    pub const BITS128: DataWidth = DataWidth { bytes: 16 };
+
+    /// Creates a width from a byte count.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bytes` is a power of two between 1 and 64.
+    pub fn from_bytes(bytes: u32) -> Self {
+        assert!(
+            bytes.is_power_of_two() && (1..=64).contains(&bytes),
+            "data width must be a power of two between 1 and 64 bytes, got {bytes}"
+        );
+        DataWidth { bytes }
+    }
+
+    /// Creates a width from a bit count (must be a multiple of 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a byte multiple or the byte count is invalid.
+    pub fn from_bits(bits: u32) -> Self {
+        assert!(
+            bits.is_multiple_of(8),
+            "data width bits must be a byte multiple"
+        );
+        DataWidth::from_bytes(bits / 8)
+    }
+
+    /// Bytes transferred per beat.
+    pub const fn bytes(self) -> u32 {
+        self.bytes
+    }
+
+    /// Width in bits.
+    pub const fn bits(self) -> u32 {
+        self.bytes * 8
+    }
+
+    /// Number of beats needed to move `bytes` over this width (ceiling).
+    pub const fn beats_for_bytes(self, bytes: u64) -> u32 {
+        (bytes.div_ceil(self.bytes as u64)) as u32
+    }
+
+    /// Converts a beat count from another width to this one, preserving the
+    /// total payload size (ceiling).
+    pub const fn convert_beats(self, beats: u32, from: DataWidth) -> u32 {
+        self.beats_for_bytes(beats as u64 * from.bytes as u64)
+    }
+}
+
+impl fmt::Display for DataWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(DataWidth::BITS32.bytes(), 4);
+        assert_eq!(DataWidth::BITS64.bits(), 64);
+        assert_eq!(DataWidth::from_bits(128), DataWidth::BITS128);
+    }
+
+    #[test]
+    fn beat_counts_round_up() {
+        let w = DataWidth::BITS64;
+        assert_eq!(w.beats_for_bytes(1), 1);
+        assert_eq!(w.beats_for_bytes(8), 1);
+        assert_eq!(w.beats_for_bytes(9), 2);
+        assert_eq!(w.beats_for_bytes(0), 0);
+    }
+
+    #[test]
+    fn upsize_halves_beats() {
+        // 32 -> 64 bit upsize converter, as in front of the ST220.
+        let beats32 = 8;
+        assert_eq!(
+            DataWidth::BITS64.convert_beats(beats32, DataWidth::BITS32),
+            4
+        );
+    }
+
+    #[test]
+    fn downsize_doubles_beats() {
+        assert_eq!(DataWidth::BITS32.convert_beats(4, DataWidth::BITS64), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_width_rejected() {
+        let _ = DataWidth::from_bytes(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte multiple")]
+    fn invalid_bits_rejected() {
+        let _ = DataWidth::from_bits(12);
+    }
+}

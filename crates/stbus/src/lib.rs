@@ -1,0 +1,32 @@
+//! # mpsoc-stbus
+//!
+//! A behavioural, cycle-accurate model of the STMicroelectronics **STBus**
+//! interconnect — the proprietary communication system of the reference
+//! platform in Medardoni et al. (DATE 2007).
+//!
+//! The model captures the protocol features the paper's analysis depends on:
+//!
+//! * **Two physical channels** (request and response) that operate
+//!   independently: while one initiator receives data, another may issue a
+//!   request — split transactions hide target wait states behind transfers.
+//! * **Message-based arbitration**: packets are grouped into messages and
+//!   the arbiter re-arbitrates only at message boundaries, keeping
+//!   memory-controller-friendly sequences together end to end.
+//! * **Same-cycle grant propagation**: the grant reaches the next initiator
+//!   in the cycle the previous response finishes, so consecutive transfers
+//!   incur no handover bubble (Section 4.1.2 of the paper).
+//! * **Type 1/2/3 capability differences** via
+//!   [`ProtocolKind`](mpsoc_protocol::ProtocolKind): posted writes from
+//!   Type 2, out-of-order responses from Type 3.
+//! * **Shared-bus or full-crossbar channel topologies** (the platform's
+//!   nodes range from small shared links to 5×3 crossbars).
+//!
+//! The component is [`StbusNode`]; see its documentation for wiring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+
+pub use mpsoc_protocol::ArbitrationPolicy;
+pub use node::{ChannelTopology, StbusNode, StbusNodeConfig};

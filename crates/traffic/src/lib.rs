@@ -1,0 +1,35 @@
+//! # mpsoc-traffic
+//!
+//! Traffic generation for the virtual platform: the configurable IP traffic
+//! generators (**IPTG**) that stand in for the audio/video IP cores of the
+//! reference platform, the **ST220-style DSP core** model with instruction
+//! and data caches, and workload presets for the consumer-electronics IP
+//! roles the paper's platform integrates.
+//!
+//! The paper describes IPTG as modelling a complex IP as "a number of
+//! internal sub-processes (or agents), each one with its own characteristics
+//! ... but in some way dependent on each other", with inter-agent
+//! synchronisation points. [`IpTrafficGenerator`] implements exactly that:
+//! each [`AgentConfig`] is a little state machine alternating *think time*
+//! and *bursts* of transactions, with optional start dependencies on other
+//! agents, per-agent outstanding budgets, message grouping and posted-write
+//! behaviour.
+//!
+//! [`DspCore`] models the platform's general-purpose processor: it executes
+//! a synthetic benchmark over instruction/data caches "tuned to generate a
+//! significant amount of cache misses interfering with the traffic patterns
+//! of the other cores" — i.e. a latency-sensitive blocking master.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dsp;
+mod iptg;
+mod trace;
+pub mod workloads;
+
+pub use dsp::{DspConfig, DspCore};
+pub use iptg::{
+    AddressPattern, AgentConfig, InvalidIptgConfig, IpTrafficGenerator, IptgConfig, TrafficSegment,
+};
+pub use trace::{parse_trace, IssueRecorder, ParseTraceError, TraceDrivenGenerator, TraceEntry};

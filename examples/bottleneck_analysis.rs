@@ -1,0 +1,87 @@
+//! Bottleneck analysis with the low-level [`PlatformBuilder`] API: wire a
+//! custom two-IP platform around an LMI controller by hand, step the
+//! simulation manually and watch the controller's bus-interface FIFO
+//! states over time — the paper's Section 5 methodology.
+//!
+//! ```bash
+//! cargo run --release --example bottleneck_analysis
+//! ```
+
+use mpsoc_kernel::{ClockDomain, Time};
+use mpsoc_memory::LmiConfig;
+use mpsoc_platform::{BusSpec, PlatformBuilder};
+use mpsoc_protocol::{AddressRange, DataWidth, ProtocolKind};
+use mpsoc_stbus::StbusNodeConfig;
+use mpsoc_traffic::workloads::{self, MemoryWindow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clk = ClockDomain::from_mhz(250);
+    let lmi_clk = ClockDomain::from_mhz(200);
+    let mem = AddressRange::new(0x8000_0000, 0x8000_0000 + (64 << 20));
+    let window = MemoryWindow {
+        base: mem.start,
+        len: mem.len(),
+    };
+
+    // One STBus node, one LMI controller, two IPTGs.
+    let mut b = PlatformBuilder::new(7);
+    let node = b.add_bus(
+        "node",
+        BusSpec::Stbus(StbusNodeConfig {
+            protocol: ProtocolKind::StbusT3,
+            ..StbusNodeConfig::default()
+        }),
+        clk,
+    );
+    b.add_lmi(node, "lmi", LmiConfig::default(), lmi_clk, mem)?;
+
+    let width = DataWidth::BITS64;
+    let dma = workloads::dma_engine(b.alloc_initiator(), width, window.slice(0, 2), 4);
+    b.add_iptg(node, "dma", dma, 2)?;
+    let video = workloads::video_decoder(b.alloc_initiator(), width, window.slice(1, 2), 4);
+    b.add_iptg(node, "video", video, 2)?;
+
+    let mut platform = b.finish(clk);
+
+    // Step manually, sampling the FIFO-state residency every 20 us.
+    println!("time        full   storing   no-req   empty");
+    let mut next_sample = Time::from_us(20);
+    while let Some(t) = platform.sim_mut().step() {
+        if t >= next_sample {
+            next_sample = t + Time::from_us(20);
+            let stats = platform.sim().stats();
+            let iface = stats
+                .residency_by_name("lmi.iface")
+                .expect("lmi registered")
+                .fractions(t);
+            let empty = stats
+                .residency_by_name("lmi.empty")
+                .expect("lmi registered")
+                .fractions(t);
+            println!(
+                "{t:<10} {:>5.1}% {:>8.1}% {:>7.1}% {:>6.1}%",
+                iface[2] * 100.0,
+                iface[1] * 100.0,
+                iface[0] * 100.0,
+                empty[0] * 100.0
+            );
+        }
+        if platform.sim().is_quiescent() {
+            break;
+        }
+        if t > Time::from_ms(60) {
+            eprintln!("horizon reached before the workload drained");
+            break;
+        }
+    }
+    let end = platform.sim().time();
+    let report = platform.report_at(end);
+    println!("\nfinal report:\n{report}");
+    println!(
+        "Interpretation (paper §5): sustained FIFO-full time with few\n\
+         no-request cycles means the memory controller is the bottleneck;\n\
+         a FIFO that is never full with ~98 % no-request time indicts the\n\
+         interconnect instead."
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Memory-controller design-space exploration: sweep the LMI optimization
+//! engine (lookahead depth, opcode merging, FIFO depth) and the SDRAM
+//! profile under the full platform workload.
+//!
+//! This is the kind of fine-grain architecture tuning the paper's
+//! guideline 6 advertises the virtual platform for.
+//!
+//! ```bash
+//! cargo run --release --example memory_tuning
+//! ```
+
+use mpsoc_memory::{LmiConfig, SdramTiming};
+use mpsoc_platform::{build_platform, MemorySystem, PlatformSpec, Topology};
+use mpsoc_protocol::ProtocolKind;
+
+fn run(cfg: LmiConfig) -> Result<(u64, u64, f64), Box<dyn std::error::Error>> {
+    let spec = PlatformSpec {
+        protocol: ProtocolKind::StbusT3,
+        topology: Topology::Distributed,
+        memory: MemorySystem::Lmi(cfg),
+        scale: 2,
+        ..PlatformSpec::default()
+    };
+    let mut platform = build_platform(&spec)?;
+    let report = platform.run()?;
+    let lmi = report.lmi.first().expect("lmi present");
+    let hits = lmi.row_hits as f64 / (lmi.row_hits + lmi.row_misses).max(1) as f64;
+    Ok((report.exec_cycles, lmi.merged_txns, hits))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== optimization engine: lookahead x merging ==");
+    println!(
+        "{:>9} {:>8} {:>12} {:>8} {:>9}",
+        "lookahead", "merging", "exec cycles", "merged", "row-hit"
+    );
+    for lookahead in [0usize, 2, 4, 8] {
+        for merging in [false, true] {
+            let cfg = LmiConfig {
+                lookahead_depth: lookahead,
+                opcode_merging: merging,
+                ..LmiConfig::default()
+            };
+            let (cycles, merged, hits) = run(cfg)?;
+            println!(
+                "{lookahead:>9} {merging:>8} {cycles:>12} {merged:>8} {:>8.1}%",
+                hits * 100.0
+            );
+        }
+    }
+
+    println!("\n== input-FIFO depth ==");
+    for depth in [1usize, 2, 4, 8, 16] {
+        let cfg = LmiConfig {
+            input_fifo_depth: depth,
+            ..LmiConfig::default()
+        };
+        let (cycles, _, _) = run(cfg)?;
+        println!("fifo depth {depth:>2}: {cycles:>10} cycles");
+    }
+
+    println!("\n== SDR vs DDR device ==");
+    for (label, timing) in [
+        ("DDR (typical)", SdramTiming::ddr_typical()),
+        ("SDR (typical)", SdramTiming::sdr_typical()),
+    ] {
+        let cfg = LmiConfig {
+            timing,
+            ..LmiConfig::default()
+        };
+        let (cycles, _, _) = run(cfg)?;
+        println!("{label:<14}: {cycles:>10} cycles");
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Protocol shoot-out on the single-layer experimental platform of the
+//! paper's Section 4.1: sweep the offered load and the traffic pattern
+//! (many-to-many vs many-to-one) over AHB, STBus and AXI.
+//!
+//! ```bash
+//! cargo run --release --example protocol_shootout
+//! ```
+
+use mpsoc_platform::{build_single_layer, SingleLayerSpec};
+use mpsoc_protocol::ProtocolKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let protocols = [
+        ProtocolKind::Ahb,
+        ProtocolKind::StbusT1,
+        ProtocolKind::StbusT2,
+        ProtocolKind::StbusT3,
+        ProtocolKind::Axi,
+    ];
+
+    for (pattern, targets) in [("many-to-many (4 memories)", 4usize), ("many-to-one", 1)] {
+        println!("== {pattern} ==");
+        println!(
+            "{:<16} {:>12} {:>12} {:>12}",
+            "protocol", "relaxed", "moderate", "saturated"
+        );
+        for protocol in protocols {
+            let mut cells = Vec::new();
+            for think in [(600u64, 1000u64), (100, 200), (0, 4)] {
+                let spec = SingleLayerSpec {
+                    protocol,
+                    targets,
+                    think_cycles: think,
+                    scale: 2,
+                    ..SingleLayerSpec::default()
+                };
+                let mut platform = build_single_layer(&spec)?;
+                cells.push(platform.run()?.exec_cycles);
+            }
+            println!(
+                "{:<16} {:>12} {:>12} {:>12}",
+                protocol.to_string(),
+                cells[0],
+                cells[1],
+                cells[2]
+            );
+        }
+        println!();
+    }
+    println!(
+        "Expected shapes (paper §4.1): protocols separate only under the\n\
+         many-to-many pattern at high load; with a single slave everyone is\n\
+         capped by the memory's 50 % response efficiency."
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: build the reference MPSoC platform, run its workload to
+//! completion and print the measurement report.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use mpsoc_platform::{build_platform, MemorySystem, PlatformSpec, Topology};
+use mpsoc_protocol::ProtocolKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The full multi-layer STBus platform over a 1-wait-state on-chip
+    // memory — the paper's Figure 3 baseline.
+    let spec = PlatformSpec {
+        protocol: ProtocolKind::StbusT3,
+        topology: Topology::Distributed,
+        memory: MemorySystem::OnChip { wait_states: 1 },
+        scale: 2,
+        ..PlatformSpec::default()
+    };
+    let mut platform = build_platform(&spec)?;
+    println!(
+        "running the reference platform ({} transactions expected)...\n",
+        platform.expected_transactions()
+    );
+    let report = platform.run()?;
+    println!("{report}");
+
+    // The same workload over the collapsed organisation, for comparison.
+    let collapsed = PlatformSpec {
+        topology: Topology::Collapsed,
+        ..spec
+    };
+    let mut platform = build_platform(&collapsed)?;
+    let collapsed_report = platform.run()?;
+    println!(
+        "collapsed / distributed execution-time ratio: {:.3}",
+        collapsed_report.normalized_to(&report)
+    );
+    Ok(())
+}

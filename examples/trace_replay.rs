@@ -1,0 +1,99 @@
+//! Record-and-replay: capture the transactions a statistical IPTG actually
+//! issued against one platform, then replay the exact sequence against a
+//! different memory configuration — the workflow the paper's IPTG supports
+//! with its "specified sequence" mode.
+//!
+//! ```bash
+//! cargo run --release --example trace_replay
+//! ```
+
+use mpsoc_kernel::{ClockDomain, Simulation, Time};
+use mpsoc_memory::{LmiConfig, LmiController, OnChipMemory, OnChipMemoryConfig};
+use mpsoc_protocol::{DataWidth, InitiatorId, Packet};
+use mpsoc_traffic::workloads::{self, MemoryWindow};
+use mpsoc_traffic::{IpTrafficGenerator, IssueRecorder, TraceDrivenGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clk = ClockDomain::from_mhz(200);
+    let window = MemoryWindow {
+        base: 0,
+        len: 16 << 20,
+    };
+
+    // 1. Capture: run the statistical video-decoder profile against a
+    //    simple on-chip memory, recording every issued transaction.
+    let recorder = IssueRecorder::new();
+    {
+        let mut sim: Simulation<Packet> = Simulation::new();
+        let req = sim.links_mut().add_link("req", 2, clk.period());
+        let resp = sim.links_mut().add_link("resp", 2, clk.period());
+        let cfg = workloads::video_decoder(InitiatorId::new(1), DataWidth::BITS64, window, 2);
+        let gen =
+            IpTrafficGenerator::new("video", cfg, req, resp)?.with_issue_recorder(recorder.clone());
+        sim.add_component(Box::new(gen), clk);
+        sim.add_component(
+            Box::new(OnChipMemory::new(
+                "mem",
+                OnChipMemoryConfig { wait_states: 1 },
+                clk,
+                req,
+                resp,
+            )),
+            clk,
+        );
+        let end = sim.run_to_quiescence_strict(Time::from_ms(60))?;
+        println!(
+            "capture: {} transactions recorded in {end} against on-chip memory",
+            recorder.len()
+        );
+    }
+
+    // The recording renders to the human-readable trace format.
+    let text = recorder.render(clk);
+    println!("\nfirst trace lines:");
+    for line in text.lines().take(6) {
+        println!("  {line}");
+    }
+    let trace = recorder.into_trace(clk);
+
+    // 2. Replay the identical sequence against the LMI + DDR memory and
+    //    compare the memory subsystems on *exactly* the same stimulus.
+    let mut sim: Simulation<Packet> = Simulation::new();
+    let lmi_cfg = LmiConfig::default();
+    let req = sim.links_mut().add_link("req", 1, clk.period());
+    let resp = sim
+        .links_mut()
+        .add_link("resp", lmi_cfg.output_fifo_depth, clk.period());
+    let n = trace.len() as u64;
+    sim.add_component(
+        Box::new(TraceDrivenGenerator::new(
+            "replay",
+            InitiatorId::new(1),
+            DataWidth::BITS64,
+            clk,
+            req,
+            resp,
+            trace,
+            4,
+        )),
+        clk,
+    );
+    sim.add_component(
+        Box::new(LmiController::new("lmi", lmi_cfg, clk, req, resp)),
+        clk,
+    );
+    let end = sim.run_to_quiescence_strict(Time::from_ms(60))?;
+    println!(
+        "\nreplay: {n} transactions in {end} against LMI + DDR \
+         ({} merged, {} row hits, {} row misses)",
+        sim.stats().counter_by_name("lmi.merged_txns"),
+        sim.stats().counter_by_name("lmi.row_hits"),
+        sim.stats().counter_by_name("lmi.row_misses"),
+    );
+    println!(
+        "\nBecause the stimulus is bit-identical, any timing difference is\n\
+         attributable to the memory subsystem alone — the controlled\n\
+         comparison methodology behind the paper's Section 4.2."
+    );
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate for the `mpsoc-platform` workspace.
+//!
+//! This crate only exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual library
+//! surface lives in the member crates; the most convenient entry point is
+//! [`mpsoc_platform`], re-exported here as [`platform`].
+
+pub use mpsoc_platform as platform;

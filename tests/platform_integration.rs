@@ -1,0 +1,186 @@
+//! End-to-end integration tests over complete platform instances: every
+//! architectural variant must build, run its workload to quiescence and
+//! produce an internally consistent report.
+
+use mpsoc_memory::LmiConfig;
+use mpsoc_platform::{build_platform, MemorySystem, PlatformSpec, RunReport, Topology, Workload};
+use mpsoc_protocol::ProtocolKind;
+
+fn run(spec: &PlatformSpec) -> RunReport {
+    let mut platform = build_platform(spec).expect("platform builds");
+    platform.run().expect("workload drains")
+}
+
+fn all_variants() -> Vec<(String, PlatformSpec)> {
+    let mut variants = Vec::new();
+    for protocol in [
+        ProtocolKind::StbusT1,
+        ProtocolKind::StbusT2,
+        ProtocolKind::StbusT3,
+        ProtocolKind::Ahb,
+        ProtocolKind::Axi,
+    ] {
+        for topology in [
+            Topology::SingleLayer,
+            Topology::Collapsed,
+            Topology::Distributed,
+        ] {
+            for (mem_label, memory) in [
+                ("onchip", MemorySystem::OnChip { wait_states: 1 }),
+                ("lmi", MemorySystem::Lmi(LmiConfig::default())),
+            ] {
+                variants.push((
+                    format!("{protocol}/{topology:?}/{mem_label}"),
+                    PlatformSpec {
+                        protocol,
+                        topology,
+                        memory,
+                        scale: 1,
+                        ..PlatformSpec::default()
+                    },
+                ));
+            }
+        }
+    }
+    variants
+}
+
+#[test]
+fn every_variant_drains_and_reports_consistently() {
+    for (label, spec) in all_variants() {
+        let report = run(&spec);
+        assert!(report.exec_time_ps > 0, "{label}: no time elapsed");
+        assert!(report.injected > 0, "{label}: no traffic");
+        for bus in &report.buses {
+            assert!(
+                bus.request_utilization <= 1.10,
+                "{label}: {} request utilization out of range: {}",
+                bus.name,
+                bus.request_utilization
+            );
+            assert!(
+                bus.response_utilization <= 1.10,
+                "{label}: {} response utilization out of range: {}",
+                bus.name,
+                bus.response_utilization
+            );
+        }
+        for lmi in &report.lmi {
+            let sum = lmi.full + lmi.storing + lmi.no_request;
+            assert!(
+                (0.95..=1.05).contains(&sum),
+                "{label}: LMI state fractions must partition time, got {sum}"
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_matches_expected_budget() {
+    for topology in [Topology::SingleLayer, Topology::Distributed] {
+        let spec = PlatformSpec {
+            topology,
+            scale: 1,
+            ..PlatformSpec::default()
+        };
+        let mut platform = build_platform(&spec).expect("builds");
+        let expected = platform.expected_transactions();
+        let report = platform.run().expect("drains");
+        assert_eq!(
+            report.injected, expected,
+            "{topology:?}: every configured transaction must be injected"
+        );
+    }
+}
+
+#[test]
+fn read_only_generators_complete_everything() {
+    // For generators, completed counts response-expecting transactions;
+    // injected - completed equals the posted writes. The sum over the
+    // platform must be conserved.
+    let report = run(&PlatformSpec {
+        scale: 1,
+        ..PlatformSpec::default()
+    });
+    for gen in &report.generators {
+        assert!(
+            gen.completed <= gen.injected,
+            "{}: more completions than injections",
+            gen.name
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_rebuilds() {
+    let spec = PlatformSpec {
+        scale: 1,
+        ..PlatformSpec::default()
+    };
+    let a = run(&spec);
+    let b = run(&spec);
+    assert_eq!(a.exec_time_ps, b.exec_time_ps);
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn seed_changes_the_schedule_but_not_the_budget() {
+    let mk = |seed| PlatformSpec {
+        seed,
+        scale: 1,
+        ..PlatformSpec::default()
+    };
+    let a = run(&mk(1));
+    let b = run(&mk(2));
+    assert_ne!(a.exec_time_ps, b.exec_time_ps, "seeds must matter");
+    assert_eq!(a.injected, b.injected, "budgets must not depend on seed");
+}
+
+#[test]
+fn two_phase_workload_runs_on_all_protocols() {
+    for protocol in [ProtocolKind::StbusT3, ProtocolKind::Ahb, ProtocolKind::Axi] {
+        let spec = PlatformSpec {
+            protocol,
+            workload: Workload::TwoPhase,
+            memory: MemorySystem::Lmi(LmiConfig::default()),
+            with_dsp: false,
+            scale: 1,
+            ..PlatformSpec::default()
+        };
+        let report = run(&spec);
+        assert!(report.injected > 0, "{protocol}: two-phase traffic flows");
+    }
+}
+
+#[test]
+fn bursty_posted_workload_runs_on_all_topologies() {
+    for topology in [
+        Topology::SingleLayer,
+        Topology::Collapsed,
+        Topology::Distributed,
+    ] {
+        let spec = PlatformSpec {
+            topology,
+            workload: Workload::BurstyPosted,
+            scale: 1,
+            ..PlatformSpec::default()
+        };
+        let report = run(&spec);
+        assert!(report.injected > 0, "{topology:?}");
+    }
+}
+
+#[test]
+fn lmi_reports_sdram_activity() {
+    let report = run(&PlatformSpec {
+        memory: MemorySystem::Lmi(LmiConfig::default()),
+        scale: 1,
+        ..PlatformSpec::default()
+    });
+    let lmi = report
+        .lmi
+        .first()
+        .expect("LMI platform reports its controller");
+    assert!(lmi.accesses > 0);
+    assert!(lmi.row_hits + lmi.row_misses >= lmi.accesses - lmi.merged_txns);
+}
