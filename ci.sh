@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Continuous-integration gate for the workspace.
+#
+#   ./ci.sh
+#
+# Runs, in order:
+#   1. tier-1: release build + full test suite
+#   2. lint: clippy on every target, warnings are errors
+#   3. smoke: one small end-to-end reproduction through the repro binary
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== smoke: repro --exp fig3 --scale 1 =="
+cargo run --release -p mpsoc-bench --bin repro -- --exp fig3 --scale 1 --no-bench-out
+
+echo "ci: all gates passed"

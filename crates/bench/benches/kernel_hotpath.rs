@@ -1,0 +1,170 @@
+//! Kernel scheduler hot-path microbench: bucketed vs naive executor.
+//!
+//! Builds the same synthetic multi-clock platform twice — once on the
+//! production clock-domain bucketed [`Simulation`], once on the
+//! pre-bucketing full-scan [`NaiveSimulation`] oracle — runs both to the
+//! same horizon, and reports host-side scheduler throughput (edges/sec).
+//! The measured speedup is recorded in the `"microbench"` section of the
+//! `BENCH_kernel.json` perf ledger.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo bench -p mpsoc-bench --bench kernel_hotpath
+//! ```
+//!
+//! The workload is scheduler-bound on purpose: many components spread over
+//! several phase-shifted clock domains, each doing a trivial amount of
+//! per-tick work. The naive executor pays a full component scan per edge
+//! (`O(N)`); the bucketed one touches only the firing domain's members, so
+//! the gap widens with component count and domain count.
+
+use mpsoc_bench::ledger;
+use mpsoc_kernel::reference::NaiveSimulation;
+use mpsoc_kernel::{activity, ClockDomain, Component, Simulation, TickContext, Time};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Components per run. Large enough that the naive per-edge scan dominates.
+const COMPONENTS: usize = 384;
+/// Simulated horizon per run.
+const HORIZON_NS: u64 = 40_000;
+/// Best-of-N sampling to shrug off scheduler noise on the host.
+const SAMPLES: usize = 3;
+
+/// Trivial synchronous model: counts its own ticks and stays idle.
+struct Spinner {
+    ticks: u64,
+}
+
+impl Component<u64> for Spinner {
+    fn name(&self) -> &str {
+        "spinner"
+    }
+    fn tick(&mut self, _ctx: &mut TickContext<'_, u64>) {
+        self.ticks = self.ticks.wrapping_add(1);
+    }
+}
+
+/// The clock set: related frequencies crossed with phase shifts, mirroring
+/// a platform where every IP block brings its own clock tree. Many small
+/// domains is exactly the regime the bucketed scheduler targets: the naive
+/// executor scans every component on every edge no matter how few fire.
+fn clock_set() -> Vec<ClockDomain> {
+    let mut clocks = Vec::new();
+    for mhz in [400u64, 200, 133, 100, 66, 50, 33, 25] {
+        for phase_ns in [0u64, 1, 3, 7, 13, 29] {
+            clocks.push(ClockDomain::from_mhz(mhz).with_phase(Time::from_ns(phase_ns)));
+        }
+    }
+    clocks
+}
+
+/// One measured run; returns (edges processed, wall seconds).
+fn measure<F: FnOnce()>(run: F) -> (u64, f64) {
+    let before = activity::snapshot();
+    let started = Instant::now();
+    run();
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let delta = activity::snapshot().since(before);
+    (delta.edges, wall)
+}
+
+fn bench_bucketed(horizon: Time) -> (u64, f64) {
+    let clocks = clock_set();
+    let mut sim: Simulation<u64> = Simulation::new();
+    for i in 0..COMPONENTS {
+        sim.add_component(Box::new(Spinner { ticks: 0 }), clocks[i % clocks.len()]);
+    }
+    measure(|| sim.run_until(horizon))
+}
+
+fn bench_naive(horizon: Time) -> (u64, f64) {
+    let clocks = clock_set();
+    let mut sim: NaiveSimulation<u64> = NaiveSimulation::new();
+    for i in 0..COMPONENTS {
+        sim.add_component(Box::new(Spinner { ticks: 0 }), clocks[i % clocks.len()]);
+    }
+    measure(|| sim.run_until(horizon))
+}
+
+/// Best-of-N edges/sec for a benchmark closure.
+fn best_rate(runs: impl Fn() -> (u64, f64)) -> (u64, f64) {
+    let mut best_edges = 0u64;
+    let mut best_rate = 0.0f64;
+    for _ in 0..SAMPLES {
+        let (edges, wall) = runs();
+        let rate = edges as f64 / wall;
+        if rate > best_rate {
+            best_rate = rate;
+            best_edges = edges;
+        }
+    }
+    (best_edges, best_rate)
+}
+
+/// The `"microbench"` section of `BENCH_kernel.json`.
+#[derive(Serialize)]
+struct MicrobenchSection {
+    components: u64,
+    clock_domains: u64,
+    horizon_ns: u64,
+    samples: u64,
+    edges_per_run: u64,
+    naive_edges_per_sec: f64,
+    bucketed_edges_per_sec: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let horizon = Time::from_ns(HORIZON_NS);
+    let domains = {
+        let clocks = clock_set();
+        let mut sim: Simulation<u64> = Simulation::new();
+        for i in 0..COMPONENTS {
+            sim.add_component(Box::new(Spinner { ticks: 0 }), clocks[i % clocks.len()]);
+        }
+        sim.domain_count() as u64
+    };
+
+    println!(
+        "kernel_hotpath: {COMPONENTS} components over {domains} clock domains, \
+         horizon {HORIZON_NS} ns, best of {SAMPLES}"
+    );
+
+    let (naive_edges, naive_rate) = best_rate(|| bench_naive(horizon));
+    println!(
+        "  naive    : {naive_edges} edges, {:.3}M edges/s",
+        naive_rate / 1e6
+    );
+
+    let (bucketed_edges, bucketed_rate) = best_rate(|| bench_bucketed(horizon));
+    println!(
+        "  bucketed : {bucketed_edges} edges, {:.3}M edges/s",
+        bucketed_rate / 1e6
+    );
+
+    assert_eq!(
+        naive_edges, bucketed_edges,
+        "both executors must process the same edge sequence"
+    );
+
+    let speedup = bucketed_rate / naive_rate;
+    println!("  speedup  : {speedup:.2}x");
+
+    let section = MicrobenchSection {
+        components: COMPONENTS as u64,
+        clock_domains: domains,
+        horizon_ns: HORIZON_NS,
+        samples: SAMPLES as u64,
+        edges_per_run: bucketed_edges,
+        naive_edges_per_sec: naive_rate,
+        bucketed_edges_per_sec: bucketed_rate,
+        speedup,
+    };
+    let path = ledger::default_path();
+    match ledger::update_section(&path, "microbench", &section.to_json()) {
+        Ok(()) => println!("perf ledger updated: {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

@@ -6,18 +6,31 @@
 //! repro                      # all experiments at the default scale
 //! repro --exp fig5           # one experiment
 //! repro --scale 8 --seed 42  # bigger workload, different seed
+//! repro --jobs 4             # parallel sweep points inside fig4 / many-to-many
 //! repro --list               # list experiment ids
+//! repro --no-bench-out       # skip writing BENCH_kernel.json
 //! ```
+//!
+//! Experiments always run one at a time and print in a fixed order, so the
+//! tables are byte-identical for any `--jobs` value; `--jobs` only fans the
+//! independent simulation instances *inside* the sweep-shaped experiments
+//! out to worker threads. Each experiment is followed by a host-side
+//! throughput line (scheduler edges/sec and simulated component-cycles/sec,
+//! from the kernel's activity counters), and the measurements are recorded
+//! in the machine-readable `BENCH_kernel.json` ledger.
 
-use mpsoc_bench::{run_experiment, EXPERIMENTS};
+use mpsoc_bench::{ledger, measure_experiment, ExperimentRun, EXPERIMENTS};
 use mpsoc_platform::experiments::{DEFAULT_SCALE, DEFAULT_SEED};
+use serde::Serialize;
 use std::process::ExitCode;
 
 struct Args {
     exp: Option<String>,
     scale: u64,
     seed: u64,
+    jobs: usize,
     list: bool,
+    bench_out: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,7 +38,9 @@ fn parse_args() -> Result<Args, String> {
         exp: None,
         scale: DEFAULT_SCALE,
         seed: DEFAULT_SEED,
+        jobs: 1,
         list: false,
+        bench_out: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -47,10 +62,21 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?;
             }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad jobs: {e}"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             "--list" => args.list = true,
+            "--no-bench-out" => args.bench_out = false,
             "--help" | "-h" => {
                 println!(
-                    "repro [--exp <id>] [--scale N] [--seed N] [--list]\n\
+                    "repro [--exp <id>] [--scale N] [--seed N] [--jobs N] [--list] [--no-bench-out]\n\
                      experiments: {}",
                     EXPERIMENTS.join(", ")
                 );
@@ -60,6 +86,18 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// The `"experiments"` section of `BENCH_kernel.json`.
+#[derive(Serialize)]
+struct ExperimentsSection {
+    scale: u64,
+    seed: u64,
+    jobs: u64,
+    total_wall_seconds: f64,
+    total_edges: u64,
+    total_ticks: u64,
+    runs: Vec<ExperimentRun>,
 }
 
 fn main() -> ExitCode {
@@ -81,20 +119,46 @@ fn main() -> ExitCode {
         None => EXPERIMENTS.to_vec(),
     };
     println!(
-        "reproducing {} experiment(s), scale {}, seed {:#x}\n",
+        "reproducing {} experiment(s), scale {}, seed {:#x}, jobs {}\n",
         ids.len(),
         args.scale,
-        args.seed
+        args.seed,
+        args.jobs
     );
+    let mut runs: Vec<ExperimentRun> = Vec::with_capacity(ids.len());
     for id in ids {
-        let started = std::time::Instant::now();
-        match run_experiment(id, args.scale, args.seed) {
-            Ok(table) => {
-                println!("{table}");
-                println!("[{id} done in {:.2?}]\n", started.elapsed());
+        match measure_experiment(id, args.scale, args.seed, args.jobs) {
+            Ok(run) => {
+                println!("{}", run.table);
+                println!("{}\n", run.perf_line());
+                runs.push(run);
             }
             Err(e) => {
                 eprintln!("experiment {id} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let section = ExperimentsSection {
+        scale: args.scale,
+        seed: args.seed,
+        jobs: args.jobs as u64,
+        total_wall_seconds: runs.iter().map(|r| r.wall_seconds).sum(),
+        total_edges: runs.iter().map(|r| r.edges).sum(),
+        total_ticks: runs.iter().map(|r| r.ticks).sum(),
+        runs,
+    };
+    println!(
+        "total: {} edges, {} sim cycles in {:.2}s host time",
+        section.total_edges, section.total_ticks, section.total_wall_seconds
+    );
+    if args.bench_out {
+        let path = ledger::default_path();
+        match ledger::update_section(&path, "experiments", &section.to_json()) {
+            Ok(()) => println!("perf ledger updated: {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
         }

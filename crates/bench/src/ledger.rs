@@ -1,0 +1,147 @@
+//! The `BENCH_kernel.json` performance ledger.
+//!
+//! One machine-readable file records the kernel's measured throughput from
+//! two producers:
+//!
+//! * the `repro` binary writes the `"experiments"` section (per-experiment
+//!   edges/sec and simulated-cycles/sec), and
+//! * the `kernel_hotpath` microbench writes the `"microbench"` section
+//!   (bucketed vs naive scheduler edges/sec and the speedup ratio).
+//!
+//! Each writer regenerates the whole file but preserves the other's section
+//! verbatim. The file layout is deliberately line-oriented — every section
+//! is one compact JSON value on its own line — so preserving a section is a
+//! prefix match, not a JSON parse. Only this module writes the file, so the
+//! invariant holds.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default ledger file name; see [`default_path`] for where it lands.
+pub const LEDGER_PATH: &str = "BENCH_kernel.json";
+
+/// Resolves the ledger location: the nearest ancestor of the current
+/// directory that contains a `Cargo.lock` (the workspace root, whether the
+/// writer is a binary run from the root or a bench run from its package
+/// directory), falling back to the current directory itself.
+pub fn default_path() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join(LEDGER_PATH);
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd.join(LEDGER_PATH),
+        }
+    }
+}
+
+/// Schema tag stamped into the ledger.
+pub const SCHEMA: &str = "mpsoc-bench/kernel-v1";
+
+/// The known top-level sections, in the order they appear in the file.
+const SECTIONS: [&str; 2] = ["experiments", "microbench"];
+
+/// Replaces `section` of the ledger at `path` with `value_json`, keeping
+/// every other known section from the existing file (if any).
+///
+/// `value_json` must be a single-line JSON value; this is asserted because
+/// a multi-line value would break the line-oriented preservation scheme.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading or writing the ledger file.
+pub fn update_section(path: &Path, section: &str, value_json: &str) -> io::Result<()> {
+    assert!(
+        SECTIONS.contains(&section),
+        "unknown ledger section '{section}'"
+    );
+    assert!(
+        !value_json.contains('\n'),
+        "ledger sections must be single-line JSON"
+    );
+
+    let existing = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+
+    let mut doc = format!("{{\n\"schema\": {SCHEMA:?}");
+    for &name in &SECTIONS {
+        let value = if name == section {
+            Some(value_json.to_string())
+        } else {
+            extract_section(&existing, name)
+        };
+        if let Some(value) = value {
+            doc.push_str(&format!(",\n\"{name}\": {value}"));
+        }
+    }
+    doc.push_str("\n}\n");
+    std::fs::write(path, doc)
+}
+
+/// Pulls the raw single-line value of `name` out of an existing ledger.
+fn extract_section(doc: &str, name: &str) -> Option<String> {
+    let prefix = format!("\"{name}\": ");
+    for line in doc.lines() {
+        if let Some(rest) = line.strip_prefix(&prefix) {
+            return Some(rest.trim_end_matches(',').to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mpsoc-ledger-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn writes_a_fresh_ledger() {
+        let path = tmp("fresh");
+        let _ = std::fs::remove_file(&path);
+        update_section(&path, "experiments", r#"{"runs":[]}"#).expect("writes");
+        let doc = std::fs::read_to_string(&path).expect("readable");
+        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v1""#));
+        assert!(doc.contains(r#""experiments": {"runs":[]}"#));
+        assert!(!doc.contains("microbench"));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn preserves_the_other_section() {
+        let path = tmp("merge");
+        let _ = std::fs::remove_file(&path);
+        update_section(&path, "experiments", r#"{"runs":[1]}"#).expect("writes");
+        update_section(&path, "microbench", r#"{"speedup":2.5}"#).expect("writes");
+        // Overwrite experiments again; microbench must survive.
+        update_section(&path, "experiments", r#"{"runs":[2]}"#).expect("writes");
+        let doc = std::fs::read_to_string(&path).expect("readable");
+        assert!(doc.contains(r#""experiments": {"runs":[2]}"#));
+        assert!(doc.contains(r#""microbench": {"speedup":2.5}"#));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn default_path_targets_the_ledger_file() {
+        let path = default_path();
+        assert!(path.ends_with(LEDGER_PATH));
+    }
+
+    #[test]
+    fn extracts_sections_by_prefix() {
+        let doc = "{\n\"schema\": \"x\",\n\"experiments\": {\"a\":1},\n\"microbench\": {\"b\":2}\n}\n";
+        assert_eq!(extract_section(doc, "experiments").as_deref(), Some(r#"{"a":1}"#));
+        assert_eq!(extract_section(doc, "microbench").as_deref(), Some(r#"{"b":2}"#));
+        assert_eq!(extract_section(doc, "nope"), None);
+    }
+}

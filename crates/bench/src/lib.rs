@@ -18,8 +18,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use mpsoc_kernel::SimResult;
+pub mod ledger;
+
+use mpsoc_kernel::{activity, SimResult};
 use mpsoc_platform::experiments::{self, DEFAULT_SCALE, DEFAULT_SEED};
+use serde::Serialize;
+use std::time::Instant;
 
 /// All experiment identifiers understood by the `repro` binary.
 pub const EXPERIMENTS: &[&str] = &[
@@ -45,11 +49,25 @@ pub const EXPERIMENTS: &[&str] = &[
 /// Returns an error for unknown ids (listing the valid ones) or if the
 /// underlying platform stalls.
 pub fn run_experiment(id: &str, scale: u64, seed: u64) -> SimResult<String> {
+    run_experiment_with_jobs(id, scale, seed, 1)
+}
+
+/// Runs one experiment by id with up to `jobs` worker threads.
+///
+/// Only the sweep-shaped experiments (`fig4`, `many-to-many`) fan their
+/// independent simulation instances out to threads; the rest run on the
+/// calling thread regardless of `jobs`. The produced table is identical
+/// to [`run_experiment`] for any `jobs` value.
+///
+/// # Errors
+///
+/// Same as [`run_experiment`].
+pub fn run_experiment_with_jobs(id: &str, scale: u64, seed: u64, jobs: usize) -> SimResult<String> {
     let text = match id {
-        "many-to-many" => experiments::many_to_many(scale, seed)?.to_string(),
+        "many-to-many" => experiments::many_to_many_with_jobs(scale, seed, jobs)?.to_string(),
         "many-to-one" => experiments::many_to_one(scale, seed)?.to_string(),
         "fig3" => experiments::fig3(scale, seed)?.to_string(),
-        "fig4" => experiments::fig4(scale, seed)?.to_string(),
+        "fig4" => experiments::fig4_with_jobs(scale, seed, jobs)?.to_string(),
         "fig5" => experiments::fig5(scale, seed)?.to_string(),
         "fig6" => experiments::fig6(scale, seed)?.to_string(),
         "buffering" => experiments::buffering_ablation(scale, seed)?.to_string(),
@@ -69,6 +87,80 @@ pub fn run_experiment(id: &str, scale: u64, seed: u64) -> SimResult<String> {
         }
     };
     Ok(text)
+}
+
+/// One experiment execution with its host-side throughput measurements.
+///
+/// Produced by [`measure_experiment`]; the counters come from the kernel's
+/// process-wide [`activity`] snapshots taken around the run, so they are
+/// exact as long as no *other* experiment runs concurrently (the `repro`
+/// binary runs experiments one at a time; within-experiment worker threads
+/// all bill to the experiment that spawned them).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRun {
+    /// Experiment id (one of [`EXPERIMENTS`]).
+    pub id: String,
+    /// The rendered result table (what `repro` prints).
+    #[serde(skip)]
+    pub table: String,
+    /// Host wall-clock time of the run in seconds.
+    pub wall_seconds: f64,
+    /// Clock edges the kernel scheduler processed during the run.
+    pub edges: u64,
+    /// Component ticks (simulated component-cycles) executed.
+    pub ticks: u64,
+    /// Host-side scheduler throughput: `edges / wall_seconds`.
+    pub edges_per_sec: f64,
+    /// Simulated component-cycles per host second: `ticks / wall_seconds`.
+    pub sim_cycles_per_sec: f64,
+}
+
+impl ExperimentRun {
+    /// One-line human-readable performance summary.
+    pub fn perf_line(&self) -> String {
+        format!(
+            "[{} done in {:.2}s — {} edges/s, {} sim cycles/s]",
+            self.id,
+            self.wall_seconds,
+            si(self.edges_per_sec),
+            si(self.sim_cycles_per_sec),
+        )
+    }
+}
+
+/// Formats a rate with an SI suffix (`1.23M`, `456k`, ...).
+fn si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+/// Runs one experiment and measures its wall time and kernel throughput.
+///
+/// # Errors
+///
+/// Same as [`run_experiment`].
+pub fn measure_experiment(id: &str, scale: u64, seed: u64, jobs: usize) -> SimResult<ExperimentRun> {
+    let before = activity::snapshot();
+    let started = Instant::now();
+    let table = run_experiment_with_jobs(id, scale, seed, jobs)?;
+    let wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
+    let delta = activity::snapshot().since(before);
+    Ok(ExperimentRun {
+        id: id.to_string(),
+        table,
+        wall_seconds,
+        edges: delta.edges,
+        ticks: delta.ticks,
+        edges_per_sec: delta.edges as f64 / wall_seconds,
+        sim_cycles_per_sec: delta.ticks as f64 / wall_seconds,
+    })
 }
 
 /// Default scale re-exported for the benches.

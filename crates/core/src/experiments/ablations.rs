@@ -7,7 +7,6 @@ use mpsoc_bridge::{BridgeConfig, ReadPolicy};
 use mpsoc_kernel::SimResult;
 use mpsoc_memory::LmiConfig;
 use mpsoc_protocol::{ArbitrationPolicy, ProtocolKind};
-use serde::Serialize;
 use std::fmt;
 
 /// ABL-BUF — STBus target-FIFO depth sweep under many-to-many saturation.
@@ -15,7 +14,8 @@ use std::fmt;
 /// The paper notes STBus "bridges the performance gap by adding more
 /// buffering resources at the target interfaces"; this sweep quantifies
 /// that knob against the AXI reference.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct BufferingAblation {
     /// `(fifo depth, exec cycles)` for STBus.
     pub stbus: Vec<(usize, u64)>,
@@ -82,7 +82,8 @@ pub fn buffering_ablation(scale: u64, seed: u64) -> SimResult<BufferingAblation>
 /// deployment of lightweight bridges with basic functionality". This
 /// ablation swaps the blocking bridges of the distributed AXI platform for
 /// split-capable ones and measures the recovery.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct BridgeAblation {
     /// Execution time with blocking (lightweight) bridges.
     pub blocking_cycles: u64,
@@ -149,14 +150,16 @@ pub fn bridge_ablation(scale: u64, seed: u64) -> SimResult<BridgeAblation> {
 
 /// ABL-LMI — the controller's optimization engine under full-platform
 /// traffic: lookahead depth × opcode merging.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct LmiAblation {
     /// `(lookahead, merging, exec cycles, row-hit rate, merged txns)`.
     pub rows: Vec<LmiAblationRow>,
 }
 
 /// One configuration of the LMI ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct LmiAblationRow {
     /// Lookahead window depth.
     pub lookahead: usize,
@@ -296,14 +299,16 @@ mod tests {
 /// \[13\]); this ablation quantifies how the node arbitration policy
 /// trades aggregate execution time against worst-case initiator latency on
 /// the reference platform.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct ArbitrationStudy {
     /// One row per policy.
     pub rows: Vec<ArbitrationStudyRow>,
 }
 
 /// One arbitration-policy measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct ArbitrationStudyRow {
     /// Policy name.
     pub policy: String,

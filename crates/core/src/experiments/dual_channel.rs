@@ -15,11 +15,11 @@ use mpsoc_kernel::SimResult;
 use mpsoc_memory::LmiConfig;
 use mpsoc_protocol::{DataWidth, InitiatorId, ProtocolKind};
 use mpsoc_traffic::workloads::{self, MemoryWindow};
-use serde::Serialize;
 use std::fmt;
 
 /// The EXT-DUAL comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct DualChannelStudy {
     /// Execution time with one LMI channel.
     pub single_cycles: u64,

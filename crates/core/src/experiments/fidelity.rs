@@ -14,11 +14,11 @@
 
 use crate::platforms::{build_platform, Fidelity, PlatformSpec};
 use mpsoc_kernel::SimResult;
-use serde::Serialize;
 use std::fmt;
 
 /// One fidelity measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct FidelityRow {
     /// Fidelity label.
     pub fidelity: String,
@@ -29,7 +29,8 @@ pub struct FidelityRow {
 }
 
 /// The EXT-TLM comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct FidelityStudy {
     /// Cycle-accurate and transaction-level rows.
     pub rows: Vec<FidelityRow>,

@@ -12,11 +12,11 @@
 use crate::platforms::{build_platform, MemorySystem, PlatformSpec, Topology};
 use mpsoc_kernel::SimResult;
 use mpsoc_protocol::ProtocolKind;
-use serde::Serialize;
 use std::fmt;
 
 /// One bar of Figure 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig3Bar {
     /// Instance label, as in the paper.
     pub label: String,
@@ -27,7 +27,8 @@ pub struct Fig3Bar {
 }
 
 /// The Figure 3 bar chart.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig3 {
     /// Bars in the paper's order.
     pub bars: Vec<Fig3Bar>,

@@ -12,14 +12,15 @@
 //! cluster either attached locally (collapsed) or behind the two-hop
 //! bridge path (distributed).
 
+use super::parallel_map;
 use crate::platforms::{build_platform, MemorySystem, PlatformSpec, Topology, Workload};
 use mpsoc_kernel::SimResult;
 use mpsoc_protocol::ProtocolKind;
-use serde::Serialize;
 use std::fmt;
 
 /// One sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig4Point {
     /// Memory wait states per beat.
     pub wait_states: u32,
@@ -32,7 +33,8 @@ pub struct Fig4Point {
 }
 
 /// The Figure 4 series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig4 {
     /// Sweep points in ascending wait-state order.
     pub points: Vec<Fig4Point>,
@@ -60,14 +62,27 @@ impl fmt::Display for Fig4 {
     }
 }
 
-/// Runs the Figure 4 sweep.
+/// Runs the Figure 4 sweep sequentially.
 ///
 /// # Errors
 ///
 /// Fails if any platform instance stalls (model bug).
 pub fn fig4(scale: u64, seed: u64) -> SimResult<Fig4> {
-    let mut points = Vec::new();
-    for wait_states in [1u32, 2, 4, 8, 16, 32] {
+    fig4_with_jobs(scale, seed, 1)
+}
+
+/// Runs the Figure 4 sweep with up to `jobs` worker threads.
+///
+/// Every sweep point is an independent simulation built from the same spec
+/// and seed, so the result is identical to [`fig4`] for any `jobs`; only
+/// wall-clock time changes.
+///
+/// # Errors
+///
+/// Fails if any platform instance stalls (model bug).
+pub fn fig4_with_jobs(scale: u64, seed: u64, jobs: usize) -> SimResult<Fig4> {
+    let sweep: Vec<u32> = vec![1, 2, 4, 8, 16, 32];
+    let points = parallel_map(sweep, jobs, |wait_states| -> SimResult<Fig4Point> {
         let mut cycles = [0u64; 2];
         for (i, topology) in [Topology::Collapsed, Topology::Distributed]
             .into_iter()
@@ -85,13 +100,15 @@ pub fn fig4(scale: u64, seed: u64) -> SimResult<Fig4> {
             let mut platform = build_platform(&spec)?;
             cycles[i] = platform.run()?.exec_cycles;
         }
-        points.push(Fig4Point {
+        Ok(Fig4Point {
             wait_states,
             collapsed_cycles: cycles[0],
             distributed_cycles: cycles[1],
             ratio: cycles[0] as f64 / cycles[1].max(1) as f64,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<SimResult<Vec<_>>>()?;
     Ok(Fig4 { points })
 }
 

@@ -18,11 +18,11 @@ use crate::platforms::{build_platform, MemorySystem, PlatformSpec, Topology};
 use mpsoc_kernel::SimResult;
 use mpsoc_memory::LmiConfig;
 use mpsoc_protocol::ProtocolKind;
-use serde::Serialize;
 use std::fmt;
 
 /// One bar of Figure 5.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig5Bar {
     /// Instance label.
     pub label: String,
@@ -39,7 +39,8 @@ pub struct Fig5Bar {
 }
 
 /// The Figure 5 bar chart.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig5 {
     /// Bars in the paper's order.
     pub bars: Vec<Fig5Bar>,

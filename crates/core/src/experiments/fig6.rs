@@ -13,11 +13,11 @@ use crate::platforms::{build_platform, MemorySystem, PlatformSpec, Topology, Wor
 use mpsoc_kernel::{SimError, SimResult, Time};
 use mpsoc_memory::LmiConfig;
 use mpsoc_protocol::ProtocolKind;
-use serde::Serialize;
 use std::fmt;
 
 /// FIFO-state residency over one phase.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig6Phase {
     /// Phase label.
     pub label: String,
@@ -32,7 +32,8 @@ pub struct Fig6Phase {
 }
 
 /// The Figure 6 measurement for one platform.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig6Platform {
     /// Platform label (full STBus / full AHB).
     pub label: String,
@@ -41,7 +42,8 @@ pub struct Fig6Platform {
 }
 
 /// The complete Figure 6 result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Fig6 {
     /// STBus and AHB measurements.
     pub platforms: Vec<Fig6Platform>,

@@ -7,14 +7,15 @@
 //! above which AXI's five physical channels and cycle-granular arbitration
 //! win — unless STBus is given deeper target FIFOs.
 
+use super::parallel_map;
 use crate::platforms::{build_single_layer, SingleLayerSpec};
 use mpsoc_kernel::SimResult;
 use mpsoc_protocol::ProtocolKind;
-use serde::Serialize;
 use std::fmt;
 
 /// One protocol × offered-load measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct ManyToManyRow {
     /// Protocol under test.
     pub protocol: String,
@@ -31,7 +32,8 @@ pub struct ManyToManyRow {
 }
 
 /// Result table of the many-to-many experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct ManyToMany {
     /// All measurements.
     pub rows: Vec<ManyToManyRow>,
@@ -74,15 +76,27 @@ impl fmt::Display for ManyToMany {
     }
 }
 
-/// Runs the many-to-many sweep.
+/// Runs the many-to-many sweep sequentially.
 ///
 /// # Errors
 ///
 /// Fails if any platform instance stalls (model bug).
 pub fn many_to_many(scale: u64, seed: u64) -> SimResult<ManyToMany> {
-    let mut rows = Vec::new();
+    many_to_many_with_jobs(scale, seed, 1)
+}
+
+/// Runs the many-to-many sweep with up to `jobs` worker threads.
+///
+/// Every grid cell is an independent single-layer simulation, so the result
+/// table is identical to [`many_to_many`] for any `jobs`.
+///
+/// # Errors
+///
+/// Fails if any platform instance stalls (model bug).
+pub fn many_to_many_with_jobs(scale: u64, seed: u64, jobs: usize) -> SimResult<ManyToMany> {
     // Offered load: high think = relaxed, zero think = saturating.
     let loads: [(u64, u64); 3] = [(600, 1000), (12, 36), (0, 4)];
+    let mut grid = Vec::new();
     for protocol in [ProtocolKind::Ahb, ProtocolKind::StbusT2, ProtocolKind::Axi] {
         for &(lo, hi) in &loads {
             for fifo in [1usize, 4] {
@@ -91,27 +105,32 @@ pub fn many_to_many(scale: u64, seed: u64) -> SimResult<ManyToMany> {
                 if fifo > 1 && !protocol.is_stbus() {
                     continue;
                 }
-                let mut platform = build_single_layer(&SingleLayerSpec {
-                    protocol,
-                    prefetch_fifo: fifo,
-                    think_cycles: (lo, hi),
-                    scale,
-                    seed,
-                    ..SingleLayerSpec::default()
-                })?;
-                let report = platform.run()?;
-                let bus = &report.buses[0];
-                rows.push(ManyToManyRow {
-                    protocol: protocol.to_string(),
-                    prefetch_fifo: fifo,
-                    think_cycles: (lo + hi) / 2,
-                    exec_cycles: report.exec_cycles,
-                    request_utilization: bus.request_utilization,
-                    response_utilization: bus.response_utilization,
-                });
+                grid.push((protocol, lo, hi, fifo));
             }
         }
     }
+    let rows = parallel_map(grid, jobs, |(protocol, lo, hi, fifo)| {
+        let mut platform = build_single_layer(&SingleLayerSpec {
+            protocol,
+            prefetch_fifo: fifo,
+            think_cycles: (lo, hi),
+            scale,
+            seed,
+            ..SingleLayerSpec::default()
+        })?;
+        let report = platform.run()?;
+        let bus = &report.buses[0];
+        Ok(ManyToManyRow {
+            protocol: protocol.to_string(),
+            prefetch_fifo: fifo,
+            think_cycles: (lo + hi) / 2,
+            exec_cycles: report.exec_cycles,
+            request_utilization: bus.request_utilization,
+            response_utilization: bus.response_utilization,
+        })
+    })
+    .into_iter()
+    .collect::<SimResult<Vec<_>>>()?;
     Ok(ManyToMany { rows })
 }
 

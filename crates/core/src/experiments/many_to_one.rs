@@ -10,11 +10,11 @@
 use crate::platforms::{build_single_layer, SingleLayerSpec};
 use mpsoc_kernel::SimResult;
 use mpsoc_protocol::ProtocolKind;
-use serde::Serialize;
 use std::fmt;
 
 /// One protocol measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct ManyToOneRow {
     /// Protocol under test.
     pub protocol: String,
@@ -28,7 +28,8 @@ pub struct ManyToOneRow {
 }
 
 /// Result table of the many-to-one experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct ManyToOne {
     /// Per-protocol rows.
     pub rows: Vec<ManyToOneRow>,

@@ -21,6 +21,7 @@ mod fig6;
 mod many_to_many;
 mod many_to_one;
 mod noc_outlook;
+mod parallel;
 
 pub use ablations::{
     arbitration_study, bridge_ablation, buffering_ablation, lmi_ablation, ArbitrationStudy,
@@ -29,12 +30,13 @@ pub use ablations::{
 pub use dual_channel::{dual_channel_study, DualChannelStudy};
 pub use fidelity::{fidelity_study, FidelityRow, FidelityStudy};
 pub use fig3::{fig3, Fig3, Fig3Bar};
-pub use fig4::{fig4, Fig4, Fig4Point};
+pub use fig4::{fig4, fig4_with_jobs, Fig4, Fig4Point};
 pub use fig5::{fig5, Fig5, Fig5Bar};
 pub use fig6::{fig6, Fig6, Fig6Phase};
-pub use many_to_many::{many_to_many, ManyToMany, ManyToManyRow};
+pub use many_to_many::{many_to_many, many_to_many_with_jobs, ManyToMany, ManyToManyRow};
 pub use many_to_one::{many_to_one, ManyToOne, ManyToOneRow};
 pub use noc_outlook::{noc_outlook, NocOutlook, NocOutlookRow};
+pub use parallel::parallel_map;
 
 /// Default workload multiplier for experiment runs.
 pub const DEFAULT_SCALE: u64 = 4;

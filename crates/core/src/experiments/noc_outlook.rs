@@ -15,11 +15,11 @@ use mpsoc_noc::{Mesh, NocConfig};
 use mpsoc_protocol::{AddressRange, DataWidth, Packet, ProtocolKind};
 use mpsoc_stbus::{ChannelTopology, StbusNode, StbusNodeConfig};
 use mpsoc_traffic::{AddressPattern, AgentConfig, IpTrafficGenerator, IptgConfig, TrafficSegment};
-use serde::Serialize;
 use std::fmt;
 
 /// One fabric measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct NocOutlookRow {
     /// Fabric label.
     pub fabric: String,
@@ -30,7 +30,8 @@ pub struct NocOutlookRow {
 }
 
 /// The EXT-NOC comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct NocOutlook {
     /// Rows in increasing-parallelism order.
     pub rows: Vec<NocOutlookRow>,

@@ -2,12 +2,12 @@
 
 use mpsoc_kernel::stats::StatsReport;
 use mpsoc_kernel::Time;
-use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Utilisation of one bus, derived from its busy-time counters.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct BusUtilization {
     /// Bus name.
     pub name: String,
@@ -24,7 +24,8 @@ pub struct BusUtilization {
 }
 
 /// Bus-interface statistics of one LMI controller (the paper's Figure 6).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct LmiInterfaceReport {
     /// Controller name.
     pub name: String,
@@ -49,7 +50,8 @@ pub struct LmiInterfaceReport {
 }
 
 /// Per-generator latency summary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct GeneratorLatency {
     /// Generator name.
     pub name: String,
@@ -67,7 +69,8 @@ pub struct GeneratorLatency {
 }
 
 /// Everything measured by one platform run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct RunReport {
     /// Execution time (workload injection to full drain) in picoseconds.
     pub exec_time_ps: u64,

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io mirror, so the real `criterion`
+//! cannot be fetched. This shim keeps the API surface the workspace's
+//! benches use — [`Criterion::benchmark_group`], `sample_size`,
+//! `throughput`, `bench_function`, [`criterion_group!`]/[`criterion_main!`]
+//! and [`black_box`] — and implements honest (if statistically simpler)
+//! wall-clock measurement: each benchmark runs a warm-up iteration and
+//! `sample_size` timed samples, then reports min/mean/max and, when a
+//! throughput was declared, elements per second.
+//!
+//! # Examples
+//!
+//! ```
+//! use criterion::{Criterion, Throughput};
+//!
+//! let mut c = Criterion::default();
+//! let mut group = c.benchmark_group("demo");
+//! group.sample_size(5);
+//! group.throughput(Throughput::Elements(1000));
+//! group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+//! group.finish();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared throughput of one benchmark, for per-element rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timer handle passed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up iteration outside the timed samples.
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let summary = summarize(&b.samples);
+        print!(
+            "{}/{id}: {} samples, min {:?}, mean {:?}, max {:?}",
+            self.name,
+            b.samples.len(),
+            summary.min,
+            summary.mean,
+            summary.max
+        );
+        if let Some(t) = self.throughput {
+            let per_iter = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n,
+            };
+            let unit = match t {
+                Throughput::Elements(_) => "elem/s",
+                Throughput::Bytes(_) => "B/s",
+            };
+            let secs = summary.mean.as_secs_f64();
+            if secs > 0.0 {
+                print!(", {:.3e} {unit}", per_iter as f64 / secs);
+            }
+        }
+        println!();
+        self
+    }
+
+    /// Ends the group (kept for API parity; all reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Summary {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+}
+
+fn summarize(samples: &[Duration]) -> Summary {
+    if samples.is_empty() {
+        let zero = Duration::ZERO;
+        return Summary {
+            min: zero,
+            mean: zero,
+            max: zero,
+        };
+    }
+    let total: Duration = samples.iter().sum();
+    Summary {
+        min: *samples.iter().min().expect("non-empty"),
+        mean: total / samples.len() as u32,
+        max: *samples.iter().max().expect("non-empty"),
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = summarize(&[]);
+        assert_eq!(s.mean, Duration::ZERO);
+    }
+
+    fn demo(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(benches, demo);
+
+    #[test]
+    fn macros_compose() {
+        benches();
+    }
+}

@@ -72,6 +72,15 @@ pub trait Component<T> {
     /// workload completion. Components that are purely reactive can keep the
     /// default `true`.
     ///
+    /// # Contract
+    ///
+    /// The answer may only change **during the component's own
+    /// [`tick`](Component::tick)**: the executor caches it between ticks to
+    /// keep quiescence checks O(1), so an `is_idle` that flips because of
+    /// state mutated elsewhere (e.g. shared interior mutability written by
+    /// another component) would be observed late. Deterministic components
+    /// whose state lives in `self` satisfy this automatically.
+    ///
     /// [`Simulation::run_to_quiescence`]: crate::Simulation::run_to_quiescence
     fn is_idle(&self) -> bool {
         true

@@ -46,10 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activity;
 mod clock;
 mod component;
 mod error;
 mod link;
+pub mod reference;
 mod rng;
 mod sim;
 pub mod stats;
@@ -57,6 +59,7 @@ mod time;
 pub mod trace;
 pub mod vcd;
 
+pub use activity::ActivitySnapshot;
 pub use clock::ClockDomain;
 pub use component::{Component, ComponentId, TickContext};
 pub use error::{SimError, SimResult};

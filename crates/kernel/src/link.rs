@@ -134,12 +134,18 @@ impl<T> Link<T> {
 #[derive(Debug)]
 pub struct LinkPool<T> {
     links: Vec<Link<T>>,
+    /// Maintained count of payloads queued across all links, so quiescence
+    /// checks are O(1) instead of a scan (updated on every push and pop).
+    queued: usize,
 }
 
 impl<T> LinkPool<T> {
     /// Creates an empty pool.
     pub fn new() -> Self {
-        LinkPool { links: Vec::new() }
+        LinkPool {
+            links: Vec::new(),
+            queued: 0,
+        }
     }
 
     /// Registers a new link and returns its id.
@@ -216,6 +222,7 @@ impl<T> LinkPool<T> {
         link.queue.insert(pos, (deliver, payload));
         link.stats.pushes += 1;
         link.stats.max_occupancy = link.stats.max_occupancy.max(link.queue.len());
+        self.queued += 1;
         Ok(())
     }
 
@@ -241,12 +248,25 @@ impl<T> LinkPool<T> {
         link.integrate(now);
         let (_, payload) = link.queue.pop_front().expect("head checked above");
         link.stats.pops += 1;
+        self.queued -= 1;
         Some(payload)
     }
 
     /// Total payloads currently queued across all links (used for quiescence
-    /// detection).
+    /// detection). O(1): the count is maintained on every push and pop.
     pub fn total_queued(&self) -> usize {
+        debug_assert_eq!(
+            self.queued,
+            self.scan_queued(),
+            "maintained queued counter diverged from the per-link scan"
+        );
+        self.queued
+    }
+
+    /// Total queued payloads computed by scanning every link — the naive
+    /// O(links) formulation, kept for the reference scheduler and for
+    /// validating the maintained counter.
+    pub fn scan_queued(&self) -> usize {
         self.links.iter().map(|l| l.queue.len()).sum()
     }
 

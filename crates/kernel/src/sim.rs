@@ -1,4 +1,21 @@
 //! The simulation executor.
+//!
+//! # Scheduler
+//!
+//! Components registered under identical [`ClockDomain`]s share a *domain
+//! bucket*; a binary min-heap of per-bucket next-edge times picks the next
+//! instant in `O(log D)` (`D` = number of distinct domains), and only the
+//! buckets firing at that instant are touched. Components of concurrently
+//! firing buckets are merged by registration index, so the observable tick
+//! order — and therefore every cycle-level trace — is bit-identical to a
+//! naive per-component scan (see [`crate::reference::NaiveSimulation`],
+//! kept as the differential-testing oracle).
+//!
+//! Quiescence is tracked incrementally: the [`LinkPool`] maintains a live
+//! queued-payload counter and the executor maintains a busy-component
+//! counter updated on tick transitions, so
+//! [`Simulation::run_to_quiescence`] performs an `O(1)` check per edge
+//! instead of scanning every component and link.
 
 use crate::clock::ClockDomain;
 use crate::component::{Component, ComponentId, TickContext};
@@ -7,12 +24,30 @@ use crate::link::LinkPool;
 use crate::rng::SplitMix64;
 use crate::stats::StatsRegistry;
 use crate::time::{Cycles, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 struct Slot<T> {
     component: Box<dyn Component<T>>,
-    clock: ClockDomain,
-    next_tick: Time,
     ticks: u64,
+    /// Cached `is_idle()` as of the component's last tick (or registration).
+    /// Valid because idle status may only change during the component's own
+    /// tick — see the [`Component::is_idle`] contract.
+    idle: bool,
+}
+
+/// Components sharing one clock domain *and* one next-edge time.
+///
+/// Almost always one bucket per distinct `ClockDomain`; a component added
+/// mid-run whose first edge differs from its domain's current next edge
+/// gets a parallel bucket (the merged tick order keeps determinism either
+/// way).
+struct DomainBucket {
+    clock: ClockDomain,
+    next_edge: Time,
+    /// Registration indices, ascending (members are appended in
+    /// registration order and never reordered).
+    members: Vec<u32>,
 }
 
 /// Why a bounded run returned.
@@ -51,6 +86,21 @@ impl RunOutcome {
 pub struct Simulation<T> {
     time: Time,
     slots: Vec<Slot<T>>,
+    buckets: Vec<DomainBucket>,
+    /// Min-heap of `(next_edge, bucket index)`. Every bucket has exactly
+    /// one entry: entries are pushed at bucket creation and re-pushed after
+    /// each fire, and popped only when the bucket fires.
+    heap: BinaryHeap<Reverse<(Time, u32)>>,
+    /// Scratch: bucket indices firing at the current edge.
+    fired: Vec<u32>,
+    /// Scratch: merged member indices when several buckets fire together.
+    tick_order: Vec<u32>,
+    /// Number of components whose cached idle flag is `false`.
+    busy: usize,
+    /// Edges processed so far.
+    edges: u64,
+    /// Component ticks executed so far (across all components).
+    total_ticks: u64,
     links: LinkPool<T>,
     stats: StatsRegistry,
     rng: SplitMix64,
@@ -67,6 +117,13 @@ impl<T> Simulation<T> {
         Simulation {
             time: Time::ZERO,
             slots: Vec::new(),
+            buckets: Vec::new(),
+            heap: BinaryHeap::new(),
+            fired: Vec::new(),
+            tick_order: Vec::new(),
+            busy: 0,
+            edges: 0,
+            total_ticks: 0,
             links: LinkPool::new(),
             stats: StatsRegistry::new(),
             rng: SplitMix64::new(seed),
@@ -80,14 +137,35 @@ impl<T> Simulation<T> {
         component: Box<dyn Component<T>>,
         clock: ClockDomain,
     ) -> ComponentId {
-        let id = ComponentId(u32::try_from(self.slots.len()).expect("too many components"));
+        let index = u32::try_from(self.slots.len()).expect("too many components");
+        let id = ComponentId(index);
         let next_tick = clock.next_edge_at_or_after(self.time);
+        let idle = component.is_idle();
+        if !idle {
+            self.busy += 1;
+        }
         self.slots.push(Slot {
             component,
-            clock,
-            next_tick,
             ticks: 0,
+            idle,
         });
+        // Join the bucket with the same domain and the same pending edge;
+        // otherwise open a new one (and give it a heap entry).
+        if let Some(bucket) = self
+            .buckets
+            .iter_mut()
+            .find(|b| b.clock == clock && b.next_edge == next_tick)
+        {
+            bucket.members.push(index);
+        } else {
+            let bucket_index = u32::try_from(self.buckets.len()).expect("too many clock domains");
+            self.buckets.push(DomainBucket {
+                clock,
+                next_edge: next_tick,
+                members: vec![index],
+            });
+            self.heap.push(Reverse((next_tick, bucket_index)));
+        }
         id
     }
 
@@ -101,6 +179,12 @@ impl<T> Simulation<T> {
         self.slots.len()
     }
 
+    /// Number of distinct scheduling buckets (normally the number of
+    /// distinct clock domains).
+    pub fn domain_count(&self) -> usize {
+        self.buckets.len()
+    }
+
     /// Name of a component.
     pub fn component_name(&self, id: ComponentId) -> &str {
         self.slots[id.index()].component.name()
@@ -109,6 +193,16 @@ impl<T> Simulation<T> {
     /// Total ticks executed by a component so far.
     pub fn component_ticks(&self, id: ComponentId) -> u64 {
         self.slots[id.index()].ticks
+    }
+
+    /// Total edges processed so far (each [`Simulation::step`] is one edge).
+    pub fn edges_processed(&self) -> u64 {
+        self.edges
+    }
+
+    /// Total component ticks executed so far, across all components.
+    pub fn ticks_executed(&self) -> u64 {
+        self.total_ticks
     }
 
     /// The shared link pool (for wiring before the run and inspection after).
@@ -133,31 +227,82 @@ impl<T> Simulation<T> {
 
     /// The time of the next pending edge, if any component is registered.
     pub fn next_edge(&self) -> Option<Time> {
-        self.slots.iter().map(|s| s.next_tick).min()
+        self.heap.peek().map(|Reverse((t, _))| *t)
     }
 
     /// Advances to the next edge and ticks every component scheduled there.
     ///
     /// Returns the edge time, or `None` when no components exist.
     pub fn step(&mut self) -> Option<Time> {
-        let edge = self.next_edge()?;
+        let Reverse((edge, first)) = self.heap.pop()?;
         self.time = edge;
-        for slot in &mut self.slots {
-            if slot.next_tick == edge {
-                let cycle = Cycles::new(slot.ticks);
-                let mut ctx = TickContext {
-                    time: edge,
-                    cycle,
-                    links: &mut self.links,
-                    stats: &mut self.stats,
-                    rng: &mut self.rng,
-                };
-                slot.component.tick(&mut ctx);
-                slot.ticks += 1;
-                slot.next_tick = edge + slot.clock.period();
+        self.fired.clear();
+        self.fired.push(first);
+        while let Some(&Reverse((t, b))) = self.heap.peek() {
+            if t != edge {
+                break;
+            }
+            self.heap.pop();
+            self.fired.push(b);
+        }
+        let ticked;
+        if self.fired.len() == 1 {
+            // Hot path: a single domain fires; its member list is already
+            // in registration order.
+            let b = self.fired[0] as usize;
+            ticked = self.buckets[b].members.len();
+            for k in 0..self.buckets[b].members.len() {
+                let i = self.buckets[b].members[k] as usize;
+                self.tick_slot(i, edge);
+            }
+        } else {
+            // Several domains share this instant: merge their (sorted)
+            // member lists so ticks happen in global registration order,
+            // exactly as the naive full scan would produce.
+            self.tick_order.clear();
+            for f in 0..self.fired.len() {
+                let b = self.fired[f] as usize;
+                self.tick_order.extend_from_slice(&self.buckets[b].members);
+            }
+            self.tick_order.sort_unstable();
+            ticked = self.tick_order.len();
+            for k in 0..self.tick_order.len() {
+                let i = self.tick_order[k] as usize;
+                self.tick_slot(i, edge);
             }
         }
+        for f in 0..self.fired.len() {
+            let b = self.fired[f] as usize;
+            let next = edge + self.buckets[b].clock.period();
+            self.buckets[b].next_edge = next;
+            self.heap.push(Reverse((next, self.fired[f])));
+        }
+        self.edges += 1;
+        self.total_ticks += ticked as u64;
+        crate::activity::record_edge(ticked as u64);
         Some(edge)
+    }
+
+    fn tick_slot(&mut self, index: usize, edge: Time) {
+        let slot = &mut self.slots[index];
+        let mut ctx = TickContext {
+            time: edge,
+            cycle: Cycles::new(slot.ticks),
+            links: &mut self.links,
+            stats: &mut self.stats,
+            rng: &mut self.rng,
+        };
+        slot.component.tick(&mut ctx);
+        slot.ticks += 1;
+        let idle = slot.component.is_idle();
+        if idle != slot.idle {
+            slot.idle = idle;
+            if idle {
+                self.busy -= 1;
+            } else {
+                self.busy += 1;
+            }
+        }
     }
 
     /// Runs all edges up to and including `horizon`.
@@ -171,8 +316,12 @@ impl<T> Simulation<T> {
     }
 
     /// Whether every component is idle and every link is drained.
+    ///
+    /// `O(1)`: both facts are tracked incrementally (a queued-payload
+    /// counter in the [`LinkPool`], a busy-component counter updated on
+    /// tick transitions).
     pub fn is_quiescent(&self) -> bool {
-        self.links.total_queued() == 0 && self.slots.iter().all(|s| s.component.is_idle())
+        self.busy == 0 && self.links.total_queued() == 0
     }
 
     /// Runs until the platform drains (all components idle, all links empty)
@@ -187,7 +336,7 @@ impl<T> Simulation<T> {
     /// for a variant that treats hitting the horizon as an error.
     pub fn run_to_quiescence(&mut self, horizon: Time) -> RunOutcome {
         loop {
-            if self.is_quiescent() && self.time > Time::ZERO {
+            if self.time > Time::ZERO && self.is_quiescent() {
                 return RunOutcome::Quiescent { at: self.time };
             }
             match self.next_edge() {
@@ -233,6 +382,7 @@ impl<T> std::fmt::Debug for Simulation<T> {
         f.debug_struct("Simulation")
             .field("time", &self.time)
             .field("components", &self.slots.len())
+            .field("domains", &self.buckets.len())
             .field("links", &self.links.len())
             .finish()
     }
@@ -388,9 +538,12 @@ mod tests {
             clk,
         );
         assert_eq!(sim.component_count(), 1);
+        assert_eq!(sim.domain_count(), 1);
         assert_eq!(sim.component_name(id), "consumer");
         sim.run_until(Time::from_ns(25));
         assert_eq!(sim.component_ticks(id), 3); // edges at 0, 10, 20 ns
+        assert_eq!(sim.edges_processed(), 3);
+        assert_eq!(sim.ticks_executed(), 3);
     }
 
     #[test]
@@ -402,5 +555,83 @@ mod tests {
             sim.run_to_quiescence(Time::from_ns(10)),
             RunOutcome::HorizonReached { .. }
         ));
+    }
+
+    #[test]
+    fn same_domain_components_share_a_bucket() {
+        let mut sim: Simulation<u64> = Simulation::new();
+        let clk = ClockDomain::from_mhz(250);
+        let link = sim.links_mut().add_link("x", 1, clk.period());
+        for _ in 0..5 {
+            sim.add_component(
+                Box::new(Consumer {
+                    input: link,
+                    received: Vec::new(),
+                }),
+                clk,
+            );
+        }
+        sim.add_component(
+            Box::new(Consumer {
+                input: link,
+                received: Vec::new(),
+            }),
+            ClockDomain::from_mhz(133),
+        );
+        assert_eq!(sim.component_count(), 6);
+        assert_eq!(sim.domain_count(), 2);
+    }
+
+    #[test]
+    fn phase_shifted_clone_gets_its_own_bucket() {
+        let mut sim: Simulation<u64> = Simulation::new();
+        let clk = ClockDomain::from_mhz(100);
+        let link = sim.links_mut().add_link("x", 1, clk.period());
+        let mk = || {
+            Box::new(Consumer {
+                input: link,
+                received: Vec::new(),
+            })
+        };
+        sim.add_component(mk(), clk);
+        sim.add_component(mk(), clk.with_phase(Time::from_ns(3)));
+        assert_eq!(sim.domain_count(), 2);
+        // Edges: 0 (a), 3 (b), 10 (a), 13 (b), 20 (a).
+        let mut edges = Vec::new();
+        while let Some(t) = sim.next_edge() {
+            if t > Time::from_ns(20) {
+                break;
+            }
+            sim.step();
+            edges.push(t.as_ps());
+        }
+        assert_eq!(edges, vec![0, 3_000, 10_000, 13_000, 20_000]);
+    }
+
+    #[test]
+    fn component_added_mid_run_joins_the_timeline() {
+        let mut sim: Simulation<u64> = Simulation::new();
+        let clk = ClockDomain::from_mhz(100); // 10 ns
+        let link = sim.links_mut().add_link("x", 4, clk.period());
+        sim.add_component(
+            Box::new(Consumer {
+                input: link,
+                received: Vec::new(),
+            }),
+            clk,
+        );
+        sim.run_until(Time::from_ns(15)); // edges at 0, 10 processed
+        let id = sim.add_component(
+            Box::new(Consumer {
+                input: link,
+                received: Vec::new(),
+            }),
+            clk,
+        );
+        // Seed semantics, preserved: the add happened with `time()` sitting
+        // exactly on the domain's just-fired 10 ns edge, so the newcomer's
+        // first tick is a re-visit of that instant (then 20, 30, 40 ns).
+        sim.run_until(Time::from_ns(40));
+        assert_eq!(sim.component_ticks(id), 4);
     }
 }

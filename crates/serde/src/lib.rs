@@ -1,0 +1,271 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment of this repository has no access to a crates.io
+//! mirror, so the real `serde` cannot be fetched. This vendored shim keeps
+//! the public surface the workspace actually uses — `use serde::Serialize;`
+//! plus `#[derive(Serialize)]` — and backs it with a single concrete data
+//! format: JSON. That is exactly what the experiment result types and the
+//! `BENCH_kernel.json` perf ledger need.
+//!
+//! The shim is intentionally tiny: one trait, impls for the primitive and
+//! container types that appear in experiment results, and a derive macro
+//! (in `serde_derive`) for plain named-field structs.
+//!
+//! # Examples
+//!
+//! ```
+//! use serde::Serialize;
+//!
+//! #[derive(Serialize)]
+//! struct Row { name: String, cycles: u64, ratio: f64 }
+//!
+//! let row = Row { name: "fig3".into(), cycles: 1200, ratio: 1.5 };
+//! assert_eq!(row.to_json(), r#"{"name":"fig3","cycles":1200,"ratio":1.5}"#);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Lets the generated `::serde::Serialize` paths resolve inside this crate's
+// own tests and doctests.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A type that can write itself as a JSON value.
+///
+/// This is the shim's replacement for `serde::Serialize`. Instead of the
+/// full serde data model there is one method that appends a JSON encoding
+/// to a string buffer; `#[derive(Serialize)]` generates it for structs.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+
+    /// Returns the JSON encoding of `self` as a fresh string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.serialize_json(&mut out);
+        out
+    }
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], *self as i128));
+            }
+        })*
+    };
+}
+
+/// Formats an integer without going through `format!` (hot in perf logs).
+fn itoa_buf(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                let mut buf = [0u8; 40];
+                let mut v = *self as u128;
+                let mut i = buf.len();
+                loop {
+                    i -= 1;
+                    buf[i] = b'0' + (v % 10) as u8;
+                    v /= 10;
+                    if v == 0 { break; }
+                }
+                out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+            }
+        })*
+    };
+}
+
+impl_serialize_int!(i8, i16, i32, i64, i128, isize);
+impl_serialize_uint!(u8, u16, u32, u64, u128, usize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{}` prints the shortest representation that round-trips.
+            out.push_str(&format!("{self}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        f64::from(*self).serialize_json(out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(k, out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_encode() {
+        assert_eq!(42u64.to_json(), "42");
+        assert_eq!((-7i64).to_json(), "-7");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!("a\"b".to_string().to_json(), r#""a\"b""#);
+    }
+
+    #[test]
+    fn containers_encode() {
+        assert_eq!(vec![1u32, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Option::<u64>::None.to_json(), "null");
+        assert_eq!(Some(9u8).to_json(), "9");
+        assert_eq!((1u8, "x").to_json(), r#"[1,"x"]"#);
+    }
+
+    #[test]
+    fn derive_honors_serde_skip() {
+        #[derive(Serialize)]
+        struct S {
+            kept: u64,
+            #[serde(skip)]
+            #[allow(dead_code)]
+            dropped: String,
+            tail: bool,
+        }
+        let s = S {
+            kept: 7,
+            dropped: "hidden".into(),
+            tail: true,
+        };
+        assert_eq!(s.to_json(), r#"{"kept":7,"tail":true}"#);
+    }
+
+    #[test]
+    fn derive_handles_named_structs() {
+        #[derive(Serialize)]
+        struct S {
+            a: u64,
+            b: String,
+            c: Vec<f64>,
+        }
+        let s = S {
+            a: 1,
+            b: "two".into(),
+            c: vec![3.0],
+        };
+        assert_eq!(s.to_json(), r#"{"a":1,"b":"two","c":[3]}"#);
+    }
+}

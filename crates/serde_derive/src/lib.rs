@@ -1,0 +1,187 @@
+//! Derive macro for the vendored `serde` shim.
+//!
+//! Supports `#[derive(Serialize)]` on plain structs with named fields and
+//! no generic parameters — the only shape the workspace's experiment
+//! result types use. The generated impl writes a JSON object whose keys
+//! are the field names, in declaration order. Fields annotated
+//! `#[serde(skip)]` are omitted from the output.
+//!
+//! Hand-rolled over `proc_macro` token trees (no `syn`/`quote`) because
+//! the build environment has no crates.io access.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` (JSON object of named fields).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("valid error tokens"),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Optional `(crate)` / `(super)` restriction.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => {
+            return Err(format!(
+                "#[derive(Serialize)] shim only supports structs, found {other:?}"
+            ))
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "#[derive(Serialize)] shim does not support generics on {name}"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "#[derive(Serialize)] shim does not support tuple/unit struct {name}"
+                ))
+            }
+            Some(_) => continue,
+            None => return Err(format!("unexpected end of struct {name}")),
+        }
+    };
+
+    let fields = parse_field_names(body.stream())?;
+    let mut writes = String::new();
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            writes.push_str("out.push(',');\n");
+        }
+        writes.push_str(&format!(
+            "out.push_str(\"\\\"{field}\\\":\");\n\
+             ::serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    let impl_src = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                 out.push('{{');\n\
+                 {writes}\
+                 out.push('}}');\n\
+             }}\n\
+         }}"
+    );
+    impl_src
+        .parse()
+        .map_err(|e| format!("generated impl failed to parse: {e:?}"))
+}
+
+/// Whether an attribute body (the `[...]` group) is `serde(skip)`.
+fn is_serde_skip(attr: &TokenTree) -> bool {
+    let TokenTree::Group(g) = attr else {
+        return false;
+    };
+    let mut inner = g.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match inner.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Extracts field names from the brace body of a named-field struct,
+/// omitting fields marked `#[serde(skip)]`.
+fn parse_field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility, noting `#[serde(skip)]`.
+        let mut skip = false;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(attr) = tokens.next() {
+                        skip |= is_serde_skip(&attr);
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after {field}, found {other:?}")),
+        }
+        // Consume the type up to the next top-level comma. Commas inside
+        // angle brackets (e.g. `HashMap<String, u64>`) are not separators.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        if !skip {
+            fields.push(field);
+        }
+    }
+    Ok(fields)
+}

@@ -1,0 +1,304 @@
+//! Differential determinism harness for the kernel scheduler rework.
+//!
+//! The clock-domain bucketed executor ([`Simulation`]) must be
+//! observationally identical to the pre-bucketing full-scan executor
+//! ([`NaiveSimulation`]): same edge times, same `(time, component-index)`
+//! tick sequence (i.e. same global registration-order interleaving at
+//! every instant), and same quiescence behaviour. These tests drive both
+//! executors over randomized clock/component sets and fixed regression
+//! platforms and compare the full traces.
+
+use mpsoc_kernel::reference::NaiveSimulation;
+use mpsoc_kernel::{
+    ClockDomain, Component, LinkId, RunOutcome, Simulation, TickContext, Time,
+};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared tick log: `(time in ps, component registration index)`.
+type TickLog = Rc<RefCell<Vec<(u64, u32)>>>;
+
+/// Records every one of its ticks into a shared log.
+struct Recorder {
+    idx: u32,
+    log: TickLog,
+}
+
+impl Component<u64> for Recorder {
+    fn name(&self) -> &str {
+        "recorder"
+    }
+    fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+        self.log.borrow_mut().push((ctx.time.as_ps(), self.idx));
+    }
+}
+
+/// The clock pool the random cases draw from: a mix of frequencies with
+/// repeats (shared domains) and phase offsets (bucket merge paths).
+fn clock_pool() -> Vec<ClockDomain> {
+    let ns = Time::from_ns;
+    vec![
+        ClockDomain::from_period(ns(1)),
+        ClockDomain::from_period(ns(2)),
+        ClockDomain::from_period(ns(2)).with_phase(ns(1)),
+        ClockDomain::from_period(ns(3)),
+        ClockDomain::from_period(ns(5)).with_phase(ns(2)),
+        ClockDomain::from_period(ns(7)),
+        ClockDomain::from_period(ns(10)).with_phase(ns(3)),
+        ClockDomain::from_period(ns(10)),
+    ]
+}
+
+/// Builds the same recorder platform on one executor.
+macro_rules! build_recorders {
+    ($sim:expr, $clock_idxs:expr, $log:expr) => {{
+        let pool = clock_pool();
+        for (i, &c) in $clock_idxs.iter().enumerate() {
+            $sim.add_component(
+                Box::new(Recorder {
+                    idx: i as u32,
+                    log: Rc::clone(&$log),
+                }),
+                pool[c % pool.len()],
+            );
+        }
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core differential property: for any random assignment of
+    /// components to clock domains, both executors report the same edge
+    /// times and produce bit-identical `(time, index)` tick sequences.
+    #[test]
+    fn bucketed_matches_naive_tick_sequence(
+        clock_idxs in prop::collection::vec(0usize..8, 1..32),
+        horizon_ns in 50u64..1500,
+    ) {
+        let horizon = Time::from_ns(horizon_ns);
+
+        let naive_log: TickLog = Rc::new(RefCell::new(Vec::new()));
+        let mut naive: NaiveSimulation<u64> = NaiveSimulation::new();
+        build_recorders!(naive, clock_idxs, naive_log);
+
+        let bucketed_log: TickLog = Rc::new(RefCell::new(Vec::new()));
+        let mut bucketed: Simulation<u64> = Simulation::new();
+        build_recorders!(bucketed, clock_idxs, bucketed_log);
+
+        // Lock-step: the pending edge must agree before every step.
+        loop {
+            let n = naive.next_edge();
+            let b = bucketed.next_edge();
+            prop_assert_eq!(n, b);
+            match n {
+                Some(t) if t <= horizon => {
+                    prop_assert_eq!(naive.step(), bucketed.step());
+                }
+                _ => break,
+            }
+        }
+        prop_assert_eq!(naive.time(), bucketed.time());
+        prop_assert_eq!(
+            naive_log.borrow().clone(),
+            bucketed_log.borrow().clone()
+        );
+    }
+
+    /// `run_until` (the batched driver) agrees with the naive executor on
+    /// final time and per-component tick counts.
+    #[test]
+    fn run_until_matches_naive(
+        clock_idxs in prop::collection::vec(0usize..8, 1..24),
+        horizon_ns in 50u64..1200,
+    ) {
+        let horizon = Time::from_ns(horizon_ns);
+
+        let naive_log: TickLog = Rc::new(RefCell::new(Vec::new()));
+        let mut naive: NaiveSimulation<u64> = NaiveSimulation::new();
+        build_recorders!(naive, clock_idxs, naive_log);
+
+        let bucketed_log: TickLog = Rc::new(RefCell::new(Vec::new()));
+        let mut bucketed: Simulation<u64> = Simulation::new();
+        build_recorders!(bucketed, clock_idxs, bucketed_log);
+
+        naive.run_until(horizon);
+        bucketed.run_until(horizon);
+
+        prop_assert_eq!(naive.time(), bucketed.time());
+        prop_assert_eq!(
+            naive_log.borrow().clone(),
+            bucketed_log.borrow().clone()
+        );
+    }
+}
+
+/// Emits `budget` numbered payloads, one per tick, respecting back-pressure.
+struct Producer {
+    out: LinkId,
+    budget: u64,
+    sent: u64,
+}
+
+impl Component<u64> for Producer {
+    fn name(&self) -> &str {
+        "producer"
+    }
+    fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+        if self.sent < self.budget && ctx.links.can_push(self.out) {
+            ctx.links.push(self.out, ctx.time, self.sent).unwrap();
+            self.sent += 1;
+        }
+    }
+    fn is_idle(&self) -> bool {
+        self.sent == self.budget
+    }
+}
+
+/// Pops one payload per tick.
+struct Consumer {
+    input: LinkId,
+    received: u64,
+}
+
+impl Component<u64> for Consumer {
+    fn name(&self) -> &str {
+        "consumer"
+    }
+    fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+        if ctx.links.pop(self.input, ctx.time).is_some() {
+            self.received += 1;
+        }
+    }
+}
+
+/// Quiescent time reported by one executor on the producer/consumer
+/// platform with the given clocks.
+fn quiescent_time_bucketed(prod_clk: ClockDomain, cons_clk: ClockDomain) -> Time {
+    let mut sim: Simulation<u64> = Simulation::new();
+    let link = sim.links_mut().add_link("pc", 2, prod_clk.period());
+    sim.add_component(
+        Box::new(Producer {
+            out: link,
+            budget: 25,
+            sent: 0,
+        }),
+        prod_clk,
+    );
+    sim.add_component(
+        Box::new(Consumer {
+            input: link,
+            received: 0,
+        }),
+        cons_clk,
+    );
+    match sim.run_to_quiescence(Time::from_us(100)) {
+        RunOutcome::Quiescent { at } => at,
+        RunOutcome::HorizonReached { at } => panic!("bucketed stalled at {at:?}"),
+    }
+}
+
+/// Same platform on the naive executor.
+fn quiescent_time_naive(prod_clk: ClockDomain, cons_clk: ClockDomain) -> Time {
+    let mut sim: NaiveSimulation<u64> = NaiveSimulation::new();
+    let link = sim.links_mut().add_link("pc", 2, prod_clk.period());
+    sim.add_component(
+        Box::new(Producer {
+            out: link,
+            budget: 25,
+            sent: 0,
+        }),
+        prod_clk,
+    );
+    sim.add_component(
+        Box::new(Consumer {
+            input: link,
+            received: 0,
+        }),
+        cons_clk,
+    );
+    match sim.run_to_quiescence(Time::from_us(100)) {
+        RunOutcome::Quiescent { at } => at,
+        RunOutcome::HorizonReached { at } => panic!("naive stalled at {at:?}"),
+    }
+}
+
+/// Regression: the O(1) incremental quiescence check stops the bucketed
+/// executor at exactly the instant the naive full-scan check stops, on the
+/// canonical single-clock producer/consumer platform.
+#[test]
+fn quiescence_time_matches_on_producer_consumer() {
+    let clk = ClockDomain::from_mhz(100);
+    let naive = quiescent_time_naive(clk, clk);
+    let bucketed = quiescent_time_bucketed(clk, clk);
+    assert_eq!(naive, bucketed);
+    assert!(bucketed > Time::ZERO);
+}
+
+/// Regression: same property across clock domains (fast producer, slow
+/// phase-shifted consumer), where quiescence is reached on a consumer edge
+/// that is not a producer edge.
+#[test]
+fn quiescence_time_matches_across_clock_domains() {
+    let prod = ClockDomain::from_mhz(200);
+    let cons = ClockDomain::from_mhz(66).with_phase(Time::from_ns(3));
+    let naive = quiescent_time_naive(prod, cons);
+    let bucketed = quiescent_time_bucketed(prod, cons);
+    assert_eq!(naive, bucketed);
+    assert!(bucketed > Time::ZERO);
+}
+
+/// Components registered while the simulation is mid-run join the timeline
+/// identically on both executors.
+#[test]
+fn mid_run_registration_is_equivalent() {
+    let pool = clock_pool();
+    let naive_log: TickLog = Rc::new(RefCell::new(Vec::new()));
+    let mut naive: NaiveSimulation<u64> = NaiveSimulation::new();
+    let bucketed_log: TickLog = Rc::new(RefCell::new(Vec::new()));
+    let mut bucketed: Simulation<u64> = Simulation::new();
+
+    for (i, clk) in [pool[0], pool[3]].into_iter().enumerate() {
+        naive.add_component(
+            Box::new(Recorder {
+                idx: i as u32,
+                log: Rc::clone(&naive_log),
+            }),
+            clk,
+        );
+        bucketed.add_component(
+            Box::new(Recorder {
+                idx: i as u32,
+                log: Rc::clone(&bucketed_log),
+            }),
+            clk,
+        );
+    }
+    naive.run_until(Time::from_ns(10));
+    bucketed.run_until(Time::from_ns(10));
+
+    // A latecomer on an already-populated domain and one on a fresh domain.
+    for (i, clk) in [pool[0], pool[6]].into_iter().enumerate() {
+        let idx = (2 + i) as u32;
+        naive.add_component(
+            Box::new(Recorder {
+                idx,
+                log: Rc::clone(&naive_log),
+            }),
+            clk,
+        );
+        bucketed.add_component(
+            Box::new(Recorder {
+                idx,
+                log: Rc::clone(&bucketed_log),
+            }),
+            clk,
+        );
+    }
+    naive.run_until(Time::from_ns(40));
+    bucketed.run_until(Time::from_ns(40));
+
+    assert_eq!(naive.time(), bucketed.time());
+    assert_eq!(*naive_log.borrow(), *bucketed_log.borrow());
+}
