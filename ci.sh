@@ -5,8 +5,11 @@
 #
 # Runs, in order:
 #   1. tier-1: release build + full test suite
-#   2. lint: clippy on every target, warnings are errors
+#   2. lint: rustfmt, clippy (warnings are errors), rustdoc
 #   3. smoke: one small end-to-end reproduction through the repro binary
+#   4. determinism: the same experiment twice with one seed must emit
+#      byte-identical tables
+#   5. bench guard: scheduler throughput vs the committed perf ledger
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,10 +22,36 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== rustfmt (--check) =="
+cargo fmt --all -- --check
+
 echo "== clippy (workspace, all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== smoke: repro --exp fig3 --scale 1 =="
-cargo run --release -p mpsoc-bench --bin repro -- --exp fig3 --scale 1 --no-bench-out
+echo "== rustdoc (workspace, no deps) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== smoke: repro --exp robustness --scale 1 =="
+cargo run --release -p mpsoc-bench --bin repro -- --exp robustness --scale 1 --no-bench-out
+
+echo "== determinism: fig3 twice, same seed, identical tables =="
+# Strip host-timing lines (the bracketed perf summaries and the totals)
+# before comparing: wall-clock numbers legitimately differ between runs.
+filter_timing() { grep -v -e '^\[' -e '^total:' -e '^perf ledger' "$1"; }
+run_dir="$(mktemp -d)"
+trap 'rm -rf "$run_dir"' EXIT
+cargo run --release -p mpsoc-bench --bin repro -- \
+    --exp fig3 --scale 1 --no-bench-out > "$run_dir/a.txt"
+cargo run --release -p mpsoc-bench --bin repro -- \
+    --exp fig3 --scale 1 --no-bench-out > "$run_dir/b.txt"
+if ! diff <(filter_timing "$run_dir/a.txt") <(filter_timing "$run_dir/b.txt"); then
+    echo "determinism gate FAILED: identical seeds produced different tables" >&2
+    exit 1
+fi
+echo "determinism gate passed"
+
+echo "== bench guard: throughput vs committed ledger =="
+cargo run --release -p mpsoc-bench --bin repro -- \
+    --scale 1 --no-bench-out --check-bench BENCH_kernel.json
 
 echo "ci: all gates passed"

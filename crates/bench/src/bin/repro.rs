@@ -8,7 +8,9 @@
 //! repro --scale 8 --seed 42  # bigger workload, different seed
 //! repro --jobs 4             # parallel sweep points inside fig4 / many-to-many
 //! repro --list               # list experiment ids
-//! repro --no-bench-out       # skip writing BENCH_kernel.json
+//! repro --no-bench-out       # skip writing the perf ledger
+//! repro --bench-out <path>   # refresh a committed ledger explicitly
+//! repro --check-bench <path> # fail if throughput regressed >30% vs <path>
 //! ```
 //!
 //! Experiments always run one at a time and print in a fixed order, so the
@@ -17,7 +19,9 @@
 //! out to worker threads. Each experiment is followed by a host-side
 //! throughput line (scheduler edges/sec and simulated component-cycles/sec,
 //! from the kernel's activity counters), and the measurements are recorded
-//! in the machine-readable `BENCH_kernel.json` ledger.
+//! in a machine-readable ledger. By default that ledger lands in the
+//! gitignored `target/BENCH_kernel.json`; the committed copy at the repo
+//! root is only touched when `--bench-out` names it explicitly.
 
 use mpsoc_bench::{ledger, measure_experiment, ExperimentRun, EXPERIMENTS};
 use mpsoc_platform::experiments::{DEFAULT_SCALE, DEFAULT_SEED};
@@ -31,6 +35,8 @@ struct Args {
     jobs: usize,
     list: bool,
     bench_out: bool,
+    bench_out_path: Option<std::path::PathBuf>,
+    check_bench: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
         jobs: 1,
         list: false,
         bench_out: true,
+        bench_out_path: None,
+        check_bench: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -74,9 +82,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--list" => args.list = true,
             "--no-bench-out" => args.bench_out = false,
+            "--bench-out" => {
+                args.bench_out_path = Some(it.next().ok_or("--bench-out needs a path")?.into());
+            }
+            "--check-bench" => {
+                args.check_bench = Some(it.next().ok_or("--check-bench needs a path")?.into());
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--exp <id>] [--scale N] [--seed N] [--jobs N] [--list] [--no-bench-out]\n\
+                    "repro [--exp <id>] [--scale N] [--seed N] [--jobs N] [--list] \
+                     [--no-bench-out] [--bench-out <path>] [--check-bench <path>]\n\
                      experiments: {}",
                     EXPERIMENTS.join(", ")
                 );
@@ -154,7 +169,10 @@ fn main() -> ExitCode {
         section.total_edges, section.total_ticks, section.total_wall_seconds
     );
     if args.bench_out {
-        let path = ledger::default_path();
+        let path = args
+            .bench_out_path
+            .clone()
+            .unwrap_or_else(ledger::default_path);
         match ledger::update_section(&path, "experiments", &section.to_json()) {
             Ok(()) => println!("perf ledger updated: {}", path.display()),
             Err(e) => {
@@ -163,5 +181,66 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(baseline) = &args.check_bench {
+        return check_bench(baseline, &section.runs);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Maximum tolerated throughput drop against the baseline ledger before
+/// [`check_bench`] fails the run: 30 %, generous enough to absorb host
+/// noise while still catching real scheduler regressions.
+const MAX_REGRESSION: f64 = 0.30;
+
+/// Compares the measured edges/sec of `runs` against the ledger at
+/// `baseline`. Experiments missing from the baseline (newly added ones)
+/// are reported but never fail the check.
+fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun]) -> ExitCode {
+    let doc = match std::fs::read_to_string(baseline) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read bench baseline {}: {e}", baseline.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let rates = ledger::experiment_rates(&doc);
+    if rates.is_empty() {
+        eprintln!(
+            "bench baseline {} has no experiments section",
+            baseline.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut regressed = false;
+    for run in runs {
+        let Some((_, base)) = rates.iter().find(|(id, _)| id == &run.id) else {
+            println!("[check {:<14} no baseline — skipped]", run.id);
+            continue;
+        };
+        let ratio = run.edges_per_sec / base.max(1e-9);
+        let ok = ratio >= 1.0 - MAX_REGRESSION;
+        println!(
+            "[check {:<14} {:>10.0} vs baseline {:>10.0} edges/s — {}]",
+            run.id,
+            run.edges_per_sec,
+            base,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            regressed = true;
+        }
+    }
+    if regressed {
+        eprintln!(
+            "bench check failed: throughput dropped more than {:.0}% vs {}",
+            MAX_REGRESSION * 100.0,
+            baseline.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench check passed (threshold {:.0}%)",
+        MAX_REGRESSION * 100.0
+    );
     ExitCode::SUCCESS
 }

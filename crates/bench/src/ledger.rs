@@ -20,22 +20,36 @@ use std::path::{Path, PathBuf};
 /// Default ledger file name; see [`default_path`] for where it lands.
 pub const LEDGER_PATH: &str = "BENCH_kernel.json";
 
-/// Resolves the ledger location: the nearest ancestor of the current
-/// directory that contains a `Cargo.lock` (the workspace root, whether the
-/// writer is a binary run from the root or a bench run from its package
-/// directory), falling back to the current directory itself.
-pub fn default_path() -> PathBuf {
+/// The workspace root: the nearest ancestor of the current directory that
+/// contains a `Cargo.lock` (whether the writer is a binary run from the
+/// root or a bench run from its package directory), falling back to the
+/// current directory itself.
+fn workspace_root() -> PathBuf {
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     let mut dir = cwd.as_path();
     loop {
         if dir.join("Cargo.lock").exists() {
-            return dir.join(LEDGER_PATH);
+            return dir.to_path_buf();
         }
         match dir.parent() {
             Some(parent) => dir = parent,
-            None => return cwd.join(LEDGER_PATH),
+            None => return cwd,
         }
     }
+}
+
+/// Default ledger location: `target/BENCH_kernel.json` under the workspace
+/// root. `target/` is gitignored, so routine runs never dirty the working
+/// tree; refreshing the *committed* ledger takes an explicit
+/// `--bench-out` (see [`committed_path`]).
+pub fn default_path() -> PathBuf {
+    workspace_root().join("target").join(LEDGER_PATH)
+}
+
+/// The committed ledger checked into the repository root. Only written
+/// when a caller passes it explicitly (e.g. `repro --bench-out`).
+pub fn committed_path() -> PathBuf {
+    workspace_root().join(LEDGER_PATH)
 }
 
 /// Schema tag stamped into the ledger.
@@ -68,6 +82,11 @@ pub fn update_section(path: &Path, section: &str, value_json: &str) -> io::Resul
         Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
         Err(e) => return Err(e),
     };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
 
     let mut doc = format!("{{\n\"schema\": {SCHEMA:?}");
     for &name in &SECTIONS {
@@ -85,7 +104,7 @@ pub fn update_section(path: &Path, section: &str, value_json: &str) -> io::Resul
 }
 
 /// Pulls the raw single-line value of `name` out of an existing ledger.
-fn extract_section(doc: &str, name: &str) -> Option<String> {
+pub fn extract_section(doc: &str, name: &str) -> Option<String> {
     let prefix = format!("\"{name}\": ");
     for line in doc.lines() {
         if let Some(rest) = line.strip_prefix(&prefix) {
@@ -93,6 +112,34 @@ fn extract_section(doc: &str, name: &str) -> Option<String> {
         }
     }
     None
+}
+
+/// Pulls `(experiment id, edges_per_sec)` pairs out of a ledger document's
+/// `"experiments"` section. Tolerant of absent sections (returns an empty
+/// list); the scan relies only on the field order this crate's own writer
+/// emits, so it needs no general JSON parser.
+pub fn experiment_rates(doc: &str) -> Vec<(String, f64)> {
+    let Some(section) = extract_section(doc, "experiments") else {
+        return Vec::new();
+    };
+    let mut rates = Vec::new();
+    let mut rest = section.as_str();
+    while let Some(pos) = rest.find("\"id\":\"") {
+        rest = &rest[pos + 6..];
+        let Some(end) = rest.find('"') else { break };
+        let id = rest[..end].to_string();
+        rest = &rest[end..];
+        let Some(pos) = rest.find("\"edges_per_sec\":") else {
+            break;
+        };
+        rest = &rest[pos + 16..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(rate) = rest[..end].trim().parse::<f64>() {
+            rates.push((id, rate));
+        }
+        rest = &rest[end..];
+    }
+    rates
 }
 
 #[cfg(test)]
@@ -132,16 +179,41 @@ mod tests {
     }
 
     #[test]
-    fn default_path_targets_the_ledger_file() {
+    fn default_path_is_gitignored_committed_path_is_not() {
         let path = default_path();
-        assert!(path.ends_with(LEDGER_PATH));
+        assert!(path.ends_with(Path::new("target").join(LEDGER_PATH)));
+        let committed = committed_path();
+        assert!(committed.ends_with(LEDGER_PATH));
+        assert!(!committed.to_string_lossy().contains("target"));
     }
 
     #[test]
     fn extracts_sections_by_prefix() {
-        let doc = "{\n\"schema\": \"x\",\n\"experiments\": {\"a\":1},\n\"microbench\": {\"b\":2}\n}\n";
-        assert_eq!(extract_section(doc, "experiments").as_deref(), Some(r#"{"a":1}"#));
-        assert_eq!(extract_section(doc, "microbench").as_deref(), Some(r#"{"b":2}"#));
+        let doc =
+            "{\n\"schema\": \"x\",\n\"experiments\": {\"a\":1},\n\"microbench\": {\"b\":2}\n}\n";
+        let experiments = extract_section(doc, "experiments");
+        assert_eq!(experiments.as_deref(), Some(r#"{"a":1}"#));
+        let microbench = extract_section(doc, "microbench");
+        assert_eq!(microbench.as_deref(), Some(r#"{"b":2}"#));
         assert_eq!(extract_section(doc, "nope"), None);
+    }
+
+    #[test]
+    fn experiment_rates_scan_the_runs_array() {
+        let doc = concat!(
+            "{\n\"schema\": \"x\",\n",
+            "\"experiments\": {\"scale\":1,\"runs\":[",
+            "{\"id\":\"fig3\",\"wall_seconds\":0.5,\"edges\":10,",
+            "\"ticks\":20,\"edges_per_sec\":123456.5,\"sim_cycles_per_sec\":2.0},",
+            "{\"id\":\"fig4\",\"wall_seconds\":0.1,\"edges\":4,",
+            "\"ticks\":8,\"edges_per_sec\":99,\"sim_cycles_per_sec\":1.0}",
+            "]}\n}\n"
+        );
+        let rates = experiment_rates(doc);
+        assert_eq!(rates.len(), 2);
+        assert_eq!(rates[0].0, "fig3");
+        assert!((rates[0].1 - 123456.5).abs() < 1e-9);
+        assert_eq!(rates[1], ("fig4".to_string(), 99.0));
+        assert!(experiment_rates("{}\n").is_empty());
     }
 }

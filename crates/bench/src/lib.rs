@@ -40,6 +40,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "noc",
     "tlm",
     "dual-channel",
+    "robustness",
 ];
 
 /// Runs one experiment by id and returns its printable report.
@@ -77,6 +78,7 @@ pub fn run_experiment_with_jobs(id: &str, scale: u64, seed: u64, jobs: usize) ->
         "noc" => experiments::noc_outlook(scale, seed)?.to_string(),
         "tlm" => experiments::fidelity_study(scale, seed)?.to_string(),
         "dual-channel" => experiments::dual_channel_study(scale, seed)?.to_string(),
+        "robustness" => experiments::robustness_with_jobs(scale, seed, jobs)?.to_string(),
         other => {
             return Err(mpsoc_kernel::SimError::InvalidConfig {
                 reason: format!(
@@ -146,7 +148,12 @@ fn si(rate: f64) -> String {
 /// # Errors
 ///
 /// Same as [`run_experiment`].
-pub fn measure_experiment(id: &str, scale: u64, seed: u64, jobs: usize) -> SimResult<ExperimentRun> {
+pub fn measure_experiment(
+    id: &str,
+    scale: u64,
+    seed: u64,
+    jobs: usize,
+) -> SimResult<ExperimentRun> {
     let before = activity::snapshot();
     let started = Instant::now();
     let table = run_experiment_with_jobs(id, scale, seed, jobs)?;

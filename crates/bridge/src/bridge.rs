@@ -1,10 +1,10 @@
 //! The hybrid bridge: target side, initiator side, async FIFOs.
 
-#[cfg(test)]
-use mpsoc_kernel::Time;
-use mpsoc_kernel::{ClockDomain, Component, LinkId, LinkPool, TickContext, TraceKind};
-use mpsoc_protocol::{DataWidth, Packet, TransactionId};
-use std::collections::{HashMap, HashSet};
+use mpsoc_kernel::{
+    ClockDomain, Component, FaultKind, LinkId, LinkPool, TickContext, Time, TraceKind,
+};
+use mpsoc_protocol::{DataWidth, Packet, Response, Transaction, TransactionId};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// How the bridge's target side handles response-expecting transactions
 /// (reads and non-posted writes).
@@ -191,6 +191,10 @@ impl Bridge {
                 in_flight: HashMap::new(),
                 consume_ack: HashSet::new(),
                 src_width: None,
+                src_period: src_clock.period(),
+                dst_period: dst_clock.period(),
+                retries: VecDeque::new(),
+                dead_letters: VecDeque::new(),
             },
             initiator_side: BridgeInitiatorSide {
                 name: format!("{name}.initiator_side"),
@@ -221,6 +225,32 @@ pub struct BridgeTargetSide {
     consume_ack: HashSet<TransactionId>,
     /// Width observed on the first accepted transaction (sanity checking).
     src_width: Option<DataWidth>,
+    /// Period of the source-bus clock (detection timeouts count in it).
+    src_period: Time,
+    /// Period of the destination-bus clock (glitch delays count in it).
+    dst_period: Time,
+    /// Transfers awaiting retransmission after an injected crossing fault,
+    /// ordered by enqueue time. Empty in every fault-free run.
+    retries: VecDeque<RetryEntry>,
+    /// Error completions for abandoned transactions, waiting for space on
+    /// the source-bus response channel.
+    dead_letters: VecDeque<Response>,
+}
+
+/// A transfer the crossing lost or corrupted, queued for retransmission.
+#[derive(Debug)]
+struct RetryEntry {
+    txn: Transaction,
+    expects_response: bool,
+    /// Retransmissions performed so far.
+    attempt: u32,
+    /// Earliest time the retransmission may go out (detection timeout with
+    /// exponential backoff for drops, next cycle for corruptions).
+    deadline: Time,
+    /// Injected faults accumulated by this transfer (a retransmission can
+    /// be hit again), resolved in one batch when it finally crosses or is
+    /// abandoned.
+    faults: u64,
 }
 
 impl BridgeTargetSide {
@@ -240,6 +270,75 @@ impl BridgeTargetSide {
             }
         }
     }
+
+    /// Sends `entry` across the clock-domain crossing, probing the fault
+    /// engine at the one point where crossing faults are physically
+    /// meaningful. The caller has already checked `can_push(req_fifo)`.
+    fn dispatch(&mut self, mut entry: RetryEntry, ctx: &mut TickContext<'_, Packet>) {
+        let now = ctx.time;
+        if ctx.faults.probe(FaultKind::LinkDrop) {
+            // Lost in transit; detected only when the retransmission timer
+            // expires (exponential backoff per attempt).
+            entry.faults += 1;
+            let backoff = ctx.faults.schedule().timeout_cycles << entry.attempt.min(16);
+            self.requeue_or_abandon(entry, self.src_period * backoff, ctx);
+        } else if ctx.faults.probe(FaultKind::LinkCorrupt) {
+            // Corrupted in transit; the receiver's checksum catches it
+            // immediately, so the retransmission goes out next cycle.
+            entry.faults += 1;
+            self.requeue_or_abandon(entry, self.src_period, ctx);
+        } else if ctx.faults.probe(FaultKind::ClockGlitch) {
+            // Metastability glitch: the transfer survives but the crossing
+            // takes extra synchroniser cycles. Delivered late = recovered.
+            let glitch = self.dst_period * ctx.faults.schedule().glitch_cycles;
+            ctx.faults.record_recovered(entry.faults + 1);
+            let c = ctx.stats.counter(&format!("{}.fault_glitches", self.name));
+            ctx.stats.inc(c, 1);
+            ctx.links
+                .push_after(self.req_fifo, now, glitch, Packet::Request(entry.txn))
+                .expect("can_push checked");
+        } else {
+            if entry.faults > 0 {
+                ctx.faults.record_recovered(entry.faults);
+                let c = ctx.stats.counter(&format!("{}.fault_recovered", self.name));
+                ctx.stats.inc(c, entry.faults);
+            }
+            ctx.links
+                .push(self.req_fifo, now, Packet::Request(entry.txn))
+                .expect("can_push checked");
+        }
+    }
+
+    /// A transmission of `entry` was hit: schedule the retransmission after
+    /// `detect_delay`, or — with the retry budget exhausted — abandon the
+    /// transfer, releasing every upstream waiter with an error completion.
+    fn requeue_or_abandon(
+        &mut self,
+        mut entry: RetryEntry,
+        detect_delay: Time,
+        ctx: &mut TickContext<'_, Packet>,
+    ) {
+        let now = ctx.time;
+        if entry.attempt < ctx.faults.schedule().retry_budget {
+            entry.deadline = now + detect_delay;
+            self.retries.push_back(entry);
+            return;
+        }
+        ctx.faults.record_lost(entry.faults);
+        let c = ctx.stats.counter(&format!("{}.fault_lost", self.name));
+        ctx.stats.inc(c, 1);
+        self.consume_ack.remove(&entry.txn.id);
+        let mut txn = entry.txn;
+        if let Some(width) = self.in_flight.remove(&txn.id) {
+            txn = txn.with_width(width);
+        }
+        ctx.stats.emit_trace(now, &self.name, TraceKind::State, || {
+            format!("{txn} abandoned after {} attempts", entry.attempt + 1)
+        });
+        if entry.expects_response {
+            self.dead_letters.push_back(Response::error(txn, now));
+        }
+    }
 }
 
 impl Component<Packet> for BridgeTargetSide {
@@ -249,6 +348,14 @@ impl Component<Packet> for BridgeTargetSide {
 
     fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
         let now = ctx.time;
+        // Release initiators of abandoned transfers (error completions wait
+        // for response-channel space like any other response).
+        if !self.dead_letters.is_empty() && ctx.links.can_push(self.resp_out) {
+            let dead = self.dead_letters.pop_front().expect("checked non-empty");
+            ctx.links
+                .push(self.resp_out, now, Packet::Response(dead))
+                .expect("can_push checked");
+        }
         // Return a response towards the source bus.
         if let Some(Packet::Response(resp)) = ctx.links.peek(self.resp_fifo, now) {
             let id = resp.txn.id;
@@ -269,6 +376,24 @@ impl Component<Packet> for BridgeTargetSide {
                     .push(self.resp_out, now, Packet::Response(resp))
                     .expect("can_push checked");
             }
+        }
+        // Retransmit a due retry, with priority over new accepts (one
+        // request crosses per cycle either way).
+        let due = self.retries.iter().position(|entry| entry.deadline <= now);
+        if let Some(pos) = due {
+            if ctx.links.can_push(self.req_fifo) {
+                let mut entry = self.retries.remove(pos).expect("position found");
+                entry.attempt += 1;
+                ctx.faults.record_retry(1);
+                let c = ctx.stats.counter(&format!("{}.fault_retries", self.name));
+                ctx.stats.inc(c, 1);
+                ctx.stats
+                    .emit_trace(now, &self.name, TraceKind::Forward, || {
+                        format!("{} retransmission #{}", entry.txn, entry.attempt)
+                    });
+                self.dispatch(entry, ctx);
+            }
+            return;
         }
         // Accept a request from the source bus (store-and-forward: the
         // source bus delivers writes only once their data has fully
@@ -301,15 +426,25 @@ impl Component<Packet> for BridgeTargetSide {
                     .emit_trace(now, &self.name, TraceKind::Forward, || {
                         format!("{txn} crosses ({} in flight)", self.in_flight.len())
                     });
-                ctx.links
-                    .push(self.req_fifo, now, Packet::Request(txn))
-                    .expect("can_push checked");
+                self.dispatch(
+                    RetryEntry {
+                        txn,
+                        expects_response,
+                        attempt: 0,
+                        deadline: now,
+                        faults: 0,
+                    },
+                    ctx,
+                );
             }
         }
     }
 
     fn is_idle(&self) -> bool {
-        self.in_flight.is_empty() && self.consume_ack.is_empty()
+        self.in_flight.is_empty()
+            && self.consume_ack.is_empty()
+            && self.retries.is_empty()
+            && self.dead_letters.is_empty()
     }
 }
 

@@ -22,6 +22,7 @@ mod many_to_many;
 mod many_to_one;
 mod noc_outlook;
 mod parallel;
+mod robustness;
 
 pub use ablations::{
     arbitration_study, bridge_ablation, buffering_ablation, lmi_ablation, ArbitrationStudy,
@@ -37,6 +38,7 @@ pub use many_to_many::{many_to_many, many_to_many_with_jobs, ManyToMany, ManyToM
 pub use many_to_one::{many_to_one, ManyToOne, ManyToOneRow};
 pub use noc_outlook::{noc_outlook, NocOutlook, NocOutlookRow};
 pub use parallel::parallel_map;
+pub use robustness::{robustness, robustness_with_jobs, Robustness, RobustnessRow};
 
 /// Default workload multiplier for experiment runs.
 pub const DEFAULT_SCALE: u64 = 4;

@@ -243,6 +243,19 @@ impl Platform {
         out
     }
 
+    /// Arms deterministic fault injection: every component on the tick path
+    /// starts probing `schedule` from a fresh stream. Arming with an
+    /// all-zero-rate schedule is behaviourally identical to not arming.
+    pub fn arm_faults(&mut self, schedule: mpsoc_kernel::FaultSchedule) {
+        self.sim.arm_faults(schedule);
+    }
+
+    /// Fault-injection bookkeeping accumulated so far (all zeros when no
+    /// schedule was armed).
+    pub fn fault_counts(&self) -> mpsoc_kernel::FaultCounts {
+        self.sim.fault_counts()
+    }
+
     /// Arms the fine-grain event trace with space for `capacity` records
     /// (grants, channel transfers, FIFO transitions). Retrieve them after
     /// the run through `self.sim().stats().trace()`.

@@ -1,5 +1,6 @@
 //! The component trait and per-tick context.
 
+use crate::fault::FaultEngine;
 use crate::link::LinkPool;
 use crate::rng::SplitMix64;
 use crate::stats::StatsRegistry;
@@ -39,6 +40,8 @@ pub struct TickContext<'a, T> {
     pub stats: &'a mut StatsRegistry,
     /// Deterministic pseudo-random source (seeded once per simulation).
     pub rng: &'a mut SplitMix64,
+    /// Fault-injection engine (disarmed — and free to probe — by default).
+    pub faults: &'a mut FaultEngine,
 }
 
 impl<T> fmt::Debug for TickContext<'_, T> {

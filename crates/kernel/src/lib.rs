@@ -50,6 +50,7 @@ pub mod activity;
 mod clock;
 mod component;
 mod error;
+pub mod fault;
 mod link;
 pub mod reference;
 mod rng;
@@ -63,6 +64,7 @@ pub use activity::ActivitySnapshot;
 pub use clock::ClockDomain;
 pub use component::{Component, ComponentId, TickContext};
 pub use error::{SimError, SimResult};
+pub use fault::{FaultCounts, FaultEngine, FaultKind, FaultSchedule};
 pub use link::{Link, LinkId, LinkPool};
 pub use rng::SplitMix64;
 pub use sim::{RunOutcome, Simulation};

@@ -20,6 +20,7 @@
 use crate::clock::ClockDomain;
 use crate::component::{Component, ComponentId, TickContext};
 use crate::error::{SimError, SimResult};
+use crate::fault::FaultEngine;
 use crate::link::LinkPool;
 use crate::rng::SplitMix64;
 use crate::sim::RunOutcome;
@@ -43,6 +44,7 @@ pub struct NaiveSimulation<T> {
     links: LinkPool<T>,
     stats: StatsRegistry,
     rng: SplitMix64,
+    faults: FaultEngine,
 }
 
 impl<T> NaiveSimulation<T> {
@@ -59,6 +61,7 @@ impl<T> NaiveSimulation<T> {
             links: LinkPool::new(),
             stats: StatsRegistry::new(),
             rng: SplitMix64::new(seed),
+            faults: FaultEngine::new(),
         }
     }
 
@@ -124,6 +127,7 @@ impl<T> NaiveSimulation<T> {
                     links: &mut self.links,
                     stats: &mut self.stats,
                     rng: &mut self.rng,
+                    faults: &mut self.faults,
                 };
                 slot.component.tick(&mut ctx);
                 slot.ticks += 1;

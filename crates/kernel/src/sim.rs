@@ -20,6 +20,7 @@
 use crate::clock::ClockDomain;
 use crate::component::{Component, ComponentId, TickContext};
 use crate::error::{SimError, SimResult};
+use crate::fault::{FaultCounts, FaultEngine, FaultSchedule};
 use crate::link::LinkPool;
 use crate::rng::SplitMix64;
 use crate::stats::StatsRegistry;
@@ -104,6 +105,7 @@ pub struct Simulation<T> {
     links: LinkPool<T>,
     stats: StatsRegistry,
     rng: SplitMix64,
+    faults: FaultEngine,
 }
 
 impl<T> Simulation<T> {
@@ -127,7 +129,30 @@ impl<T> Simulation<T> {
             links: LinkPool::new(),
             stats: StatsRegistry::new(),
             rng: SplitMix64::new(seed),
+            faults: FaultEngine::new(),
         }
+    }
+
+    /// Arms the fault engine with `schedule` for this simulation's run.
+    /// Without this call the engine stays disarmed and every
+    /// [`FaultEngine::probe`] on the tick path is a single cold branch.
+    pub fn arm_faults(&mut self, schedule: FaultSchedule) {
+        self.faults.arm(schedule);
+    }
+
+    /// The fault engine (for reading accounting after a run).
+    pub fn faults(&self) -> &FaultEngine {
+        &self.faults
+    }
+
+    /// Mutable access to the fault engine.
+    pub fn faults_mut(&mut self) -> &mut FaultEngine {
+        &mut self.faults
+    }
+
+    /// The fault engine's cumulative accounting.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults.counts()
     }
 
     /// Registers a component on a clock domain. The first tick fires at the
@@ -291,6 +316,7 @@ impl<T> Simulation<T> {
             links: &mut self.links,
             stats: &mut self.stats,
             rng: &mut self.rng,
+            faults: &mut self.faults,
         };
         slot.component.tick(&mut ctx);
         slot.ticks += 1;

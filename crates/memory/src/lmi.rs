@@ -10,7 +10,7 @@
 
 use crate::sdram::{SdramDevice, SdramGeometry, SdramTiming};
 use mpsoc_kernel::stats::ResidencyId;
-use mpsoc_kernel::{ClockDomain, Component, LinkId, TickContext, Time, TraceKind};
+use mpsoc_kernel::{ClockDomain, Component, FaultKind, LinkId, TickContext, Time, TraceKind};
 use mpsoc_protocol::{Packet, Response, Transaction};
 use std::collections::VecDeque;
 
@@ -124,7 +124,23 @@ pub struct LmiController {
     next_refresh_cycle: u64,
     iface_residency: Option<ResidencyId>,
     empty_residency: Option<ResidencyId>,
+    /// Degraded mode: after repeated injected engine stalls the controller
+    /// sheds its optimizations (no lookahead, no merging) to keep servicing
+    /// requests predictably, at reduced bandwidth. Cleared after a run of
+    /// clean accesses.
+    degraded: bool,
+    /// Injected stalls since the controller last left degraded mode (or
+    /// since construction).
+    recent_stalls: u32,
+    /// Consecutive clean (un-stalled) engine starts, for recovery.
+    clean_accesses: u32,
+    mode_residency: Option<ResidencyId>,
 }
+
+/// Clean engine starts required to leave degraded mode.
+const DEGRADED_RECOVERY_ACCESSES: u32 = 16;
+/// Injected stalls that trip the controller into degraded mode.
+const DEGRADED_ENTRY_STALLS: u32 = 2;
 
 impl LmiController {
     /// Creates a controller clocked by `clock`, fed by `req_in`, answering
@@ -151,7 +167,17 @@ impl LmiController {
             next_refresh_cycle,
             iface_residency: None,
             empty_residency: None,
+            degraded: false,
+            recent_stalls: 0,
+            clean_accesses: 0,
+            mode_residency: None,
         }
+    }
+
+    /// Whether the controller is currently in degraded mode (optimizations
+    /// shed after repeated injected stalls).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// The SDRAM device model (row-hit statistics etc.).
@@ -172,7 +198,7 @@ impl LmiController {
     /// window entry hitting an open row, unless an older entry from the same
     /// initiator would be overtaken (per-source ordering is preserved).
     fn select_index(&self) -> usize {
-        if self.config.lookahead_depth == 0 {
+        if self.config.lookahead_depth == 0 || self.degraded {
             return 0;
         }
         let window = self.config.lookahead_depth.min(self.in_fifo.len());
@@ -199,7 +225,7 @@ impl LmiController {
     fn take_batch(&mut self, first_idx: usize) -> Vec<Transaction> {
         let first = self.in_fifo.remove(first_idx).expect("index in range");
         let mut batch = vec![first];
-        if !self.config.opcode_merging {
+        if !self.config.opcode_merging || self.degraded {
             return batch;
         }
         let window = self.config.lookahead_depth.max(1);
@@ -250,6 +276,11 @@ impl Component<Packet> for LmiController {
             ctx.stats
                 .residency(&format!("{}.empty", self.name), &["empty", "nonempty"])
         });
+        let mode = *self.mode_residency.get_or_insert_with(|| {
+            ctx.stats
+                .residency(&format!("{}.mode", self.name), &["normal", "degraded"])
+        });
+        ctx.stats.set_state(mode, usize::from(self.degraded), now);
 
         // 1. Drain scheduled responses to the bus interface, oldest-ready
         //    first, as the output FIFO has room.
@@ -295,16 +326,30 @@ impl Component<Packet> for LmiController {
         ctx.stats
             .set_state(empty, usize::from(!self.in_fifo.is_empty()), now);
 
-        // 3. Refresh management: when due and the engine is free.
+        // 3. Refresh management: when due and the engine is free. An
+        //    injected refresh storm chains extra back-to-back refreshes,
+        //    stealing memory bandwidth (recovered by definition: every
+        //    queued access is merely delayed).
         if now_cycle >= self.next_refresh_cycle && self.engine_busy_until <= now {
-            let done = self.sdram.refresh(now_cycle);
+            let mut done = self.sdram.refresh(now_cycle);
+            let mut burst = 1u64;
+            if ctx.faults.probe(FaultKind::RefreshStorm) {
+                let extra = u64::from(ctx.faults.schedule().storm_refreshes.max(1)) - 1;
+                for _ in 0..extra {
+                    done = self.sdram.refresh(done);
+                }
+                burst += extra;
+                ctx.faults.record_recovered(1);
+                let storms = ctx.stats.counter(&format!("{}.fault_storms", self.name));
+                ctx.stats.inc(storms, 1);
+            }
             ctx.stats.emit_trace(now, &self.name, TraceKind::State, || {
-                format!("auto-refresh until cycle {done}")
+                format!("auto-refresh x{burst} until cycle {done}")
             });
             self.engine_busy_until = self.cycle_to_time(done);
             self.next_refresh_cycle += self.config.timing.t_refi;
             let refreshes = ctx.stats.counter(&format!("{}.refreshes", self.name));
-            ctx.stats.inc(refreshes, 1);
+            ctx.stats.inc(refreshes, burst);
             return;
         }
 
@@ -313,6 +358,46 @@ impl Component<Packet> for LmiController {
             && !self.in_fifo.is_empty()
             && self.pending.len() < self.config.output_fifo_depth
         {
+            // Stall detection with graceful degradation: an injected engine
+            // stall freezes the controller for the scheduled cycles; after
+            // repeated stalls the controller sheds its optimizations
+            // (prefetch lookahead, opcode merging) and reports degraded
+            // bandwidth until a run of clean accesses earns them back.
+            if ctx.faults.probe(FaultKind::TargetStall) {
+                let stall = ctx.faults.schedule().stall_cycles.max(1);
+                self.engine_busy_until = now + self.clock.period() * stall;
+                self.recent_stalls += 1;
+                self.clean_accesses = 0;
+                ctx.faults.record_recovered(1);
+                let stalls = ctx.stats.counter(&format!("{}.fault_stalls", self.name));
+                ctx.stats.inc(stalls, 1);
+                if !self.degraded && self.recent_stalls >= DEGRADED_ENTRY_STALLS {
+                    self.degraded = true;
+                    let entries = ctx
+                        .stats
+                        .counter(&format!("{}.degraded_entries", self.name));
+                    ctx.stats.inc(entries, 1);
+                    ctx.stats.emit_trace(now, &self.name, TraceKind::State, || {
+                        format!("degraded mode entered after {} stalls", self.recent_stalls)
+                    });
+                } else {
+                    ctx.stats.emit_trace(now, &self.name, TraceKind::State, || {
+                        format!("engine stalled for {stall} cycles")
+                    });
+                }
+                return;
+            }
+            if self.degraded {
+                self.clean_accesses += 1;
+                if self.clean_accesses >= DEGRADED_RECOVERY_ACCESSES {
+                    self.degraded = false;
+                    self.recent_stalls = 0;
+                    self.clean_accesses = 0;
+                    ctx.stats.emit_trace(now, &self.name, TraceKind::State, || {
+                        "degraded mode left (clean access run)".to_string()
+                    });
+                }
+            }
             let idx = self.select_index();
             let batch = self.take_batch(idx);
             let opcode = batch[0].opcode;

@@ -177,14 +177,9 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!(
-    (A.0)
-    (A.0, B.1)
-    (A.0, B.1, C.2)
-    (A.0, B.1, C.2, D.3)
-    (A.0, B.1, C.2, D.3, E.4)
-    (A.0, B.1, C.2, D.3, E.4, F.5)
-);
+impl_tuple_strategy!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(
+    A.0, B.1, C.2, D.3, E.4
+)(A.0, B.1, C.2, D.3, E.4, F.5));
 
 /// Strategy for "any value" of simple types, mirroring `proptest::any`.
 #[derive(Debug, Clone, Copy)]

@@ -19,6 +19,12 @@ pub struct Response {
     /// Time the target finished servicing the access (for latency
     /// decomposition: queueing vs service vs return path).
     pub serviced_at: Time,
+    /// Whether this response reports an *error completion*: the transaction
+    /// was abandoned by recovery machinery (retry budget exhausted) and the
+    /// initiator must not wait for data. Error responses keep initiators
+    /// drainable under fault injection — a lost transaction still produces
+    /// exactly one response upstream.
+    pub error: bool,
 }
 
 impl Response {
@@ -28,6 +34,18 @@ impl Response {
             txn,
             gap_per_beat: 0,
             serviced_at,
+            error: false,
+        }
+    }
+
+    /// Creates an error-completion response for `txn` (see
+    /// [`Response::error`]).
+    pub fn error(txn: Transaction, serviced_at: Time) -> Self {
+        Response {
+            txn,
+            gap_per_beat: 0,
+            serviced_at,
+            error: true,
         }
     }
 
@@ -38,8 +56,12 @@ impl Response {
     }
 
     /// Bus cycles the response occupies on a response channel of the
-    /// transaction's width, including streaming gaps.
+    /// transaction's width, including streaming gaps. An error completion
+    /// carries no data and occupies a single notification cycle.
     pub fn channel_cycles(&self) -> u64 {
+        if self.error {
+            return 1;
+        }
         let beats = self.txn.response_cycles();
         beats + beats.saturating_sub(1) * self.gap_per_beat as u64
     }
@@ -140,6 +162,16 @@ mod tests {
         assert_eq!(gapped.channel_cycles(), 7);
         let single = Response::new(read(1), Time::ZERO).with_gap(3);
         assert_eq!(single.channel_cycles(), 1);
+    }
+
+    #[test]
+    fn error_responses_are_single_cycle_notifications() {
+        let ok = Response::new(read(8), Time::ZERO);
+        assert!(!ok.error);
+        let err = Response::error(read(8), Time::from_ns(3));
+        assert!(err.error);
+        assert_eq!(err.channel_cycles(), 1);
+        assert_eq!(err.serviced_at, Time::from_ns(3));
     }
 
     #[test]

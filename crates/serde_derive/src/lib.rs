@@ -18,7 +18,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match expand(input) {
         Ok(ts) => ts,
-        Err(msg) => format!("compile_error!({msg:?});").parse().expect("valid error tokens"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("valid error tokens"),
     }
 }
 

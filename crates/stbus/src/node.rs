@@ -1,10 +1,10 @@
 //! The STBus node component.
 
 use mpsoc_kernel::stats::CounterId;
-use mpsoc_kernel::{ClockDomain, Component, LinkId, TickContext, Time, TraceKind};
+use mpsoc_kernel::{ClockDomain, Component, FaultKind, LinkId, TickContext, Time, TraceKind};
 use mpsoc_protocol::{
     AddressMap, AddressMapError, AddressRange, ArbitrationPolicy, Contender, DataWidth, Packet,
-    ProtocolKind, TransactionId,
+    ProtocolKind, Response, Transaction, TransactionId,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -65,6 +65,22 @@ struct InitiatorPort {
 struct TargetPort {
     req_out: LinkId,
     resp_in: LinkId,
+}
+
+/// A request the target channel lost to an injected fault, held by the node
+/// for re-issue: *posted-write replay* for acceptance-completing writes,
+/// *outstanding-transaction timeout* for response-expecting transactions.
+#[derive(Debug)]
+struct ReplayEntry {
+    txn: Transaction,
+    target: usize,
+    /// Re-issues performed so far.
+    attempt: u32,
+    /// Earliest re-issue time (detection timeout, exponential backoff).
+    deadline: Time,
+    /// Injected faults accumulated by this transaction, resolved in one
+    /// batch on successful re-issue or abandonment.
+    faults: u64,
 }
 
 #[derive(Debug, Default)]
@@ -131,6 +147,12 @@ pub struct StbusNode {
     /// port would deadlock behind bridges that multiplex several sources.
     expected_by_source: HashMap<mpsoc_protocol::InitiatorId, VecDeque<TransactionId>>,
     counters: NodeCounters,
+    /// Requests lost on a target channel, awaiting re-issue. Empty in every
+    /// fault-free run.
+    replays: Vec<ReplayEntry>,
+    /// Error completions for abandoned transactions, held until every older
+    /// same-source response has been delivered (in-order types).
+    dead_letters: VecDeque<(usize, Response)>,
 }
 
 impl StbusNode {
@@ -160,6 +182,8 @@ impl StbusNode {
             in_flight: HashMap::new(),
             expected_by_source: HashMap::new(),
             counters: NodeCounters::default(),
+            replays: Vec::new(),
+            dead_letters: VecDeque::new(),
         }
     }
 
@@ -355,6 +379,12 @@ impl StbusNode {
             if needs_slot && port.outstanding >= max_outstanding {
                 continue;
             }
+            // While a source has a transaction in fault recovery, its newer
+            // transactions wait: issuing them would break the per-source
+            // response order in-order types guarantee.
+            if self.fault_blocked(txn.initiator) {
+                continue;
+            }
             found.push(Contender {
                 port: p,
                 priority: txn.priority,
@@ -426,15 +456,33 @@ impl StbusNode {
                 self.in_flight.insert(txn.id, winner.port);
             }
             let req_out = self.targets[target].req_out;
-            // The request lands at the target when its transfer completes.
-            ctx.links
-                .push_after(
-                    req_out,
-                    now,
-                    period * cycles.saturating_sub(1),
-                    Packet::Request(txn),
-                )
-                .expect("can_push checked");
+            if ctx.faults.probe(FaultKind::LinkDrop) {
+                // The request is lost on the target channel (it still
+                // occupied the request channel for its transfer cycles).
+                // The node keeps a replay copy and re-issues it after the
+                // detection timeout.
+                let timeout = ctx.faults.schedule().timeout_cycles;
+                let c = ctx.stats.counter(&format!("{}.fault_drops", self.name));
+                ctx.stats.inc(c, 1);
+                self.replays.push(ReplayEntry {
+                    txn,
+                    target,
+                    attempt: 0,
+                    deadline: now + period * timeout,
+                    faults: 1,
+                });
+            } else {
+                // The request lands at the target when its transfer
+                // completes.
+                ctx.links
+                    .push_after(
+                        req_out,
+                        now,
+                        period * cycles.saturating_sub(1),
+                        Packet::Request(txn),
+                    )
+                    .expect("can_push checked");
+            }
             ctx.stats.emit_trace(now, &self.name, TraceKind::Grant, || {
                 format!("port {} -> target {target}", winner.port)
             });
@@ -450,6 +498,133 @@ impl StbusNode {
             ctx.stats.inc(busy, (period * cycles).as_ps());
         }
     }
+
+    /// Whether `source` has a transaction in fault recovery (replay pending
+    /// or error completion not yet delivered).
+    fn fault_blocked(&self, source: mpsoc_protocol::InitiatorId) -> bool {
+        self.replays.iter().any(|e| e.txn.initiator == source)
+            || self
+                .dead_letters
+                .iter()
+                .any(|(_, r)| r.txn.initiator == source)
+    }
+
+    /// Re-issues one due replay per tick (the replay bypasses arbitration —
+    /// the transaction already won it once — but still consumes request
+    /// channel cycles and target FIFO space).
+    fn process_replays(&mut self, ctx: &mut TickContext<'_, Packet>) {
+        if self.replays.is_empty() {
+            return;
+        }
+        let now = ctx.time;
+        let period = self.clock.period();
+        let due = self.replays.iter().position(|e| {
+            e.deadline <= now
+                && self.req_busy[self.req_channel(e.target)] <= now
+                && ctx.links.can_push(self.targets[e.target].req_out)
+        });
+        let Some(pos) = due else { return };
+        let mut entry = self.replays.remove(pos);
+        entry.attempt += 1;
+        ctx.faults.record_retry(1);
+        let retries = ctx.stats.counter(&format!("{}.fault_retries", self.name));
+        ctx.stats.inc(retries, 1);
+        let cycles = entry.txn.request_cycles();
+        let chan = self.req_channel(entry.target);
+        self.req_busy[chan] = now + period * cycles;
+        if ctx.faults.probe(FaultKind::LinkDrop) {
+            // Hit again: back off exponentially or give up.
+            entry.faults += 1;
+            if entry.attempt >= ctx.faults.schedule().retry_budget {
+                self.abandon(entry, ctx);
+            } else {
+                let backoff = ctx.faults.schedule().timeout_cycles << entry.attempt.min(16);
+                entry.deadline = now + period * backoff;
+                self.replays.push(entry);
+            }
+            return;
+        }
+        // Re-issued successfully. The target now sees this transaction
+        // *after* everything granted before the fault, so the per-source
+        // expected order moves it to the back.
+        if !entry.txn.completes_on_acceptance() {
+            if let Some(q) = self.expected_by_source.get_mut(&entry.txn.initiator) {
+                q.retain(|&id| id != entry.txn.id);
+                q.push_back(entry.txn.id);
+            }
+        }
+        ctx.faults.record_recovered(entry.faults);
+        ctx.stats
+            .emit_trace(now, &self.name, TraceKind::Forward, || {
+                format!("{} re-issued (attempt {})", entry.txn, entry.attempt)
+            });
+        ctx.links
+            .push_after(
+                self.targets[entry.target].req_out,
+                now,
+                period * cycles.saturating_sub(1),
+                Packet::Request(entry.txn),
+            )
+            .expect("can_push checked");
+    }
+
+    /// Gives up on a replayed transaction: accounts its faults as lost and
+    /// — for response-expecting transactions — releases the initiator with
+    /// an error completion.
+    fn abandon(&mut self, entry: ReplayEntry, ctx: &mut TickContext<'_, Packet>) {
+        let now = ctx.time;
+        ctx.faults.record_lost(entry.faults);
+        let c = ctx.stats.counter(&format!("{}.fault_lost", self.name));
+        ctx.stats.inc(c, 1);
+        ctx.stats.emit_trace(now, &self.name, TraceKind::State, || {
+            format!("{} abandoned after {} attempts", entry.txn, entry.attempt)
+        });
+        if entry.txn.completes_on_acceptance() {
+            // Posted write: the initiator was released at acceptance; the
+            // write is simply lost.
+            return;
+        }
+        let port = self
+            .in_flight
+            .remove(&entry.txn.id)
+            .expect("abandoned transaction was in flight");
+        if let Some(q) = self.expected_by_source.get_mut(&entry.txn.initiator) {
+            q.retain(|&id| id != entry.txn.id);
+            if q.is_empty() {
+                self.expected_by_source.remove(&entry.txn.initiator);
+            }
+        }
+        self.initiators[port].outstanding = self.initiators[port].outstanding.saturating_sub(1);
+        self.dead_letters
+            .push_back((port, Response::error(entry.txn, now)));
+    }
+
+    /// Delivers one pending error completion per tick, once every older
+    /// same-source response has gone out (keeps in-order consumers sane).
+    fn flush_dead_letters(&mut self, ctx: &mut TickContext<'_, Packet>) {
+        if self.dead_letters.is_empty() {
+            return;
+        }
+        let now = ctx.time;
+        let period = self.clock.period();
+        let due = self.dead_letters.iter().position(|(port, resp)| {
+            !self.expected_by_source.contains_key(&resp.txn.initiator)
+                && self.resp_busy[self.resp_channel(*port)] <= now
+                && ctx.links.can_push(self.initiators[*port].resp_out)
+        });
+        let Some(pos) = due else { return };
+        let (port, resp) = self.dead_letters.remove(pos).expect("position found");
+        let chan = self.resp_channel(port);
+        // An error completion is a single notification cycle.
+        self.resp_busy[chan] = now + period;
+        ctx.stats
+            .emit_trace(now, &self.name, TraceKind::Deliver, || {
+                format!("{} error completion -> port {port}", resp.txn)
+            });
+        ctx.links
+            .push(self.initiators[port].resp_out, now, Packet::Response(resp))
+            .expect("can_push checked");
+    }
 }
 
 impl Component<Packet> for StbusNode {
@@ -463,11 +638,13 @@ impl Component<Packet> for StbusNode {
         // outstanding slot and lets the same-cycle grant propagation issue
         // the next request without a handover bubble.
         self.deliver_responses(ctx);
+        self.flush_dead_letters(ctx);
+        self.process_replays(ctx);
         self.grant_requests(ctx);
     }
 
     fn is_idle(&self) -> bool {
-        self.in_flight.is_empty()
+        self.in_flight.is_empty() && self.replays.is_empty() && self.dead_letters.is_empty()
     }
 }
 

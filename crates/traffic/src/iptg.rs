@@ -463,6 +463,13 @@ impl Component<Packet> for IpTrafficGenerator {
                 .completed_ctr
                 .get_or_insert_with(|| ctx.stats.counter(&format!("{}.completed", self.name)));
             ctx.stats.inc(completed, 1);
+            if resp.error {
+                // An error completion: the fabric abandoned this transaction
+                // after exhausting its retry budget. The agent moves on, but
+                // the loss is observable per generator.
+                let errors = ctx.stats.counter(&format!("{}.error_responses", self.name));
+                ctx.stats.inc(errors, 1);
+            }
             let hist = *self
                 .latency_hist
                 .get_or_insert_with(|| ctx.stats.histogram(&format!("{}.latency_ns", self.name)));

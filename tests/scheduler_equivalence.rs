@@ -9,9 +9,7 @@
 //! platforms and compare the full traces.
 
 use mpsoc_kernel::reference::NaiveSimulation;
-use mpsoc_kernel::{
-    ClockDomain, Component, LinkId, RunOutcome, Simulation, TickContext, Time,
-};
+use mpsoc_kernel::{ClockDomain, Component, LinkId, RunOutcome, Simulation, TickContext, Time};
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
