@@ -7,14 +7,21 @@
 #   1. tier-1: release build + full test suite
 #   2. lint: rustfmt, clippy (warnings are errors), rustdoc
 #   3. smoke: one small end-to-end reproduction through the repro binary
-#   4. determinism: the same experiment twice with one seed must emit
+#   4. example smoke: build every example, run the quickstart and the
+#      trace-replay walkthroughs end to end
+#   5. determinism: the same experiment twice with one seed must emit
 #      byte-identical tables
-#   5. bench guard: scheduler throughput vs the committed perf ledger
+#   6. snapshot round trip: the checkpoint-forked fig4 sweep must emit the
+#      same table as the cold sweep, and the measured warm-fork speedup
+#      must clear the repro binary's floor
+#   7. bench guard: scheduler throughput vs the committed perf ledger
 set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "== tier-1: build =="
-cargo build --release
+# --workspace matters: the root manifest is both a workspace and the
+# mpsoc-suite package, so a bare `cargo build` would skip mpsoc-bench.
+cargo build --release --workspace
 
 echo "== tier-1: tests =="
 cargo test -q
@@ -34,6 +41,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== smoke: repro --exp robustness --scale 1 =="
 cargo run --release -p mpsoc-bench --bin repro -- --exp robustness --scale 1 --no-bench-out
 
+echo "== example smoke: build all, run quickstart + trace_replay =="
+cargo build --release --examples
+cargo run --release --example quickstart
+cargo run --release --example trace_replay
+
 echo "== determinism: fig3 twice, same seed, identical tables =="
 # Strip host-timing lines (the bracketed perf summaries and the totals)
 # before comparing: wall-clock numbers legitimately differ between runs.
@@ -49,6 +61,25 @@ if ! diff <(filter_timing "$run_dir/a.txt") <(filter_timing "$run_dir/b.txt"); t
     exit 1
 fi
 echo "determinism gate passed"
+
+echo "== snapshot round trip: fig4 cold vs --warm-fork =="
+# The cold sweep and the checkpoint-forked sweep must print the same
+# table (restore is exact); only the table lines are compared — headers
+# and timing lines legitimately differ. The --check-bench pass then
+# enforces the speedup floor on the speedup measured by *this* run,
+# recorded in a throwaway ledger.
+table_only() { grep -E '^(FIG-4| )' "$1"; }
+cargo run --release -p mpsoc-bench --bin repro -- \
+    --exp fig4 --no-bench-out > "$run_dir/cold.txt"
+cargo run --release -p mpsoc-bench --bin repro -- \
+    --warm-fork --bench-out "$run_dir/warmfork.json" \
+    --check-bench "$run_dir/warmfork.json" > "$run_dir/fork.txt"
+grep '\[check warm-fork' "$run_dir/fork.txt"
+if ! diff <(table_only "$run_dir/cold.txt") <(table_only "$run_dir/fork.txt"); then
+    echo "snapshot gate FAILED: warm-fork table differs from the cold sweep" >&2
+    exit 1
+fi
+echo "snapshot round-trip gate passed"
 
 echo "== bench guard: throughput vs committed ledger =="
 cargo run --release -p mpsoc-bench --bin repro -- \

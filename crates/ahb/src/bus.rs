@@ -309,6 +309,37 @@ impl AhbBus {
     }
 }
 
+impl mpsoc_kernel::Snapshot for AhbBus {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        use mpsoc_protocol::persist;
+        w.write_bool(self.active.is_some());
+        if let Some(active) = &self.active {
+            persist::save_txn_id(active.txn_id, w);
+            w.write_usize(active.initiator_port);
+            w.write_usize(active.target_port);
+            w.write_time(active.granted_at);
+            w.write_bool(active.forward_response);
+        }
+        w.write_time(self.busy_until);
+        w.write_time(self.charged_until);
+        w.write_usize(self.last_winner);
+    }
+
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        use mpsoc_protocol::persist;
+        self.active = r.read_bool().then(|| Active {
+            txn_id: persist::load_txn_id(r),
+            initiator_port: r.read_usize(),
+            target_port: r.read_usize(),
+            granted_at: r.read_time(),
+            forward_response: r.read_bool(),
+        });
+        self.busy_until = r.read_time();
+        self.charged_until = r.read_time();
+        self.last_winner = r.read_usize();
+    }
+}
+
 impl Component<Packet> for AhbBus {
     fn name(&self) -> &str {
         &self.name

@@ -393,6 +393,78 @@ impl AxiInterconnect {
     }
 }
 
+impl mpsoc_kernel::Snapshot for AxiInterconnect {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        use mpsoc_protocol::persist;
+        w.write_usize(self.initiators.len());
+        for port in &self.initiators {
+            w.write_usize(port.outstanding);
+        }
+        for t in [
+            self.ar_busy,
+            self.aw_busy,
+            self.w_busy,
+            self.r_busy,
+            self.b_busy,
+        ] {
+            w.write_time(t);
+        }
+        w.write_usize(self.last_ar_winner);
+        w.write_usize(self.last_aw_winner);
+        w.write_usize(self.resp_rr);
+        let mut in_flight: Vec<_> = self.in_flight.iter().collect();
+        in_flight.sort();
+        w.write_usize(in_flight.len());
+        for (id, port) in in_flight {
+            persist::save_txn_id(*id, w);
+            w.write_usize(*port);
+        }
+        let mut by_source: Vec<_> = self.expected_by_source.iter().collect();
+        by_source.sort_by_key(|(src, _)| src.raw());
+        w.write_usize(by_source.len());
+        for (src, queue) in by_source {
+            w.write_u16(src.raw());
+            w.write_usize(queue.len());
+            for id in queue {
+                persist::save_txn_id(*id, w);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        use mpsoc_protocol::persist;
+        let ports = r.read_usize();
+        for i in 0..ports {
+            let outstanding = r.read_usize();
+            if let Some(port) = self.initiators.get_mut(i) {
+                port.outstanding = outstanding;
+            }
+        }
+        self.ar_busy = r.read_time();
+        self.aw_busy = r.read_time();
+        self.w_busy = r.read_time();
+        self.r_busy = r.read_time();
+        self.b_busy = r.read_time();
+        self.last_ar_winner = r.read_usize();
+        self.last_aw_winner = r.read_usize();
+        self.resp_rr = r.read_usize();
+        self.in_flight.clear();
+        for _ in 0..r.read_usize() {
+            let id = persist::load_txn_id(r);
+            let port = r.read_usize();
+            self.in_flight.insert(id, port);
+        }
+        self.expected_by_source.clear();
+        for _ in 0..r.read_usize() {
+            let src = mpsoc_protocol::InitiatorId::new(r.read_u16());
+            let queue = (0..r.read_usize())
+                .map(|_| persist::load_txn_id(r))
+                .collect();
+            self.expected_by_source.insert(src, queue);
+        }
+    }
+}
+
 impl Component<Packet> for AxiInterconnect {
     fn name(&self) -> &str {
         &self.name

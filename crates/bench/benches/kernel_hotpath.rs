@@ -37,6 +37,8 @@ struct Spinner {
     ticks: u64,
 }
 
+impl mpsoc_kernel::Snapshot for Spinner {}
+
 impl Component<u64> for Spinner {
     fn name(&self) -> &str {
         "spinner"

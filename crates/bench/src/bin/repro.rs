@@ -7,7 +7,9 @@
 //! repro --exp fig5           # one experiment
 //! repro --scale 8 --seed 42  # bigger workload, different seed
 //! repro --jobs 4             # parallel sweep points inside fig4 / many-to-many
-//! repro --list               # list experiment ids
+//! repro --list               # list experiment ids with descriptions
+//! repro --exp fig4 --warm-fork          # checkpoint-forked sweep + speedup
+//! repro --exp fig4 --checkpoint-every 500 --rewind-to 2000   # time travel
 //! repro --no-bench-out       # skip writing the perf ledger
 //! repro --bench-out <path>   # refresh a committed ledger explicitly
 //! repro --check-bench <path> # fail if throughput regressed >30% vs <path>
@@ -22,8 +24,17 @@
 //! in a machine-readable ledger. By default that ledger lands in the
 //! gitignored `target/BENCH_kernel.json`; the committed copy at the repo
 //! root is only touched when `--bench-out` names it explicitly.
+//!
+//! `--warm-fork` runs the fig4 sweep twice — cold and via checkpoint/fork —
+//! proves the tables byte-identical, and records the wall-clock speedup in
+//! the ledger's `"warm_fork"` section. `--checkpoint-every`/`--rewind-to`
+//! run the time-travel debug harness on a representative platform of the
+//! selected experiment instead of the experiment itself.
 
-use mpsoc_bench::{ledger, measure_experiment, ExperimentRun, EXPERIMENTS};
+use mpsoc_bench::{
+    ledger, measure_experiment, measure_warm_fork, timetravel, ExperimentRun, EXPERIMENTS,
+    EXPERIMENT_INFO,
+};
 use mpsoc_platform::experiments::{DEFAULT_SCALE, DEFAULT_SEED};
 use serde::Serialize;
 use std::process::ExitCode;
@@ -34,6 +45,9 @@ struct Args {
     seed: u64,
     jobs: usize,
     list: bool,
+    warm_fork: bool,
+    checkpoint_every_ns: Option<u64>,
+    rewind_to_ns: Option<u64>,
     bench_out: bool,
     bench_out_path: Option<std::path::PathBuf>,
     check_bench: Option<std::path::PathBuf>,
@@ -46,6 +60,9 @@ fn parse_args() -> Result<Args, String> {
         seed: DEFAULT_SEED,
         jobs: 1,
         list: false,
+        warm_fork: false,
+        checkpoint_every_ns: None,
+        rewind_to_ns: None,
         bench_out: true,
         bench_out_path: None,
         check_bench: None,
@@ -81,6 +98,23 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--list" => args.list = true,
+            "--warm-fork" => args.warm_fork = true,
+            "--checkpoint-every" => {
+                args.checkpoint_every_ns = Some(
+                    it.next()
+                        .ok_or("--checkpoint-every needs a value (ns)")?
+                        .parse()
+                        .map_err(|e| format!("bad checkpoint cadence: {e}"))?,
+                );
+            }
+            "--rewind-to" => {
+                args.rewind_to_ns = Some(
+                    it.next()
+                        .ok_or("--rewind-to needs a value (ns)")?
+                        .parse()
+                        .map_err(|e| format!("bad rewind target: {e}"))?,
+                );
+            }
             "--no-bench-out" => args.bench_out = false,
             "--bench-out" => {
                 args.bench_out_path = Some(it.next().ok_or("--bench-out needs a path")?.into());
@@ -91,6 +125,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "repro [--exp <id>] [--scale N] [--seed N] [--jobs N] [--list] \
+                     [--warm-fork] [--checkpoint-every NS --rewind-to NS] \
                      [--no-bench-out] [--bench-out <path>] [--check-bench <path>]\n\
                      experiments: {}",
                     EXPERIMENTS.join(", ")
@@ -98,6 +133,23 @@ fn parse_args() -> Result<Args, String> {
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if args.checkpoint_every_ns.is_some() != args.rewind_to_ns.is_some() {
+        return Err("--checkpoint-every and --rewind-to must be given together".into());
+    }
+    if args.rewind_to_ns.is_some() && args.exp.is_none() {
+        return Err("time travel needs --exp <id> to pick the platform".into());
+    }
+    if args.warm_fork {
+        match args.exp.as_deref() {
+            None => args.exp = Some("fig4".into()),
+            Some("fig4") => {}
+            Some(other) => {
+                return Err(format!(
+                    "--warm-fork only applies to the fig4 sweep, not '{other}'"
+                ))
+            }
         }
     }
     Ok(args)
@@ -124,10 +176,17 @@ fn main() -> ExitCode {
         }
     };
     if args.list {
-        for id in EXPERIMENTS {
-            println!("{id}");
+        println!("{:<14} {:>9}  description", "experiment", "~scale-1");
+        for (id, description, runtime) in EXPERIMENT_INFO {
+            println!("{id:<14} {runtime:>9}  {description}");
         }
         return ExitCode::SUCCESS;
+    }
+    if let (Some(every), Some(target)) = (args.checkpoint_every_ns, args.rewind_to_ns) {
+        return time_travel(&args, every, target);
+    }
+    if args.warm_fork {
+        return warm_fork(&args);
     }
     let ids: Vec<&str> = match &args.exp {
         Some(one) => vec![one.as_str()],
@@ -187,10 +246,65 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the `--warm-fork` measurement and records its ledger section.
+fn warm_fork(args: &Args) -> ExitCode {
+    println!(
+        "fig4 warm-fork, scale {}, seed {:#x}, jobs {}\n",
+        args.scale, args.seed, args.jobs
+    );
+    let run = match measure_warm_fork(args.scale, args.seed, args.jobs) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("warm-fork failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", run.table);
+    println!("{}", run.perf_line());
+    if args.bench_out {
+        let path = args
+            .bench_out_path
+            .clone()
+            .unwrap_or_else(ledger::default_path);
+        match ledger::update_section(&path, "warm_fork", &run.to_json()) {
+            Ok(()) => println!("perf ledger updated: {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(baseline) = &args.check_bench {
+        return check_warm_fork(baseline);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the time-travel debug harness for one experiment.
+fn time_travel(args: &Args, every_ns: u64, rewind_ns: u64) -> ExitCode {
+    let id = args.exp.as_deref().expect("validated in parse_args");
+    match timetravel::time_travel(id, args.scale, args.seed, every_ns, rewind_ns) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("time travel failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Maximum tolerated throughput drop against the baseline ledger before
 /// [`check_bench`] fails the run: 30 %, generous enough to absorb host
 /// noise while still catching real scheduler regressions.
 const MAX_REGRESSION: f64 = 0.30;
+
+/// Minimum cold/fork speedup the `"warm_fork"` ledger section must show
+/// for [`check_warm_fork`] to pass: forking a warm checkpoint has to beat
+/// re-simulating the warm-up prefix by a clear margin, or the snapshot
+/// subsystem has regressed.
+const MIN_WARM_FORK_SPEEDUP: f64 = 1.5;
 
 /// Compares the measured edges/sec of `runs` against the ledger at
 /// `baseline`. Experiments missing from the baseline (newly added ones)
@@ -243,4 +357,38 @@ fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun]) -> ExitCode {
         MAX_REGRESSION * 100.0
     );
     ExitCode::SUCCESS
+}
+
+/// Enforces the warm-fork speedup floor against the ledger at `baseline`:
+/// its `"warm_fork"` section must exist and show at least
+/// [`MIN_WARM_FORK_SPEEDUP`].
+fn check_warm_fork(baseline: &std::path::Path) -> ExitCode {
+    let doc = match std::fs::read_to_string(baseline) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read bench baseline {}: {e}", baseline.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match ledger::warm_fork_speedup(&doc) {
+        Some(speedup) if speedup >= MIN_WARM_FORK_SPEEDUP => {
+            println!("[check warm-fork speedup {speedup:.2}x >= {MIN_WARM_FORK_SPEEDUP}x — ok]");
+            ExitCode::SUCCESS
+        }
+        Some(speedup) => {
+            eprintln!(
+                "warm-fork check failed: speedup {speedup:.2}x below the \
+                 {MIN_WARM_FORK_SPEEDUP}x floor in {}",
+                baseline.display()
+            );
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!(
+                "warm-fork check failed: {} has no warm_fork section",
+                baseline.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -4,7 +4,9 @@
 //! two producers:
 //!
 //! * the `repro` binary writes the `"experiments"` section (per-experiment
-//!   edges/sec and simulated-cycles/sec), and
+//!   edges/sec and simulated-cycles/sec),
+//! * `repro --warm-fork` writes the `"warm_fork"` section (cold vs
+//!   checkpoint-forked fig4 sweep wall time and the speedup ratio), and
 //! * the `kernel_hotpath` microbench writes the `"microbench"` section
 //!   (bucketed vs naive scheduler edges/sec and the speedup ratio).
 //!
@@ -56,7 +58,7 @@ pub fn committed_path() -> PathBuf {
 pub const SCHEMA: &str = "mpsoc-bench/kernel-v1";
 
 /// The known top-level sections, in the order they appear in the file.
-const SECTIONS: [&str; 2] = ["experiments", "microbench"];
+const SECTIONS: [&str; 3] = ["experiments", "warm_fork", "microbench"];
 
 /// Replaces `section` of the ledger at `path` with `value_json`, keeping
 /// every other known section from the existing file (if any).
@@ -142,6 +144,17 @@ pub fn experiment_rates(doc: &str) -> Vec<(String, f64)> {
     rates
 }
 
+/// Pulls the measured cold/fork speedup out of a ledger document's
+/// `"warm_fork"` section. Returns `None` when the section is absent or
+/// malformed.
+pub fn warm_fork_speedup(doc: &str) -> Option<f64> {
+    let section = extract_section(doc, "warm_fork")?;
+    let pos = section.find("\"speedup\":")?;
+    let rest = &section[pos + 10..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse::<f64>().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +209,16 @@ mod tests {
         let microbench = extract_section(doc, "microbench");
         assert_eq!(microbench.as_deref(), Some(r#"{"b":2}"#));
         assert_eq!(extract_section(doc, "nope"), None);
+    }
+
+    #[test]
+    fn warm_fork_speedup_is_scanned() {
+        let doc = concat!(
+            "{\n\"schema\": \"x\",\n",
+            "\"warm_fork\": {\"cold_seconds\":1.5,\"fork_seconds\":0.6,\"speedup\":2.5}\n}\n"
+        );
+        assert_eq!(warm_fork_speedup(doc), Some(2.5));
+        assert_eq!(warm_fork_speedup("{}\n"), None);
     }
 
     #[test]

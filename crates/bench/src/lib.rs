@@ -19,8 +19,9 @@
 #![warn(missing_docs)]
 
 pub mod ledger;
+pub mod timetravel;
 
-use mpsoc_kernel::{activity, SimResult};
+use mpsoc_kernel::{activity, SimError, SimResult};
 use mpsoc_platform::experiments::{self, DEFAULT_SCALE, DEFAULT_SEED};
 use serde::Serialize;
 use std::time::Instant;
@@ -41,6 +42,84 @@ pub const EXPERIMENTS: &[&str] = &[
     "tlm",
     "dual-channel",
     "robustness",
+];
+
+/// Per-experiment metadata printed by `repro --list`: the id, a one-line
+/// description, and the approximate wall-clock time of a `--scale 1` run
+/// on a contemporary desktop host (release build, `--jobs 1`).
+///
+/// Must stay in the same order as [`EXPERIMENTS`] (asserted by a test).
+pub const EXPERIMENT_INFO: &[(&str, &str, &str)] = &[
+    (
+        "many-to-many",
+        "8 initiators x 4 targets offered-load sweep: min-buffer AXI vs STBus vs AHB",
+        "~1.5 s",
+    ),
+    (
+        "many-to-one",
+        "12 initiators x 1 on-chip memory: protocol comparison under convergent load",
+        "~0.2 s",
+    ),
+    (
+        "fig3",
+        "normalized exec time across six platform organisations (paper Fig. 3)",
+        "~0.3 s",
+    ),
+    (
+        "fig4",
+        "collapsed vs distributed topology over memory wait states 1..32 (paper Fig. 4)",
+        "~0.1 s",
+    ),
+    (
+        "fig5",
+        "LMI controller + DDR SDRAM across four platform organisations (paper Fig. 5)",
+        "~0.2 s",
+    ),
+    (
+        "fig6",
+        "LMI FIFO state residency under the two-phase workload (paper Fig. 6)",
+        "~0.1 s",
+    ),
+    (
+        "buffering",
+        "STBus target-FIFO depth sweep closing the gap to AXI",
+        "~0.4 s",
+    ),
+    (
+        "bridges",
+        "distributed AXI with blocking vs split-capable bridges",
+        "~0.1 s",
+    ),
+    (
+        "lmi",
+        "LMI lookahead depth x merging ablation under full-platform traffic",
+        "~0.5 s",
+    ),
+    (
+        "arbitration",
+        "round-robin / fixed-priority / oldest-first on the full LMI platform",
+        "~0.2 s",
+    ),
+    (
+        "noc",
+        "shared STBus vs crossbar vs 3x4 mesh NoC under saturated traffic",
+        "~0.3 s",
+    ),
+    (
+        "tlm",
+        "cycle-accurate vs transaction-level fidelity: timing error and speedup",
+        "~0.1 s",
+    ),
+    (
+        "dual-channel",
+        "unified memory split across two LMI channels: exec time and FIFO pressure",
+        "~0.2 s",
+    ),
+    (
+        "robustness",
+        "fault rate x retry budget degradation table on the distributed LMI platform",
+        "~1 s",
+    ),
 ];
 
 /// Runs one experiment by id and returns its printable report.
@@ -170,6 +249,78 @@ pub fn measure_experiment(
     })
 }
 
+/// The `repro --warm-fork` measurement: the fig4 sweep run twice, once
+/// cold (every point re-simulates the shared warm-up prefix) and once via
+/// checkpoint/fork (the prefix is simulated once per topology and every
+/// point restores the snapshot blob).
+///
+/// Produced by [`measure_warm_fork`], which also *proves* the two tables
+/// byte-identical before reporting any timing.
+#[derive(Debug, Clone, Serialize)]
+pub struct WarmForkRun {
+    /// Workload multiplier the sweep ran at.
+    pub scale: u64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Worker threads used inside each sweep.
+    pub jobs: u64,
+    /// The rendered fig4 table (identical for both paths).
+    #[serde(skip)]
+    pub table: String,
+    /// Wall-clock seconds of the cold sweep.
+    pub cold_seconds: f64,
+    /// Wall-clock seconds of the checkpoint-forked sweep.
+    pub fork_seconds: f64,
+    /// `cold_seconds / fork_seconds`.
+    pub speedup: f64,
+}
+
+impl WarmForkRun {
+    /// One-line human-readable summary.
+    pub fn perf_line(&self) -> String {
+        format!(
+            "[warm-fork identical: yes — cold {:.2}s, fork {:.2}s, speedup {:.2}x]",
+            self.cold_seconds, self.fork_seconds, self.speedup
+        )
+    }
+}
+
+/// Runs the fig4 sweep cold and checkpoint-forked, verifies the two tables
+/// are byte-identical, and returns both timings.
+///
+/// # Errors
+///
+/// Fails if either sweep stalls, or — the self-check — if the forked table
+/// differs from the cold one in any byte, which would mean snapshot
+/// restore is not exact.
+pub fn measure_warm_fork(scale: u64, seed: u64, jobs: usize) -> SimResult<WarmForkRun> {
+    let started = Instant::now();
+    let cold = experiments::fig4_with_jobs(scale, seed, jobs)?.to_string();
+    let cold_seconds = started.elapsed().as_secs_f64().max(1e-9);
+    let started = Instant::now();
+    let fork = experiments::fig4_warm_fork_with_jobs(scale, seed, jobs)?.to_string();
+    let fork_seconds = started.elapsed().as_secs_f64().max(1e-9);
+    if cold != fork {
+        return Err(SimError::Snapshot {
+            source: mpsoc_kernel::SnapshotError::StructureMismatch {
+                detail: format!(
+                    "warm-fork self-check failed: the forked fig4 table differs from the \
+                     cold one\n--- cold ---\n{cold}\n--- fork ---\n{fork}"
+                ),
+            },
+        });
+    }
+    Ok(WarmForkRun {
+        scale,
+        seed,
+        jobs: jobs as u64,
+        table: fork,
+        cold_seconds,
+        fork_seconds,
+        speedup: cold_seconds / fork_seconds,
+    })
+}
+
 /// Default scale re-exported for the benches.
 pub const fn default_scale() -> u64 {
     DEFAULT_SCALE
@@ -195,5 +346,22 @@ mod tests {
     fn smallest_scale_smoke() {
         let out = run_experiment("many-to-one", 1, 1).expect("runs");
         assert!(out.contains("STBus"));
+    }
+
+    #[test]
+    fn experiment_info_matches_the_id_list() {
+        assert_eq!(EXPERIMENT_INFO.len(), EXPERIMENTS.len());
+        for ((info_id, description, runtime), id) in EXPERIMENT_INFO.iter().zip(EXPERIMENTS) {
+            assert_eq!(info_id, id, "EXPERIMENT_INFO order must match EXPERIMENTS");
+            assert!(!description.is_empty());
+            assert!(runtime.starts_with('~'), "runtime is an approximation");
+        }
+    }
+
+    #[test]
+    fn warm_fork_smoke_is_identical() {
+        let run = measure_warm_fork(1, 0x0dab, 1).expect("warm fork runs");
+        assert!(run.table.contains("FIG-4"));
+        assert!(run.cold_seconds > 0.0 && run.fork_seconds > 0.0);
     }
 }

@@ -55,6 +55,10 @@ impl PipelineStage {
     }
 }
 
+// In-flight payloads live in the kernel's link pool; the stage itself is
+// stateless.
+impl mpsoc_kernel::Snapshot for PipelineStage {}
+
 impl Component<Packet> for PipelineStage {
     fn name(&self) -> &str {
         &self.name

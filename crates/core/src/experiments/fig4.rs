@@ -13,10 +13,29 @@
 //! bridge path (distributed).
 
 use super::parallel_map;
-use crate::platforms::{build_platform, MemorySystem, PlatformSpec, Topology, Workload};
-use mpsoc_kernel::SimResult;
+use crate::platforms::{build_platform, MemorySystem, Platform, PlatformSpec, Topology, Workload};
+use mpsoc_kernel::{RunOutcome, SimResult, SnapshotBlob, Time};
 use mpsoc_protocol::ProtocolKind;
 use std::fmt;
+
+/// Wait states of the shared warm-up phase every sweep point starts from.
+const BASE_WS: u32 = 1;
+/// Fraction (permille) of the base run's **injected transactions** covered
+/// by the shared warm prefix before a point switches to its own wait
+/// states. Anchoring the boundary to traffic rather than execution time
+/// keeps it meaningful at every scale: large runs end with a long
+/// low-traffic drain tail, so a time fraction would land past all the
+/// memory activity and flatten the sweep.
+const WARM_PERMILLE: u64 = 980;
+/// Granularity at which the probe samples injection progress. The warm
+/// boundary is always a multiple of this, which keeps it a deterministic
+/// function of the spec alone.
+const CHUNK: Time = Time::from_us(1);
+/// The swept wait-state values. The first entry must be [`BASE_WS`]: its
+/// point *is* the probe run that defines the warm boundary.
+const SWEEP: [u32; 6] = [1, 2, 4, 8, 16, 32];
+/// Default run horizon, matching [`Platform::run`].
+const HORIZON: Time = Time::from_ms(60);
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -62,6 +81,101 @@ impl fmt::Display for Fig4 {
     }
 }
 
+/// The spec every sweep point starts from: memory at [`BASE_WS`]; the
+/// point's own wait states are applied at the warm boundary.
+fn point_spec(scale: u64, seed: u64, topology: Topology) -> PlatformSpec {
+    PlatformSpec {
+        protocol: ProtocolKind::StbusT3,
+        topology,
+        memory: MemorySystem::OnChip {
+            wait_states: BASE_WS,
+        },
+        workload: Workload::BurstyPosted,
+        scale,
+        seed,
+        ..PlatformSpec::default()
+    }
+}
+
+/// The shared prefix of one topology's sweep: the base-run result and the
+/// instant at which the sweep points diverge from it.
+struct WarmPhase {
+    /// Execution cycles of the straight [`BASE_WS`] run (the first point).
+    base_cycles: u64,
+    /// Simulation time up to which every point runs at [`BASE_WS`].
+    warm_until: Time,
+}
+
+/// Runs the probe (the `ws = BASE_WS` point) and derives the warm boundary.
+///
+/// The base run is stepped in [`CHUNK`]-sized slices, sampling the injected
+/// transaction count at every boundary; stepping a run this way is
+/// bit-identical to running it uninterrupted. The warm boundary is the
+/// earliest chunk boundary at which at least [`WARM_PERMILLE`] of the run's
+/// total injections have happened — a deterministic instant every sweep
+/// point can replay at [`BASE_WS`] before diverging.
+fn probe(scale: u64, seed: u64, topology: Topology) -> SimResult<WarmPhase> {
+    let mut platform = build_platform(&point_spec(scale, seed, topology))?;
+    let mut samples: Vec<(Time, u64)> = Vec::new();
+    let mut horizon = Time::ZERO;
+    let exec = loop {
+        horizon += CHUNK;
+        match platform.sim_mut().run_to_quiescence(horizon) {
+            RunOutcome::Quiescent { at } => break at,
+            RunOutcome::HorizonReached { .. } if horizon >= HORIZON => {
+                return platform
+                    .sim_mut()
+                    .run_to_quiescence_strict(HORIZON)
+                    .map(|_| unreachable!("probe already hit the horizon"));
+            }
+            RunOutcome::HorizonReached { .. } => {
+                samples.push((horizon, platform.injected_so_far()));
+            }
+        }
+    };
+    let total = platform.injected_so_far();
+    let threshold = total * WARM_PERMILLE / 1000;
+    let warm_until = samples
+        .iter()
+        .find(|(_, injected)| *injected >= threshold)
+        .or(samples.last())
+        .map_or(Time::ZERO, |(at, _)| *at);
+    Ok(WarmPhase {
+        base_cycles: platform.report_at(exec).exec_cycles,
+        warm_until,
+    })
+}
+
+/// Switches `platform` (already advanced to the warm boundary) to the
+/// point's wait states and finishes the run.
+fn finish_point(mut platform: Platform, wait_states: u32) -> SimResult<u64> {
+    assert!(
+        platform.set_memory_wait_states(wait_states),
+        "fig4 platforms use on-chip memory"
+    );
+    let exec = platform.sim_mut().run_to_quiescence_strict(HORIZON)?;
+    Ok(platform.report_at(exec).exec_cycles)
+}
+
+fn assemble(warm: &[WarmPhase; 2], tails: Vec<SimResult<[u64; 2]>>) -> SimResult<Fig4> {
+    let mut points = vec![Fig4Point {
+        wait_states: BASE_WS,
+        collapsed_cycles: warm[0].base_cycles,
+        distributed_cycles: warm[1].base_cycles,
+        ratio: warm[0].base_cycles as f64 / warm[1].base_cycles.max(1) as f64,
+    }];
+    for (ws, tail) in SWEEP[1..].iter().zip(tails) {
+        let cycles = tail?;
+        points.push(Fig4Point {
+            wait_states: *ws,
+            collapsed_cycles: cycles[0],
+            distributed_cycles: cycles[1],
+            ratio: cycles[0] as f64 / cycles[1].max(1) as f64,
+        });
+    }
+    Ok(Fig4 { points })
+}
+
 /// Runs the Figure 4 sweep sequentially.
 ///
 /// # Errors
@@ -73,43 +187,74 @@ pub fn fig4(scale: u64, seed: u64) -> SimResult<Fig4> {
 
 /// Runs the Figure 4 sweep with up to `jobs` worker threads.
 ///
-/// Every sweep point is an independent simulation built from the same spec
-/// and seed, so the result is identical to [`fig4`] for any `jobs`; only
-/// wall-clock time changes.
+/// Every point shares the same warm-up phase — the platform runs at
+/// `BASE_WS` (1 ws) until the warm boundary, then switches to the point's wait
+/// states — so the sweep isolates the memory-speed effect on an identical
+/// in-flight state. Points are independent simulations built from the same
+/// spec and seed, so the result is identical to [`fig4`] for any `jobs`;
+/// only wall-clock time changes.
 ///
 /// # Errors
 ///
 /// Fails if any platform instance stalls (model bug).
 pub fn fig4_with_jobs(scale: u64, seed: u64, jobs: usize) -> SimResult<Fig4> {
-    let sweep: Vec<u32> = vec![1, 2, 4, 8, 16, 32];
-    let points = parallel_map(sweep, jobs, |wait_states| -> SimResult<Fig4Point> {
+    let warm = [
+        probe(scale, seed, Topology::Collapsed)?,
+        probe(scale, seed, Topology::Distributed)?,
+    ];
+    let tails = parallel_map(SWEEP[1..].to_vec(), jobs, |ws| -> SimResult<[u64; 2]> {
         let mut cycles = [0u64; 2];
         for (i, topology) in [Topology::Collapsed, Topology::Distributed]
             .into_iter()
             .enumerate()
         {
-            let spec = PlatformSpec {
-                protocol: ProtocolKind::StbusT3,
-                topology,
-                memory: MemorySystem::OnChip { wait_states },
-                workload: Workload::BurstyPosted,
-                scale,
-                seed,
-                ..PlatformSpec::default()
-            };
-            let mut platform = build_platform(&spec)?;
-            cycles[i] = platform.run()?.exec_cycles;
+            let mut platform = build_platform(&point_spec(scale, seed, topology))?;
+            platform.sim_mut().run_until(warm[i].warm_until);
+            cycles[i] = finish_point(platform, ws)?;
         }
-        Ok(Fig4Point {
-            wait_states,
-            collapsed_cycles: cycles[0],
-            distributed_cycles: cycles[1],
-            ratio: cycles[0] as f64 / cycles[1].max(1) as f64,
-        })
-    })
-    .into_iter()
-    .collect::<SimResult<Vec<_>>>()?;
-    Ok(Fig4 { points })
+        Ok(cycles)
+    });
+    assemble(&warm, tails)
+}
+
+/// Runs the Figure 4 sweep via checkpoint/fork: each topology's warm phase
+/// is simulated **once**, checkpointed at the warm boundary, and every
+/// sweep point restores the (reference-counted) blob into a fresh platform
+/// instead of re-simulating the prefix.
+///
+/// The result is bit-identical to [`fig4_with_jobs`] — snapshot restore is
+/// exact — only wall-clock time changes.
+///
+/// # Errors
+///
+/// Fails if any platform instance stalls (model bug).
+pub fn fig4_warm_fork_with_jobs(scale: u64, seed: u64, jobs: usize) -> SimResult<Fig4> {
+    let warm = [
+        probe(scale, seed, Topology::Collapsed)?,
+        probe(scale, seed, Topology::Distributed)?,
+    ];
+    let mut blobs: Vec<SnapshotBlob> = Vec::with_capacity(2);
+    for (i, topology) in [Topology::Collapsed, Topology::Distributed]
+        .into_iter()
+        .enumerate()
+    {
+        let mut platform = build_platform(&point_spec(scale, seed, topology))?;
+        platform.sim_mut().run_until(warm[i].warm_until);
+        blobs.push(platform.checkpoint());
+    }
+    let tails = parallel_map(SWEEP[1..].to_vec(), jobs, |ws| -> SimResult<[u64; 2]> {
+        let mut cycles = [0u64; 2];
+        for (i, topology) in [Topology::Collapsed, Topology::Distributed]
+            .into_iter()
+            .enumerate()
+        {
+            let mut platform = build_platform(&point_spec(scale, seed, topology))?;
+            platform.restore(&blobs[i])?;
+            cycles[i] = finish_point(platform, ws)?;
+        }
+        Ok(cycles)
+    });
+    assemble(&warm, tails)
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ pub use ablations::{
 pub use dual_channel::{dual_channel_study, DualChannelStudy};
 pub use fidelity::{fidelity_study, FidelityRow, FidelityStudy};
 pub use fig3::{fig3, Fig3, Fig3Bar};
-pub use fig4::{fig4, fig4_with_jobs, Fig4, Fig4Point};
+pub use fig4::{fig4, fig4_warm_fork_with_jobs, fig4_with_jobs, Fig4, Fig4Point};
 pub use fig5::{fig5, Fig5, Fig5Bar};
 pub use fig6::{fig6, Fig6, Fig6Phase};
 pub use many_to_many::{many_to_many, many_to_many_with_jobs, ManyToMany, ManyToManyRow};

@@ -215,6 +215,20 @@ impl Platform {
         self.expected_transactions
     }
 
+    /// Transactions injected so far, summed over every traffic generator.
+    /// Cheap enough to sample mid-run; stepping experiments use it to
+    /// locate traffic-anchored phase boundaries.
+    pub fn injected_so_far(&self) -> u64 {
+        self.generator_names
+            .iter()
+            .map(|name| {
+                self.sim
+                    .stats()
+                    .counter_by_name(&format!("{name}.injected"))
+            })
+            .sum()
+    }
+
     /// Produces a human-readable snapshot of what is in flight right now:
     /// non-empty links with their occupancy and the components still
     /// reporting activity. The first tool to reach for when a run stalls.
@@ -335,6 +349,42 @@ impl Platform {
             }
         };
         Ok((self.report_at(exec), vcd.render()))
+    }
+
+    /// Serializes the platform's complete dynamic state (timeline, link
+    /// contents, every component, RNG, fault cursor, statistics) into a
+    /// versioned, checksummed blob. Restore it into a *structurally
+    /// identical* platform — same spec — with [`Platform::restore`].
+    pub fn checkpoint(&self) -> mpsoc_kernel::SnapshotBlob {
+        self.sim.checkpoint()
+    }
+
+    /// Restores state captured by [`Platform::checkpoint`]. The platform
+    /// must have been built from the same spec as the checkpointed one.
+    ///
+    /// # Errors
+    ///
+    /// Fails on corrupt blobs or a structural mismatch (different spec).
+    pub fn restore(&mut self, blob: &mpsoc_kernel::SnapshotBlob) -> SimResult<()> {
+        self.sim.restore(blob)
+    }
+
+    /// Re-parameterises the on-chip memory's wait states at runtime, so a
+    /// restored warm fork can explore a different sweep point without
+    /// rebuilding. Returns `false` when the platform has no on-chip memory
+    /// (e.g. an LMI memory system).
+    pub fn set_memory_wait_states(&mut self, wait_states: u32) -> bool {
+        match self
+            .sim
+            .component_any_mut("mem")
+            .and_then(|c| c.downcast_mut::<mpsoc_memory::OnChipMemory>())
+        {
+            Some(mem) => {
+                mem.set_wait_states(wait_states);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Runs the workload to completion with a generous default horizon.

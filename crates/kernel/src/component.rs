@@ -61,7 +61,12 @@ impl<T> fmt::Debug for TickContext<'_, T> {
 ///
 /// The payload type `T` is the kind of message carried on links — the
 /// platform crates instantiate it with their bus packet type.
-pub trait Component<T> {
+///
+/// Every component also implements [`Snapshot`](crate::Snapshot) so the
+/// kernel can checkpoint and restore complete simulations; stateless
+/// components can rely on the trait's no-op defaults
+/// (`impl Snapshot for MyComponent {}`).
+pub trait Component<T>: crate::snapshot::Snapshot {
     /// Diagnostic name (unique within a simulation by convention).
     fn name(&self) -> &str;
 
@@ -88,6 +93,16 @@ pub trait Component<T> {
     fn is_idle(&self) -> bool {
         true
     }
+
+    /// Optional downcasting hook for post-build reconfiguration.
+    ///
+    /// Components that expose runtime-tunable knobs (e.g. memory wait
+    /// states for warm-fork sweeps) override this to return `Some(self)`;
+    /// [`Simulation::component_any_mut`](crate::Simulation::component_any_mut)
+    /// then lets callers downcast to the concrete type by name.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +110,7 @@ mod tests {
     use super::*;
 
     struct Nop;
+    impl crate::snapshot::Snapshot for Nop {}
     impl Component<u8> for Nop {
         fn name(&self) -> &str {
             "nop"

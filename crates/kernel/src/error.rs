@@ -40,6 +40,11 @@ pub enum SimError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// A snapshot blob could not be decoded or applied.
+    Snapshot {
+        /// The underlying snapshot decode/validation failure.
+        source: crate::snapshot::SnapshotError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -58,7 +63,14 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
             }
+            SimError::Snapshot { source } => write!(f, "snapshot error: {source}"),
         }
+    }
+}
+
+impl From<crate::snapshot::SnapshotError> for SimError {
+    fn from(source: crate::snapshot::SnapshotError) -> Self {
+        SimError::Snapshot { source }
     }
 }
 

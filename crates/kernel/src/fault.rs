@@ -298,6 +298,53 @@ impl FaultEngine {
     pub fn probes(&self) -> u64 {
         self.probes
     }
+
+    /// Serializes the complete engine state (armed flag, schedule, hash
+    /// stream position, accounting) for a simulation checkpoint.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::StateWriter) {
+        w.write_bool(self.armed);
+        w.write_u64(self.schedule.seed);
+        for rate in self.schedule.rate_per_million {
+            w.write_u32(rate);
+        }
+        w.write_u64(self.schedule.stall_cycles);
+        w.write_u32(self.schedule.storm_refreshes);
+        w.write_u64(self.schedule.glitch_cycles);
+        w.write_u64(self.schedule.timeout_cycles);
+        w.write_u32(self.schedule.retry_budget);
+        w.write_u64(self.probes);
+        for injected in self.counts.injected_by_kind {
+            w.write_u64(injected);
+        }
+        w.write_u64(self.counts.recovered);
+        w.write_u64(self.counts.lost);
+        w.write_u64(self.counts.retries);
+    }
+
+    /// Restores engine state saved by [`save_state`](Self::save_state).
+    ///
+    /// Deliberately *not* implemented via [`arm`](Self::arm), which resets
+    /// the probe cursor and accounting: a restored engine must resume
+    /// mid-stream.
+    pub(crate) fn restore_state(&mut self, r: &mut crate::snapshot::StateReader<'_>) {
+        self.armed = r.read_bool();
+        self.schedule.seed = r.read_u64();
+        for rate in self.schedule.rate_per_million.iter_mut() {
+            *rate = r.read_u32();
+        }
+        self.schedule.stall_cycles = r.read_u64();
+        self.schedule.storm_refreshes = r.read_u32();
+        self.schedule.glitch_cycles = r.read_u64();
+        self.schedule.timeout_cycles = r.read_u64();
+        self.schedule.retry_budget = r.read_u32();
+        self.probes = r.read_u64();
+        for injected in self.counts.injected_by_kind.iter_mut() {
+            *injected = r.read_u64();
+        }
+        self.counts.recovered = r.read_u64();
+        self.counts.lost = r.read_u64();
+        self.counts.retries = r.read_u64();
+    }
 }
 
 #[cfg(test)]

@@ -25,9 +25,10 @@
 //! ## Example
 //!
 //! ```
-//! use mpsoc_kernel::{Simulation, Component, TickContext, ClockDomain, Time};
+//! use mpsoc_kernel::{Simulation, Component, Snapshot, TickContext, ClockDomain, Time};
 //!
 //! struct Counter { ticks: u64 }
+//! impl Snapshot for Counter {} // stateless default is fine for examples
 //! impl Component<()> for Counter {
 //!     fn name(&self) -> &str { "counter" }
 //!     fn tick(&mut self, _ctx: &mut TickContext<'_, ()>) { self.ticks += 1; }
@@ -55,6 +56,7 @@ mod link;
 pub mod reference;
 mod rng;
 mod sim;
+pub mod snapshot;
 pub mod stats;
 mod time;
 pub mod trace;
@@ -68,6 +70,9 @@ pub use fault::{FaultCounts, FaultEngine, FaultKind, FaultSchedule};
 pub use link::{Link, LinkId, LinkPool};
 pub use rng::SplitMix64;
 pub use sim::{RunOutcome, Simulation};
+pub use snapshot::{
+    Snapshot, SnapshotBlob, SnapshotError, SnapshotPayload, StateReader, StateWriter,
+};
 pub use stats::StatsRegistry;
 pub use time::{Cycles, Time};
 pub use trace::{TraceBuffer, TraceKind, TraceRecord};

@@ -279,6 +279,50 @@ impl<T> LinkPool<T> {
     }
 }
 
+impl<T: crate::snapshot::SnapshotPayload> LinkPool<T> {
+    /// Serializes every link's queue contents and statistics for a
+    /// simulation checkpoint. Structural attributes (name, capacity,
+    /// latency) are not written — the restore target is rebuilt with the
+    /// same wiring and only validated against them.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::StateWriter) {
+        w.write_usize(self.links.len());
+        for link in &self.links {
+            w.write_usize(link.queue.len());
+            for (deliver, payload) in &link.queue {
+                w.write_time(*deliver);
+                payload.save_payload(w);
+            }
+            w.write_u64(link.stats.pushes);
+            w.write_u64(link.stats.pops);
+            w.write_usize(link.stats.max_occupancy);
+            w.write_u128(link.stats.occupancy_integral);
+            w.write_time(link.last_change);
+        }
+    }
+
+    /// Restores link state saved by [`save_state`](Self::save_state) and
+    /// recomputes the maintained `queued` counter.
+    pub(crate) fn restore_state(&mut self, r: &mut crate::snapshot::StateReader<'_>) {
+        let n = r.read_usize();
+        debug_assert_eq!(n, self.links.len(), "link count validated by fingerprint");
+        for link in self.links.iter_mut().take(n) {
+            link.queue.clear();
+            let depth = r.read_usize();
+            for _ in 0..depth {
+                let deliver = r.read_time();
+                let payload = T::restore_payload(r);
+                link.queue.push_back((deliver, payload));
+            }
+            link.stats.pushes = r.read_u64();
+            link.stats.pops = r.read_u64();
+            link.stats.max_occupancy = r.read_usize();
+            link.stats.occupancy_integral = r.read_u128();
+            link.last_change = r.read_time();
+        }
+        self.queued = self.scan_queued();
+    }
+}
+
 impl<T> Default for LinkPool<T> {
     fn default() -> Self {
         LinkPool::new()

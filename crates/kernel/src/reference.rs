@@ -204,6 +204,7 @@ mod tests {
     use super::*;
 
     struct Noop;
+    impl crate::snapshot::Snapshot for Noop {}
     impl Component<u64> for Noop {
         fn name(&self) -> &str {
             "noop"

@@ -37,6 +37,14 @@ impl SplitMix64 {
         SplitMix64::new(self.next_u64() ^ 0x9e37_79b9_7f4a_7c15)
     }
 
+    /// Current internal state, for checkpointing.
+    ///
+    /// `SplitMix64::new(rng.state())` reconstructs a generator that
+    /// continues the stream exactly where this one left off.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -174,5 +182,17 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn empty_range_panics() {
         SplitMix64::new(0).range(4, 4);
+    }
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let mut a = SplitMix64::new(0x5eed);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        let mut b = SplitMix64::new(a.state());
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 }

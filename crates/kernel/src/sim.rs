@@ -397,6 +397,172 @@ impl<T> Simulation<T> {
     }
 }
 
+impl<T> Simulation<T> {
+    /// Looks up a component by name and returns its
+    /// [`as_any_mut`](Component::as_any_mut) hook, for post-build
+    /// reconfiguration of runtime-tunable knobs.
+    ///
+    /// Returns `None` if no component has that name or the component does
+    /// not opt into downcasting.
+    pub fn component_any_mut(&mut self, name: &str) -> Option<&mut dyn std::any::Any> {
+        self.slots
+            .iter_mut()
+            .find(|s| s.component.name() == name)
+            .and_then(|s| s.component.as_any_mut())
+    }
+}
+
+impl<T: crate::snapshot::SnapshotPayload> Simulation<T> {
+    /// Hash of everything a snapshot does *not* carry: component roster,
+    /// clock-domain buckets and link wiring. Restore refuses blobs whose
+    /// fingerprint differs, since component `restore` implementations
+    /// assume the saving and restoring platforms are built identically.
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut h = crate::snapshot::Fnv64::new();
+        h.write_u64(self.slots.len() as u64);
+        for slot in &self.slots {
+            h.write_str(slot.component.name());
+        }
+        h.write_u64(self.buckets.len() as u64);
+        for bucket in &self.buckets {
+            h.write_u64(bucket.clock.period().as_ps());
+            h.write_u64(bucket.clock.phase().as_ps());
+            h.write_u64(bucket.members.len() as u64);
+            for &m in &bucket.members {
+                h.write_u64(u64::from(m));
+            }
+        }
+        h.write_u64(self.links.len() as u64);
+        for (_, link) in self.links.iter() {
+            h.write_str(link.name());
+            h.write_u64(link.capacity() as u64);
+            h.write_u64(link.latency().as_ps());
+        }
+        h.finish()
+    }
+
+    /// Captures the complete dynamic state of the simulation — timeline,
+    /// bucket schedule, link queues, stats, RNG, fault engine and every
+    /// component — as a versioned, checksummed [`SnapshotBlob`](crate::snapshot::SnapshotBlob).
+    ///
+    /// Cloning the returned blob is a reference-count bump, so one warm
+    /// checkpoint can be forked across many parallel sweep workers.
+    pub fn checkpoint(&self) -> crate::snapshot::SnapshotBlob {
+        let mut w = crate::snapshot::StateWriter::new();
+        w.section("meta");
+        w.write_u64(self.structural_fingerprint());
+        w.write_time(self.time);
+        w.write_u64(self.edges);
+        w.write_u64(self.total_ticks);
+        w.section("rng");
+        w.write_u64(self.rng.state());
+        w.section("faults");
+        self.faults.save_state(&mut w);
+        w.section("stats");
+        self.stats.save_state(&mut w);
+        w.section("links");
+        self.links.save_state(&mut w);
+        w.section("buckets");
+        w.write_usize(self.buckets.len());
+        for bucket in &self.buckets {
+            w.write_time(bucket.next_edge);
+        }
+        w.section("components");
+        w.write_usize(self.slots.len());
+        for slot in &self.slots {
+            w.write_u64(slot.ticks);
+            w.write_bool(slot.idle);
+            slot.component.save(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Restores state captured by [`checkpoint`](Self::checkpoint) onto
+    /// this simulation.
+    ///
+    /// The target must be *structurally identical* to the simulation that
+    /// produced the blob: same components registered in the same order on
+    /// the same clocks, same links — i.e. a platform rebuilt from the same
+    /// specification. Dynamic state (time, queues, stats, RNG position,
+    /// component internals) is overwritten wholesale; derived scheduler
+    /// state (the edge heap, the busy and queued counters) is recomputed.
+    ///
+    /// Because the kernel is deterministic, a restored simulation replays
+    /// the exact tick sequence the original would have produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] if the blob fails validation
+    /// (magic/version/checksum/field tags) or was taken from a structurally
+    /// different simulation. On error the simulation state is unspecified
+    /// and the caller should rebuild it.
+    pub fn restore(&mut self, blob: &crate::snapshot::SnapshotBlob) -> SimResult<()> {
+        use crate::snapshot::{SnapshotError, StateReader};
+        let mut r = StateReader::new(blob)?;
+        r.expect_section("meta");
+        let fingerprint = r.read_u64();
+        let own = self.structural_fingerprint();
+        if fingerprint != own {
+            return Err(SnapshotError::StructureMismatch {
+                detail: format!("blob fingerprint {fingerprint:#018x}, target {own:#018x}"),
+            }
+            .into());
+        }
+        self.time = r.read_time();
+        self.edges = r.read_u64();
+        self.total_ticks = r.read_u64();
+        r.expect_section("rng");
+        self.rng = SplitMix64::new(r.read_u64());
+        r.expect_section("faults");
+        self.faults.restore_state(&mut r);
+        r.expect_section("stats");
+        self.stats.restore_state(&mut r);
+        r.expect_section("links");
+        self.links.restore_state(&mut r);
+        r.expect_section("buckets");
+        let bucket_count = r.read_usize();
+        if bucket_count != self.buckets.len() {
+            return Err(SnapshotError::StructureMismatch {
+                detail: format!(
+                    "blob has {bucket_count} buckets, target has {}",
+                    self.buckets.len()
+                ),
+            }
+            .into());
+        }
+        for bucket in self.buckets.iter_mut() {
+            bucket.next_edge = r.read_time();
+        }
+        r.expect_section("components");
+        let slot_count = r.read_usize();
+        if slot_count != self.slots.len() {
+            return Err(SnapshotError::StructureMismatch {
+                detail: format!(
+                    "blob has {slot_count} components, target has {}",
+                    self.slots.len()
+                ),
+            }
+            .into());
+        }
+        for slot in self.slots.iter_mut() {
+            slot.ticks = r.read_u64();
+            slot.idle = r.read_bool();
+            slot.component.restore(&mut r);
+        }
+        r.finish()?;
+        // Rebuild derived scheduler state. The heap order among equal-time
+        // buckets is unobservable (multi-bucket edges merge and sort member
+        // lists), so pushing in bucket-index order is equivalent to any
+        // order the original heap may have held.
+        self.heap.clear();
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            self.heap.push(Reverse((bucket.next_edge, i as u32)));
+        }
+        self.busy = self.slots.iter().filter(|s| !s.idle).count();
+        Ok(())
+    }
+}
+
 impl<T> Default for Simulation<T> {
     fn default() -> Self {
         Simulation::new()
@@ -425,6 +591,14 @@ mod tests {
         budget: u64,
         sent: u64,
     }
+    impl crate::snapshot::Snapshot for Producer {
+        fn save(&self, w: &mut crate::snapshot::StateWriter) {
+            w.write_u64(self.sent);
+        }
+        fn restore(&mut self, r: &mut crate::snapshot::StateReader<'_>) {
+            self.sent = r.read_u64();
+        }
+    }
     impl Component<u64> for Producer {
         fn name(&self) -> &str {
             "producer"
@@ -444,6 +618,17 @@ mod tests {
     struct Consumer {
         input: LinkId,
         received: Vec<u64>,
+    }
+    impl crate::snapshot::Snapshot for Consumer {
+        fn save(&self, w: &mut crate::snapshot::StateWriter) {
+            w.write_usize(self.received.len());
+            for v in &self.received {
+                w.write_u64(*v);
+            }
+        }
+        fn restore(&mut self, r: &mut crate::snapshot::StateReader<'_>) {
+            self.received = (0..r.read_usize()).map(|_| r.read_u64()).collect();
+        }
     }
     impl Component<u64> for Consumer {
         fn name(&self) -> &str {
@@ -513,6 +698,7 @@ mod tests {
             label: char,
             log: std::rc::Rc<std::cell::RefCell<Vec<(u64, char)>>>,
         }
+        impl crate::snapshot::Snapshot for Tracer {}
         impl Component<u64> for Tracer {
             fn name(&self) -> &str {
                 "tracer"
@@ -632,6 +818,97 @@ mod tests {
             edges.push(t.as_ps());
         }
         assert_eq!(edges, vec![0, 3_000, 10_000, 13_000, 20_000]);
+    }
+
+    fn producer_consumer_sim(seed: u64) -> (Simulation<u64>, LinkId) {
+        let mut sim: Simulation<u64> = Simulation::with_seed(seed);
+        let clk_a = ClockDomain::from_mhz(100);
+        let clk_b = ClockDomain::from_mhz(133);
+        let link = sim.links_mut().add_link("pc", 2, clk_a.period());
+        sim.add_component(
+            Box::new(Producer {
+                out: link,
+                budget: 40,
+                sent: 0,
+            }),
+            clk_a,
+        );
+        sim.add_component(
+            Box::new(Consumer {
+                input: link,
+                received: Vec::new(),
+            }),
+            clk_b,
+        );
+        (sim, link)
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        // Reference: run straight through.
+        let (mut straight, link) = producer_consumer_sim(7);
+        straight.arm_faults(FaultSchedule::uniform(0, 3));
+        let t_end = straight
+            .run_to_quiescence_strict(Time::from_us(100))
+            .expect("drains");
+        let final_blob = straight.checkpoint();
+
+        // Candidate: run halfway, checkpoint, restore onto a fresh build,
+        // finish there.
+        let (mut first_half, _) = producer_consumer_sim(7);
+        first_half.arm_faults(FaultSchedule::uniform(0, 3));
+        first_half.run_until(Time::from_ns(150));
+        let mid = first_half.checkpoint();
+
+        let (mut resumed, _) = producer_consumer_sim(7);
+        resumed.restore(&mid).expect("restore onto twin");
+        assert_eq!(resumed.time(), first_half.time());
+        let t_resumed = resumed
+            .run_to_quiescence_strict(Time::from_us(100))
+            .expect("drains");
+
+        assert_eq!(t_resumed, t_end);
+        assert_eq!(resumed.edges_processed(), straight.edges_processed());
+        assert_eq!(resumed.ticks_executed(), straight.ticks_executed());
+        assert_eq!(
+            resumed.links().link(link).stats(),
+            straight.links().link(link).stats()
+        );
+        assert_eq!(
+            resumed.checkpoint().as_bytes(),
+            final_blob.as_bytes(),
+            "final state must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_structural_mismatch() {
+        let (sim, _) = producer_consumer_sim(1);
+        let blob = sim.checkpoint();
+        let mut other: Simulation<u64> = Simulation::new();
+        let clk = ClockDomain::from_mhz(100);
+        let link = other.links_mut().add_link("pc", 2, clk.period());
+        other.add_component(
+            Box::new(Consumer {
+                input: link,
+                received: Vec::new(),
+            }),
+            clk,
+        );
+        let err = other.restore(&blob).expect_err("must reject");
+        assert!(matches!(err, SimError::Snapshot { .. }), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_blob() {
+        let (sim, _) = producer_consumer_sim(1);
+        let blob = sim.checkpoint();
+        let mut bytes = blob.as_bytes().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let bad = crate::snapshot::SnapshotBlob::from_bytes(bytes);
+        let (mut target, _) = producer_consumer_sim(1);
+        assert!(target.restore(&bad).is_err());
     }
 
     #[test]

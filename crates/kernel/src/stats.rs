@@ -402,6 +402,92 @@ impl StatsRegistry {
     ) {
         self.trace.emit(time, source, kind, detail);
     }
+
+    /// Serializes every metric (names and values, in creation order) for a
+    /// simulation checkpoint.
+    ///
+    /// The [`TraceBuffer`] is deliberately excluded: it is a bounded
+    /// diagnostic ring whose contents never feed back into simulation
+    /// behaviour, and a restored run may want tracing armed differently
+    /// (the whole point of time-travel debugging).
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::StateWriter) {
+        w.write_usize(self.counters.len());
+        for (name, value) in &self.counters {
+            w.write_str(name);
+            w.write_u64(*value);
+        }
+        w.write_usize(self.histograms.len());
+        for (name, h) in &self.histograms {
+            w.write_str(name);
+            for b in h.buckets {
+                w.write_u64(b);
+            }
+            w.write_u64(h.count);
+            w.write_u128(h.sum);
+            w.write_u64(h.min);
+            w.write_u64(h.max);
+        }
+        w.write_usize(self.residencies.len());
+        for (name, res) in &self.residencies {
+            w.write_str(name);
+            w.write_usize(res.states.len());
+            for state in &res.states {
+                w.write_str(state);
+            }
+            for acc in &res.acc {
+                w.write_time(*acc);
+            }
+            w.write_usize(res.current);
+            w.write_time(res.since);
+        }
+    }
+
+    /// Rebuilds the registry (metrics *and* name-to-id maps) from a
+    /// checkpoint. Ids are Vec indices in creation order, so handles cached
+    /// by components before the checkpoint resolve to the same metrics
+    /// after restore.
+    pub(crate) fn restore_state(&mut self, r: &mut crate::snapshot::StateReader<'_>) {
+        self.counter_names.clear();
+        self.counters.clear();
+        let n = r.read_usize();
+        for i in 0..n {
+            let name = r.read_str();
+            let value = r.read_u64();
+            self.counter_names.insert(name.clone(), CounterId(i));
+            self.counters.push((name, value));
+        }
+        self.histogram_names.clear();
+        self.histograms.clear();
+        let n = r.read_usize();
+        for i in 0..n {
+            let name = r.read_str();
+            let mut h = Histogram::new();
+            for b in h.buckets.iter_mut() {
+                *b = r.read_u64();
+            }
+            h.count = r.read_u64();
+            h.sum = r.read_u128();
+            h.min = r.read_u64();
+            h.max = r.read_u64();
+            self.histogram_names.insert(name.clone(), HistogramId(i));
+            self.histograms.push((name, h));
+        }
+        self.residency_names.clear();
+        self.residencies.clear();
+        let n = r.read_usize();
+        for i in 0..n {
+            let name = r.read_str();
+            let states = (0..r.read_usize()).map(|_| r.read_str()).collect();
+            let mut res = StateResidency::new(states);
+            for acc in res.acc.iter_mut() {
+                *acc = r.read_time();
+            }
+            res.current = r.read_usize();
+            res.since = r.read_time();
+            self.residency_names.insert(name.clone(), ResidencyId(i));
+            self.residencies.push((name, res));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -321,6 +321,34 @@ impl SdramDevice {
         }
     }
 
+    /// Writes the device's dynamic state (bank/row tracking and counters);
+    /// timing and geometry are configuration and stay with the builder.
+    pub(crate) fn save_state(&self, w: &mut mpsoc_kernel::StateWriter) {
+        w.write_usize(self.banks.len());
+        for bank in &self.banks {
+            w.write_opt_u64(bank.open_row);
+            w.write_opt_u64(bank.activated_at);
+            w.write_u64(bank.ready_at);
+        }
+        w.write_u64(self.row_hits);
+        w.write_u64(self.row_misses);
+        w.write_u64(self.refreshes);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state).
+    pub(crate) fn restore_state(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        self.banks = (0..r.read_usize())
+            .map(|_| BankState {
+                open_row: r.read_opt_u64(),
+                activated_at: r.read_opt_u64(),
+                ready_at: r.read_u64(),
+            })
+            .collect();
+        self.row_hits = r.read_u64();
+        self.row_misses = r.read_u64();
+        self.refreshes = r.read_u64();
+    }
+
     /// Performs an AUTO-REFRESH starting no earlier than `now`: all banks
     /// are precharged and the device is busy for `t_rfc`. Returns the cycle
     /// the device becomes ready again.

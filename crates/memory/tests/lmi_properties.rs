@@ -20,6 +20,8 @@ struct Driver {
     expected: usize,
 }
 
+impl mpsoc_kernel::Snapshot for Driver {}
+
 impl mpsoc_kernel::Component<Packet> for Driver {
     fn name(&self) -> &str {
         "driver"

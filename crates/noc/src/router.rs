@@ -120,6 +120,37 @@ impl Router {
     }
 }
 
+impl mpsoc_kernel::Snapshot for Router {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        use mpsoc_protocol::persist;
+        let mut crumbs: Vec<_> = self.breadcrumbs.iter().collect();
+        crumbs.sort_by_key(|(id, _)| **id);
+        w.write_usize(crumbs.len());
+        for (id, dir) in crumbs {
+            persist::save_txn_id(*id, w);
+            w.write_u8(*dir as u8);
+        }
+        for t in self.busy {
+            w.write_time(t);
+        }
+        w.write_usize(self.rr);
+    }
+
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        use mpsoc_protocol::persist;
+        self.breadcrumbs.clear();
+        for _ in 0..r.read_usize() {
+            let id = persist::load_txn_id(r);
+            let dir = ALL_DIRS[(r.read_u8() as usize).min(4)];
+            self.breadcrumbs.insert(id, dir);
+        }
+        for t in self.busy.iter_mut() {
+            *t = r.read_time();
+        }
+        self.rr = r.read_usize();
+    }
+}
+
 impl Component<Packet> for Router {
     fn name(&self) -> &str {
         &self.name

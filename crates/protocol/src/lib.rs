@@ -29,6 +29,7 @@ mod address;
 mod arbitration;
 mod ids;
 mod packet;
+pub mod persist;
 mod protocol_kind;
 pub mod testing;
 mod tlm;

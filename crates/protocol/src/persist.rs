@@ -1,0 +1,211 @@
+//! Snapshot serialization helpers for protocol vocabulary types.
+//!
+//! Every component crate that carries [`Transaction`]s or [`Response`]s in
+//! its private state (FIFOs, in-flight tables, retry queues) uses these
+//! helpers in its [`Snapshot`](mpsoc_kernel::Snapshot) implementation, and
+//! the kernel serializes link queues through the
+//! [`SnapshotPayload`] impl for [`Packet`].
+//!
+//! Only identifier-bearing fields need care: ids are reconstructed from
+//! their raw packed representations, which round-trip exactly.
+
+use crate::ids::{InitiatorId, MessageId, TransactionId};
+use crate::packet::{Packet, Response};
+use crate::transaction::{Opcode, Transaction};
+use crate::width::DataWidth;
+use mpsoc_kernel::{SnapshotPayload, StateReader, StateWriter};
+
+/// Writes a [`TransactionId`].
+pub fn save_txn_id(id: TransactionId, w: &mut StateWriter) {
+    w.write_u64(id.raw());
+}
+
+/// Reads a [`TransactionId`].
+pub fn load_txn_id(r: &mut StateReader<'_>) -> TransactionId {
+    let raw = r.read_u64();
+    TransactionId::new(InitiatorId::new((raw >> 48) as u16), raw & 0xffff_ffff_ffff)
+}
+
+/// Writes a [`DataWidth`] as its byte count.
+pub fn save_width(width: DataWidth, w: &mut StateWriter) {
+    w.write_u32(width.bytes());
+}
+
+/// Reads a [`DataWidth`] written by [`save_width`].
+pub fn load_width(r: &mut StateReader<'_>) -> DataWidth {
+    // A poisoned reader yields 0, which from_bytes rejects; substitute a
+    // valid width so decoding continues to the reader's own error.
+    match r.read_u32() {
+        b if b.is_power_of_two() && b <= 64 => DataWidth::from_bytes(b),
+        _ => DataWidth::BITS32,
+    }
+}
+
+/// Writes a complete [`Transaction`].
+pub fn save_txn(txn: &Transaction, w: &mut StateWriter) {
+    save_txn_id(txn.id, w);
+    w.write_u16(txn.initiator.raw());
+    w.write_bool(txn.opcode.is_write());
+    w.write_u64(txn.addr);
+    w.write_u32(txn.beats);
+    save_width(txn.width, w);
+    w.write_u8(txn.priority);
+    w.write_bool(txn.posted);
+    w.write_u64(txn.message.raw());
+    w.write_bool(txn.last_in_message);
+    w.write_time(txn.created_at);
+}
+
+/// Reads a [`Transaction`] written by [`save_txn`].
+pub fn load_txn(r: &mut StateReader<'_>) -> Transaction {
+    let id = load_txn_id(r);
+    let initiator = InitiatorId::new(r.read_u16());
+    let opcode = if r.read_bool() {
+        Opcode::Write
+    } else {
+        Opcode::Read
+    };
+    Transaction {
+        id,
+        initiator,
+        opcode,
+        addr: r.read_u64(),
+        beats: r.read_u32(),
+        width: load_width(r),
+        priority: r.read_u8(),
+        posted: r.read_bool(),
+        message: MessageId::new(r.read_u64()),
+        last_in_message: r.read_bool(),
+        created_at: r.read_time(),
+    }
+}
+
+/// Writes a complete [`Response`].
+pub fn save_response(resp: &Response, w: &mut StateWriter) {
+    save_txn(&resp.txn, w);
+    w.write_u32(resp.gap_per_beat);
+    w.write_time(resp.serviced_at);
+    w.write_bool(resp.error);
+}
+
+/// Reads a [`Response`] written by [`save_response`].
+pub fn load_response(r: &mut StateReader<'_>) -> Response {
+    let txn = load_txn(r);
+    Response {
+        txn,
+        gap_per_beat: r.read_u32(),
+        serviced_at: r.read_time(),
+        error: r.read_bool(),
+    }
+}
+
+/// Writes an `Option<Transaction>` as a presence flag plus value.
+pub fn save_opt_txn(txn: &Option<Transaction>, w: &mut StateWriter) {
+    w.write_bool(txn.is_some());
+    if let Some(t) = txn {
+        save_txn(t, w);
+    }
+}
+
+/// Reads an `Option<Transaction>` written by [`save_opt_txn`].
+pub fn load_opt_txn(r: &mut StateReader<'_>) -> Option<Transaction> {
+    r.read_bool().then(|| load_txn(r))
+}
+
+/// Writes an `Option<Response>` as a presence flag plus value.
+pub fn save_opt_response(resp: &Option<Response>, w: &mut StateWriter) {
+    w.write_bool(resp.is_some());
+    if let Some(x) = resp {
+        save_response(x, w);
+    }
+}
+
+/// Reads an `Option<Response>` written by [`save_opt_response`].
+pub fn load_opt_response(r: &mut StateReader<'_>) -> Option<Response> {
+    r.read_bool().then(|| load_response(r))
+}
+
+impl SnapshotPayload for Packet {
+    fn save_payload(&self, w: &mut StateWriter) {
+        match self {
+            Packet::Request(txn) => {
+                w.write_bool(false);
+                save_txn(txn, w);
+            }
+            Packet::Response(resp) => {
+                w.write_bool(true);
+                save_response(resp, w);
+            }
+        }
+    }
+
+    fn restore_payload(r: &mut StateReader<'_>) -> Self {
+        if r.read_bool() {
+            Packet::Response(load_response(r))
+        } else {
+            Packet::Request(load_txn(r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_kernel::Time;
+
+    fn sample_txn() -> Transaction {
+        Transaction::builder(InitiatorId::new(9), 0x1234)
+            .write(0xdead_0000)
+            .beats(7)
+            .width(DataWidth::BITS64)
+            .priority(3)
+            .posted(true)
+            .message(MessageId::new(55), false)
+            .created_at(Time::from_ns(120))
+            .build()
+    }
+
+    #[test]
+    fn txn_round_trips_exactly() {
+        let txn = sample_txn();
+        let mut w = StateWriter::new();
+        save_txn(&txn, &mut w);
+        let blob = w.finish();
+        let mut r = StateReader::new(&blob).unwrap();
+        assert_eq!(load_txn(&mut r), txn);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn packet_variants_round_trip() {
+        let req = Packet::Request(sample_txn());
+        let resp = Packet::Response(Response::new(sample_txn(), Time::from_ns(300)).with_gap(2));
+        let err = Packet::Response(Response::error(sample_txn(), Time::from_ns(5)));
+        let mut w = StateWriter::new();
+        for p in [&req, &resp, &err] {
+            p.save_payload(&mut w);
+        }
+        let blob = w.finish();
+        let mut r = StateReader::new(&blob).unwrap();
+        assert_eq!(Packet::restore_payload(&mut r), req);
+        assert_eq!(Packet::restore_payload(&mut r), resp);
+        assert_eq!(Packet::restore_payload(&mut r), err);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let mut w = StateWriter::new();
+        save_opt_txn(&Some(sample_txn()), &mut w);
+        save_opt_txn(&None, &mut w);
+        save_opt_response(&Some(Response::new(sample_txn(), Time::ZERO)), &mut w);
+        save_opt_response(&None, &mut w);
+        let blob = w.finish();
+        let mut r = StateReader::new(&blob).unwrap();
+        assert_eq!(load_opt_txn(&mut r), Some(sample_txn()));
+        assert_eq!(load_opt_txn(&mut r), None);
+        assert!(load_opt_response(&mut r).is_some());
+        assert_eq!(load_opt_response(&mut r), None);
+        r.finish().unwrap();
+    }
+}

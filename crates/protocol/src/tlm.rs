@@ -131,6 +131,27 @@ impl TlmBus {
     }
 }
 
+impl mpsoc_kernel::Snapshot for TlmBus {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        let mut in_flight: Vec<_> = self.in_flight.iter().collect();
+        in_flight.sort();
+        w.write_usize(in_flight.len());
+        for (id, port) in in_flight {
+            crate::persist::save_txn_id(*id, w);
+            w.write_usize(*port);
+        }
+    }
+
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        self.in_flight.clear();
+        for _ in 0..r.read_usize() {
+            let id = crate::persist::load_txn_id(r);
+            let port = r.read_usize();
+            self.in_flight.insert(id, port);
+        }
+    }
+}
+
 impl Component<Packet> for TlmBus {
     fn name(&self) -> &str {
         &self.name

@@ -627,6 +627,109 @@ impl StbusNode {
     }
 }
 
+impl mpsoc_kernel::Snapshot for StbusNode {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        use mpsoc_protocol::persist;
+        w.write_usize(self.initiators.len());
+        for port in &self.initiators {
+            w.write_usize(port.outstanding);
+        }
+        // Channel busy vectors are sized lazily on the first tick, so their
+        // length is part of the dynamic state.
+        w.write_usize(self.req_busy.len());
+        for t in &self.req_busy {
+            w.write_time(*t);
+        }
+        w.write_usize(self.resp_busy.len());
+        for t in &self.resp_busy {
+            w.write_time(*t);
+        }
+        w.write_bool(self.sticky.is_some());
+        if let Some((port, msg)) = self.sticky {
+            w.write_usize(port);
+            w.write_u64(msg.raw());
+        }
+        w.write_usize(self.last_winner);
+        w.write_usize(self.resp_rr);
+        let mut in_flight: Vec<_> = self.in_flight.iter().collect();
+        in_flight.sort();
+        w.write_usize(in_flight.len());
+        for (id, port) in in_flight {
+            persist::save_txn_id(*id, w);
+            w.write_usize(*port);
+        }
+        let mut by_source: Vec<_> = self.expected_by_source.iter().collect();
+        by_source.sort_by_key(|(src, _)| src.raw());
+        w.write_usize(by_source.len());
+        for (src, queue) in by_source {
+            w.write_u16(src.raw());
+            w.write_usize(queue.len());
+            for id in queue {
+                persist::save_txn_id(*id, w);
+            }
+        }
+        w.write_usize(self.replays.len());
+        for entry in &self.replays {
+            persist::save_txn(&entry.txn, w);
+            w.write_usize(entry.target);
+            w.write_u32(entry.attempt);
+            w.write_time(entry.deadline);
+            w.write_u64(entry.faults);
+        }
+        w.write_usize(self.dead_letters.len());
+        for (port, resp) in &self.dead_letters {
+            w.write_usize(*port);
+            persist::save_response(resp, w);
+        }
+        // NodeCounters caches are name-resolved ids; the restored registry
+        // resolves the same names to the same ids, so they are not state.
+    }
+
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        use mpsoc_protocol::persist;
+        let ports = r.read_usize();
+        for i in 0..ports {
+            let outstanding = r.read_usize();
+            if let Some(port) = self.initiators.get_mut(i) {
+                port.outstanding = outstanding;
+            }
+        }
+        self.req_busy = (0..r.read_usize()).map(|_| r.read_time()).collect();
+        self.resp_busy = (0..r.read_usize()).map(|_| r.read_time()).collect();
+        self.sticky = r
+            .read_bool()
+            .then(|| (r.read_usize(), mpsoc_protocol::MessageId::new(r.read_u64())));
+        self.last_winner = r.read_usize();
+        self.resp_rr = r.read_usize();
+        self.in_flight.clear();
+        for _ in 0..r.read_usize() {
+            let id = persist::load_txn_id(r);
+            let port = r.read_usize();
+            self.in_flight.insert(id, port);
+        }
+        self.expected_by_source.clear();
+        for _ in 0..r.read_usize() {
+            let src = mpsoc_protocol::InitiatorId::new(r.read_u16());
+            let queue = (0..r.read_usize())
+                .map(|_| persist::load_txn_id(r))
+                .collect();
+            self.expected_by_source.insert(src, queue);
+        }
+        self.replays = (0..r.read_usize())
+            .map(|_| ReplayEntry {
+                txn: persist::load_txn(r),
+                target: r.read_usize(),
+                attempt: r.read_u32(),
+                deadline: r.read_time(),
+                faults: r.read_u64(),
+            })
+            .collect();
+        self.dead_letters = (0..r.read_usize())
+            .map(|_| (r.read_usize(), persist::load_response(r)))
+            .collect();
+    }
+}
+
 impl Component<Packet> for StbusNode {
     fn name(&self) -> &str {
         &self.name

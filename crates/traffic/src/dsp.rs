@@ -252,6 +252,81 @@ impl DspCore {
     }
 }
 
+impl CacheModel {
+    fn save_state(&self, w: &mut mpsoc_kernel::StateWriter) {
+        w.write_usize(self.sets.len());
+        for set in &self.sets {
+            w.write_usize(set.len());
+            for (tag, dirty) in set {
+                w.write_u64(*tag);
+                w.write_bool(*dirty);
+            }
+        }
+        w.write_u64(self.hits);
+        w.write_u64(self.misses);
+    }
+
+    fn restore_state(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        let n = r.read_usize().min(self.sets.len());
+        for set in self.sets.iter_mut().take(n) {
+            *set = (0..r.read_usize())
+                .map(|_| (r.read_u64(), r.read_bool()))
+                .collect();
+        }
+        self.hits = r.read_u64();
+        self.misses = r.read_u64();
+    }
+}
+
+impl mpsoc_kernel::Snapshot for DspCore {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        self.icache.save_state(w);
+        self.dcache.save_state(w);
+        match self.state {
+            CoreState::Running => w.write_u8(0),
+            CoreState::Stalled(seq) => {
+                w.write_u8(1);
+                w.write_u64(seq);
+            }
+            CoreState::Finished => w.write_u8(2),
+        }
+        w.write_u64(self.executed);
+        w.write_u64(self.pc);
+        w.write_u64(self.last_data_addr);
+        w.write_u64(self.seq);
+        w.write_u64(self.rng.state());
+        w.write_opt_u64(self.pending_writeback);
+        let mut posted: Vec<u64> = self.outstanding_posted.keys().copied().collect();
+        posted.sort_unstable();
+        w.write_usize(posted.len());
+        for seq in posted {
+            w.write_u64(seq);
+        }
+        w.write_bool(self.done_recorded);
+    }
+
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        self.icache.restore_state(r);
+        self.dcache.restore_state(r);
+        self.state = match r.read_u8() {
+            0 => CoreState::Running,
+            1 => CoreState::Stalled(r.read_u64()),
+            _ => CoreState::Finished,
+        };
+        self.executed = r.read_u64();
+        self.pc = r.read_u64();
+        self.last_data_addr = r.read_u64();
+        self.seq = r.read_u64();
+        self.rng = SplitMix64::new(r.read_u64());
+        self.pending_writeback = r.read_opt_u64();
+        self.outstanding_posted.clear();
+        for _ in 0..r.read_usize() {
+            self.outstanding_posted.insert(r.read_u64(), ());
+        }
+        self.done_recorded = r.read_bool();
+    }
+}
+
 impl Component<Packet> for DspCore {
     fn name(&self) -> &str {
         &self.name

@@ -442,6 +442,79 @@ impl IpTrafficGenerator {
     }
 }
 
+impl mpsoc_kernel::Snapshot for IpTrafficGenerator {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        w.write_usize(self.agents.len());
+        for agent in &self.agents {
+            match agent.state {
+                AgentState::Pending => w.write_u8(0),
+                AgentState::Thinking(until) => {
+                    w.write_u8(1);
+                    w.write_time(until);
+                }
+                AgentState::Bursting(left) => {
+                    w.write_u8(2);
+                    w.write_u32(left);
+                }
+                AgentState::Done => w.write_u8(3),
+            }
+            w.write_usize(agent.segment);
+            w.write_u64(agent.issued_in_segment);
+            w.write_u64(agent.issued_total);
+            w.write_u64(agent.completed);
+            w.write_usize(agent.outstanding);
+            w.write_u64(agent.cursor);
+            w.write_u32(agent.msg_remaining);
+            w.write_opt_u64(agent.current_msg.map(|m| m.raw()));
+            w.write_u64(agent.rng.state());
+        }
+        let mut in_flight: Vec<_> = self.txn_agent.iter().collect();
+        in_flight.sort();
+        w.write_usize(in_flight.len());
+        for (raw, agent_idx) in in_flight {
+            w.write_u64(*raw);
+            w.write_usize(*agent_idx);
+        }
+        w.write_u64(self.seq);
+        w.write_u64(self.msg_seq);
+        w.write_usize(self.rr);
+        w.write_bool(self.done_recorded);
+        // The issue recorder is a test-side observation channel; it stays
+        // whatever the restoring harness wired up.
+    }
+
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        let n = r.read_usize().min(self.agents.len());
+        for agent in self.agents.iter_mut().take(n) {
+            agent.state = match r.read_u8() {
+                0 => AgentState::Pending,
+                1 => AgentState::Thinking(r.read_time()),
+                2 => AgentState::Bursting(r.read_u32()),
+                _ => AgentState::Done,
+            };
+            agent.segment = r.read_usize();
+            agent.issued_in_segment = r.read_u64();
+            agent.issued_total = r.read_u64();
+            agent.completed = r.read_u64();
+            agent.outstanding = r.read_usize();
+            agent.cursor = r.read_u64();
+            agent.msg_remaining = r.read_u32();
+            agent.current_msg = r.read_opt_u64().map(MessageId::new);
+            agent.rng = SplitMix64::new(r.read_u64());
+        }
+        self.txn_agent.clear();
+        for _ in 0..r.read_usize() {
+            let raw = r.read_u64();
+            let agent_idx = r.read_usize();
+            self.txn_agent.insert(raw, agent_idx);
+        }
+        self.seq = r.read_u64();
+        self.msg_seq = r.read_u64();
+        self.rr = r.read_usize();
+        self.done_recorded = r.read_bool();
+    }
+}
+
 impl Component<Packet> for IpTrafficGenerator {
     fn name(&self) -> &str {
         &self.name

@@ -4,8 +4,13 @@
 //!
 //! ```bash
 //! cargo run --release --example waveform_capture
-//! # then: gtkwave $(ls /tmp/mpsoc_waveform_*.vcd | tail -1)
+//! # then: gtkwave /tmp/mpsoc_waveform.vcd
+//! MPSOC_OUT_DIR=target cargo run --release --example waveform_capture
 //! ```
+//!
+//! The VCD lands in `$MPSOC_OUT_DIR` when that variable is set, otherwise
+//! in the system temp directory; the file name is always
+//! `mpsoc_waveform.vcd`, so scripted consumers need no globbing.
 
 use mpsoc_kernel::Time;
 use mpsoc_memory::LmiConfig;
@@ -26,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (report, vcd) = platform.run_with_waveform(Time::from_ns(64), Time::from_ms(60))?;
     println!("{report}");
 
-    let path = std::env::temp_dir().join(format!("mpsoc_waveform_{}.vcd", std::process::id()));
+    let out_dir = std::env::var_os("MPSOC_OUT_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    std::fs::create_dir_all(&out_dir)?;
+    let path = out_dir.join("mpsoc_waveform.vcd");
     std::fs::write(&path, &vcd)?;
     println!(
         "wrote {} ({} bytes, {} signals sampled)",

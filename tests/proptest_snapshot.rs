@@ -1,0 +1,157 @@
+//! Differential snapshot oracle: across randomized platform shapes, seeds
+//! and fault schedules, `checkpoint` → `restore` → run must be
+//! **bit-identical** to never having snapshotted at all.
+//!
+//! Each case runs three passes over the same specification:
+//!
+//! 1. *reference* — build, run to quiescence, keep the end time, the final
+//!    checkpoint bytes and the rendered run report;
+//! 2. *prefix* — fresh build, run to half the reference end time, take a
+//!    mid-flight checkpoint;
+//! 3. *restored* — another fresh build, restore the mid-flight blob, run
+//!    to quiescence.
+//!
+//! Pass 3 must reproduce pass 1 exactly: same end instant, byte-identical
+//! final checkpoint (which transitively covers every component's state,
+//! the RNG cursor, the fault engine, stats and link queues), and the same
+//! rendered report. A trailing property checks that corrupted blobs are
+//! rejected rather than silently half-applied.
+
+use mpsoc_kernel::{FaultSchedule, SimError, SnapshotBlob, Time};
+use mpsoc_memory::LmiConfig;
+use mpsoc_platform::{build_platform, MemorySystem, Platform, PlatformSpec, Topology, Workload};
+use mpsoc_protocol::ProtocolKind;
+use proptest::prelude::*;
+
+const HORIZON: Time = Time::from_ms(60);
+
+fn spec_from(
+    proto_idx: usize,
+    topo_idx: usize,
+    mem_idx: usize,
+    workload_idx: usize,
+    seed: u64,
+) -> PlatformSpec {
+    let protocol = [ProtocolKind::StbusT3, ProtocolKind::Ahb, ProtocolKind::Axi][proto_idx];
+    let topology = [
+        Topology::SingleLayer,
+        Topology::Collapsed,
+        Topology::Distributed,
+    ][topo_idx];
+    let memory = match mem_idx {
+        0 => MemorySystem::OnChip { wait_states: 1 },
+        1 => MemorySystem::OnChip { wait_states: 4 },
+        _ => MemorySystem::Lmi(LmiConfig::default()),
+    };
+    let workload = [Workload::Standard, Workload::BurstyPosted][workload_idx];
+    PlatformSpec {
+        protocol,
+        topology,
+        memory,
+        workload,
+        scale: 1,
+        seed,
+        ..PlatformSpec::default()
+    }
+}
+
+fn build_armed(spec: &PlatformSpec, faults: &Option<FaultSchedule>) -> Platform {
+    let mut platform = build_platform(spec).expect("platform builds");
+    if let Some(schedule) = faults {
+        platform.arm_faults(*schedule);
+    }
+    platform
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The restored tail of a run is indistinguishable from the uncut run.
+    #[test]
+    fn restore_then_run_is_bit_identical(
+        proto_idx in 0usize..3,
+        topo_idx in 0usize..3,
+        mem_idx in 0usize..3,
+        workload_idx in 0usize..2,
+        seed in 0u64..10_000,
+        fault_rate in 0u32..2_000,
+        fault_seed in 0u64..1_000,
+    ) {
+        let spec = spec_from(proto_idx, topo_idx, mem_idx, workload_idx, seed);
+        let faults = (fault_rate > 0).then(|| FaultSchedule::uniform(fault_rate, fault_seed));
+
+        // Pass 1: the uninterrupted reference run.
+        let mut reference = build_armed(&spec, &faults);
+        let end = reference
+            .sim_mut()
+            .run_to_quiescence_strict(HORIZON)
+            .expect("reference run drains");
+        let final_blob = reference.checkpoint();
+        let final_report = reference.report_at(end).to_string();
+
+        // Pass 2: identical prefix, cut mid-flight.
+        let mid = Time::from_ps(end.as_ps() / 2);
+        let mut prefix = build_armed(&spec, &faults);
+        prefix.sim_mut().run_until(mid);
+        let mid_blob = prefix.checkpoint();
+
+        // Pass 3: restore into a fresh build — faults deliberately NOT
+        // re-armed, the snapshot must carry the engine — and run out.
+        let mut restored = build_platform(&spec).expect("platform builds");
+        restored.restore(&mid_blob).expect("restore accepts the blob");
+        let end2 = restored
+            .sim_mut()
+            .run_to_quiescence_strict(HORIZON)
+            .expect("restored run drains");
+
+        // Same end instant, byte-identical final checkpoint, same report.
+        prop_assert_eq!(end2, end);
+        let restored_blob = restored.checkpoint();
+        prop_assert_eq!(restored_blob.as_bytes(), final_blob.as_bytes());
+        prop_assert_eq!(restored.report_at(end2).to_string(), final_report);
+    }
+
+    /// Restoring the mid-flight blob is repeatable: two fresh builds fed
+    /// the same blob produce byte-identical checkpoints immediately.
+    #[test]
+    fn restore_is_idempotent(
+        proto_idx in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let spec = spec_from(proto_idx, 2, 0, 0, seed);
+        let mut donor = build_platform(&spec).expect("builds");
+        donor.sim_mut().run_until(Time::from_us(2));
+        let blob = donor.checkpoint();
+        let mut a = build_platform(&spec).expect("builds");
+        let mut b = build_platform(&spec).expect("builds");
+        a.restore(&blob).expect("restores");
+        b.restore(&blob).expect("restores");
+        let (blob_a, blob_b) = (a.checkpoint(), b.checkpoint());
+        prop_assert_eq!(blob_a.as_bytes(), blob_b.as_bytes());
+    }
+
+    /// A blob with any single corrupted byte is rejected up front — never
+    /// half-applied.
+    #[test]
+    fn corrupted_blobs_are_rejected(
+        seed in 0u64..10_000,
+        victim in 0usize..1_000_000,
+        flip in 1u32..256,
+    ) {
+        let spec = spec_from(0, 2, 0, 0, seed);
+        let mut donor = build_platform(&spec).expect("builds");
+        donor.sim_mut().run_until(Time::from_us(1));
+        let blob = donor.checkpoint();
+        let mut bytes = blob.as_bytes().to_vec();
+        let victim = victim % bytes.len();
+        bytes[victim] ^= flip as u8;
+        let mut target = build_platform(&spec).expect("builds");
+        let err = target
+            .restore(&SnapshotBlob::from_bytes(bytes))
+            .expect_err("corruption must be detected");
+        prop_assert!(
+            matches!(err, SimError::Snapshot { .. }),
+            "expected a snapshot error, got {err}"
+        );
+    }
+}

@@ -23,6 +23,8 @@ struct Recorder {
     log: TickLog,
 }
 
+impl mpsoc_kernel::Snapshot for Recorder {}
+
 impl Component<u64> for Recorder {
     fn name(&self) -> &str {
         "recorder"
@@ -139,6 +141,8 @@ struct Producer {
     sent: u64,
 }
 
+impl mpsoc_kernel::Snapshot for Producer {}
+
 impl Component<u64> for Producer {
     fn name(&self) -> &str {
         "producer"
@@ -159,6 +163,8 @@ struct Consumer {
     input: LinkId,
     received: u64,
 }
+
+impl mpsoc_kernel::Snapshot for Consumer {}
 
 impl Component<u64> for Consumer {
     fn name(&self) -> &str {
