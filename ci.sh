@@ -14,7 +14,11 @@
 #   6. snapshot round trip: the checkpoint-forked fig4 sweep must emit the
 #      same table as the cold sweep, and the measured warm-fork speedup
 #      must clear the repro binary's floor
-#   7. bench guard: scheduler throughput vs the committed perf ledger
+#   7. sparse equivalence: the sparse active-set schedule (default) and the
+#      dense schedule (--dense escape hatch) must emit identical tables
+#   8. bench guard: scheduler throughput vs the committed perf ledger, the
+#      warm-fork and sparse-ticking speedup floors, and a live run of the
+#      idle-heavy kernel_hotpath case against the sparse floor
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -81,8 +85,22 @@ if ! diff <(table_only "$run_dir/cold.txt") <(table_only "$run_dir/fork.txt"); t
 fi
 echo "snapshot round-trip gate passed"
 
+echo "== sparse equivalence: fig3 sparse vs --dense, identical tables =="
+# The dense schedule is the reference semantics; sparse ticking is only an
+# optimization and must never change a table.
+cargo run --release -p mpsoc-bench --bin repro -- \
+    --exp fig3 --scale 1 --dense --no-bench-out > "$run_dir/dense.txt"
+if ! diff <(filter_timing "$run_dir/a.txt") <(filter_timing "$run_dir/dense.txt"); then
+    echo "sparse gate FAILED: sparse and dense schedules produced different tables" >&2
+    exit 1
+fi
+echo "sparse equivalence gate passed"
+
 echo "== bench guard: throughput vs committed ledger =="
 cargo run --release -p mpsoc-bench --bin repro -- \
     --scale 1 --no-bench-out --check-bench BENCH_kernel.json
+
+echo "== bench guard: live sparse-ticking floor on the idle-heavy case =="
+cargo bench -p mpsoc-bench --bench kernel_hotpath -- --min-sparse-speedup 1.3
 
 echo "ci: all gates passed"

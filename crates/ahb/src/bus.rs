@@ -362,6 +362,26 @@ impl Component<Packet> for AhbBus {
     fn is_idle(&self) -> bool {
         self.active.is_none()
     }
+
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(
+            self.initiators
+                .iter()
+                .map(|p| p.req_in)
+                .chain(self.targets.iter().map(|t| t.resp_in))
+                .collect(),
+        )
+    }
+
+    fn next_activity(&self) -> Option<Time> {
+        // While a transaction is held the bus has its own deadline: the
+        // data-phase end (`busy_until`), after which every further cycle
+        // spent waiting on the target counts as an idle wait — `busy_until`
+        // stays in the past then, keeping the bus ticking each edge exactly
+        // as the dense schedule does. An un-held bus is purely reactive
+        // (grants need a deliverable request, which wakes it).
+        self.active.is_some().then_some(self.busy_until)
+    }
 }
 
 #[cfg(test)]

@@ -478,6 +478,21 @@ impl Component<Packet> for AxiInterconnect {
     fn is_idle(&self) -> bool {
         self.in_flight.is_empty()
     }
+
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(
+            self.initiators
+                .iter()
+                .map(|p| p.req_in)
+                .chain(self.targets.iter().map(|t| t.resp_in))
+                .collect(),
+        )
+    }
+    // Purely reactive: every grant and delivery requires a deliverable
+    // packet on a watched link. Channel-busy windows need no timer — a
+    // packet waiting out a busy channel stays queued, which keeps the wake
+    // due, so the interconnect keeps ticking exactly as the dense schedule
+    // would. `next_activity` stays `None`.
 }
 
 #[cfg(test)]

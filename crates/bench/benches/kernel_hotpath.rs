@@ -21,8 +21,10 @@
 
 use mpsoc_bench::ledger;
 use mpsoc_kernel::reference::NaiveSimulation;
-use mpsoc_kernel::{activity, ClockDomain, Component, Simulation, TickContext, Time};
+use mpsoc_kernel::{activity, ClockDomain, Component, LinkId, Simulation, TickContext, Time};
 use serde::Serialize;
+use std::cell::Cell;
+use std::rc::Rc;
 use std::time::Instant;
 
 /// Components per run. Large enough that the naive per-edge scan dominates.
@@ -105,6 +107,165 @@ fn best_rate(runs: impl Fn() -> (u64, f64)) -> (u64, f64) {
     (best_edges, best_rate)
 }
 
+// ---------------------------------------------------------------------------
+// Idle-heavy case: sparse vs dense ticking.
+//
+// Many initiators stalled on slow memory is the regime the paper's fig3-fig6
+// platforms spend most of their time in: every initiator issues one request,
+// then sits idle for a long think window while the memory drains. The dense
+// schedule still ticks all of them every edge; the sparse active-set schedule
+// executes only the due ones. Both run on the *same* bucketed executor, so
+// edges and delivered payloads must match exactly — only executed ticks and
+// wall time may differ.
+// ---------------------------------------------------------------------------
+
+/// Initiators in the idle-heavy case.
+const INITIATORS: usize = 256;
+/// Memories the initiators round-robin onto.
+const MEMORIES: usize = 4;
+/// Cycles each initiator stalls between requests — the idleness knob.
+const THINK_CYCLES: u64 = 200;
+/// Simulated horizon for the idle-heavy case.
+const IDLE_HORIZON_NS: u64 = 40_000;
+
+/// A request generator stalled on memory: pushes one payload, then sleeps
+/// [`THINK_CYCLES`] of its own clock, advertising the wake instant through
+/// `next_activity`. A full link leaves the deadline in the past, so it
+/// retries every edge exactly like the dense schedule would.
+struct IdleInitiator {
+    out: LinkId,
+    period: Time,
+    next_at: Time,
+    sent: Rc<Cell<u64>>,
+}
+
+impl mpsoc_kernel::Snapshot for IdleInitiator {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        w.write_time(self.next_at);
+    }
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        self.next_at = r.read_time();
+    }
+}
+
+impl Component<u64> for IdleInitiator {
+    fn name(&self) -> &str {
+        "idle-initiator"
+    }
+    fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+        if ctx.time >= self.next_at && ctx.links.can_push(self.out) {
+            ctx.links.push(self.out, ctx.time, 1).unwrap();
+            self.sent.set(self.sent.get() + 1);
+            self.next_at = ctx.time + self.period * THINK_CYCLES;
+        }
+    }
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(Vec::new()) // purely timer-driven
+    }
+    fn next_activity(&self) -> Option<Time> {
+        Some(self.next_at)
+    }
+}
+
+/// A memory port draining one request per tick from each attached link,
+/// woken only by deliveries.
+struct MemoryPort {
+    inputs: Vec<LinkId>,
+    served: Rc<Cell<u64>>,
+}
+
+impl mpsoc_kernel::Snapshot for MemoryPort {}
+
+impl Component<u64> for MemoryPort {
+    fn name(&self) -> &str {
+        "memory-port"
+    }
+    fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+        for &input in &self.inputs {
+            if ctx.links.pop(input, ctx.time).is_some() {
+                self.served.set(self.served.get() + 1);
+            }
+        }
+    }
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(self.inputs.clone())
+    }
+}
+
+/// Counters observed from one idle-heavy run.
+struct IdleRun {
+    edges: u64,
+    ticks: u64,
+    skipped: u64,
+    served: u64,
+    wall: f64,
+}
+
+fn bench_idle_heavy(dense: bool) -> IdleRun {
+    let clocks: Vec<ClockDomain> = [400u64, 200, 133, 100]
+        .iter()
+        .map(|&mhz| ClockDomain::from_mhz(mhz))
+        .collect();
+    let sent = Rc::new(Cell::new(0u64));
+    let served = Rc::new(Cell::new(0u64));
+    let mut sim: Simulation<u64> = Simulation::new();
+    sim.set_dense(dense);
+    let mut memory_inputs: Vec<Vec<LinkId>> = vec![Vec::new(); MEMORIES];
+    for i in 0..INITIATORS {
+        let clk = clocks[i % clocks.len()];
+        let link = sim.links_mut().add_link(format!("req{i}"), 2, clk.period());
+        memory_inputs[i % MEMORIES].push(link);
+        sim.add_component(
+            Box::new(IdleInitiator {
+                out: link,
+                period: clk.period(),
+                next_at: Time::ZERO,
+                sent: Rc::clone(&sent),
+            }),
+            clk,
+        );
+    }
+    for inputs in memory_inputs {
+        sim.add_component(
+            Box::new(MemoryPort {
+                inputs,
+                served: Rc::clone(&served),
+            }),
+            clocks[0],
+        );
+    }
+    let before = activity::snapshot();
+    let started = Instant::now();
+    sim.run_until(Time::from_ns(IDLE_HORIZON_NS));
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let delta = activity::snapshot().since(before);
+    IdleRun {
+        edges: delta.edges,
+        ticks: delta.ticks,
+        skipped: delta.skipped,
+        served: served.get(),
+        wall,
+    }
+}
+
+/// The `"sparse"` section of `BENCH_kernel.json`: the idle-heavy case's
+/// sparse-vs-dense comparison.
+#[derive(Serialize)]
+struct SparseSection {
+    initiators: u64,
+    memories: u64,
+    think_cycles: u64,
+    horizon_ns: u64,
+    samples: u64,
+    edges_per_run: u64,
+    dense_ticks: u64,
+    sparse_ticks: u64,
+    skip_fraction: f64,
+    dense_edges_per_sec: f64,
+    sparse_edges_per_sec: f64,
+    speedup: f64,
+}
+
 /// The `"microbench"` section of `BENCH_kernel.json`.
 #[derive(Serialize)]
 struct MicrobenchSection {
@@ -118,7 +279,40 @@ struct MicrobenchSection {
     speedup: f64,
 }
 
+/// Options parsed from the bench's command line. `cargo bench` forwards
+/// everything after `--`; unknown flags (e.g. the harness's own `--bench`)
+/// are ignored.
+struct Options {
+    /// Fail the run if the idle-heavy sparse speedup lands below this.
+    min_sparse_speedup: Option<f64>,
+    /// Also refresh the committed `BENCH_kernel.json` at the repo root.
+    committed: bool,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        min_sparse_speedup: None,
+        committed: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--min-sparse-speedup" => {
+                let value = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-sparse-speedup needs a number");
+                opts.min_sparse_speedup = Some(value);
+            }
+            "--committed" => opts.committed = true,
+            _ => {}
+        }
+    }
+    opts
+}
+
 fn main() {
+    let opts = parse_options();
     let horizon = Time::from_ns(HORIZON_NS);
     let domains = {
         let clocks = clock_set();
@@ -168,5 +362,93 @@ fn main() {
     match ledger::update_section(&path, "microbench", &section.to_json()) {
         Ok(()) => println!("perf ledger updated: {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+
+    println!(
+        "\nidle-heavy: {INITIATORS} initiators x {MEMORIES} memories, \
+         think {THINK_CYCLES} cycles, horizon {IDLE_HORIZON_NS} ns, best of {SAMPLES}"
+    );
+
+    let mut dense_best: Option<IdleRun> = None;
+    let mut sparse_best: Option<IdleRun> = None;
+    for _ in 0..SAMPLES {
+        let dense = bench_idle_heavy(true);
+        let sparse = bench_idle_heavy(false);
+        // Same executor, same components, same horizon: the schedules must
+        // agree on everything observable.
+        assert_eq!(
+            dense.edges, sparse.edges,
+            "sparse and dense must process the same edge sequence"
+        );
+        assert_eq!(
+            dense.served, sparse.served,
+            "sparse and dense must deliver the same payloads"
+        );
+        assert_eq!(dense.skipped, 0, "the dense schedule never skips");
+        if dense_best.as_ref().is_none_or(|b| dense.wall < b.wall) {
+            dense_best = Some(dense);
+        }
+        if sparse_best.as_ref().is_none_or(|b| sparse.wall < b.wall) {
+            sparse_best = Some(sparse);
+        }
+    }
+    let dense = dense_best.expect("sampled");
+    let sparse = sparse_best.expect("sampled");
+    let dense_rate = dense.edges as f64 / dense.wall;
+    let sparse_rate = sparse.edges as f64 / sparse.wall;
+    let skip_fraction = sparse.skipped as f64 / (sparse.ticks + sparse.skipped).max(1) as f64;
+    let sparse_speedup = sparse_rate / dense_rate;
+    println!(
+        "  dense    : {} edges, {} ticks, {:.3}M edges/s",
+        dense.edges,
+        dense.ticks,
+        dense_rate / 1e6
+    );
+    println!(
+        "  sparse   : {} edges, {} ticks ({:.0}% skipped), {:.3}M edges/s",
+        sparse.edges,
+        sparse.ticks,
+        skip_fraction * 100.0,
+        sparse_rate / 1e6
+    );
+    println!("  speedup  : {sparse_speedup:.2}x");
+
+    let sparse_section = SparseSection {
+        initiators: INITIATORS as u64,
+        memories: MEMORIES as u64,
+        think_cycles: THINK_CYCLES,
+        horizon_ns: IDLE_HORIZON_NS,
+        samples: SAMPLES as u64,
+        edges_per_run: sparse.edges,
+        dense_ticks: dense.ticks,
+        sparse_ticks: sparse.ticks,
+        skip_fraction,
+        dense_edges_per_sec: dense_rate,
+        sparse_edges_per_sec: sparse_rate,
+        speedup: sparse_speedup,
+    };
+    match ledger::update_section(&path, "sparse", &sparse_section.to_json()) {
+        Ok(()) => println!("perf ledger updated: {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+    if opts.committed {
+        let committed = ledger::committed_path();
+        let microbench = ledger::update_section(&committed, "microbench", &section.to_json());
+        let sparse_write = ledger::update_section(&committed, "sparse", &sparse_section.to_json());
+        match microbench.and(sparse_write) {
+            Ok(()) => println!("committed ledger updated: {}", committed.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", committed.display()),
+        }
+    }
+
+    if let Some(floor) = opts.min_sparse_speedup {
+        if sparse_speedup < floor {
+            eprintln!(
+                "sparse-ticking floor FAILED: {sparse_speedup:.2}x below the {floor}x floor \
+                 on the idle-heavy case"
+            );
+            std::process::exit(1);
+        }
+        println!("[check sparse speedup {sparse_speedup:.2}x >= {floor}x — ok]");
     }
 }

@@ -51,6 +51,7 @@ struct Args {
     bench_out: bool,
     bench_out_path: Option<std::path::PathBuf>,
     check_bench: Option<std::path::PathBuf>,
+    dense: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         bench_out: true,
         bench_out_path: None,
         check_bench: None,
+        dense: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -115,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad rewind target: {e}"))?,
                 );
             }
+            "--dense" => args.dense = true,
             "--no-bench-out" => args.bench_out = false,
             "--bench-out" => {
                 args.bench_out_path = Some(it.next().ok_or("--bench-out needs a path")?.into());
@@ -125,7 +128,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "repro [--exp <id>] [--scale N] [--seed N] [--jobs N] [--list] \
-                     [--warm-fork] [--checkpoint-every NS --rewind-to NS] \
+                     [--warm-fork] [--checkpoint-every NS --rewind-to NS] [--dense] \
                      [--no-bench-out] [--bench-out <path>] [--check-bench <path>]\n\
                      experiments: {}",
                     EXPERIMENTS.join(", ")
@@ -161,9 +164,11 @@ struct ExperimentsSection {
     scale: u64,
     seed: u64,
     jobs: u64,
+    dense: bool,
     total_wall_seconds: f64,
     total_edges: u64,
     total_ticks: u64,
+    total_skipped: u64,
     runs: Vec<ExperimentRun>,
 }
 
@@ -181,6 +186,11 @@ fn main() -> ExitCode {
             println!("{id:<14} {runtime:>9}  {description}");
         }
         return ExitCode::SUCCESS;
+    }
+    if args.dense {
+        // Escape hatch: run every simulation with the dense (tick-
+        // everything) scheduler, e.g. to cross-check the sparse tables.
+        mpsoc_kernel::set_dense_default(true);
     }
     if let (Some(every), Some(target)) = (args.checkpoint_every_ns, args.rewind_to_ns) {
         return time_travel(&args, every, target);
@@ -218,14 +228,16 @@ fn main() -> ExitCode {
         scale: args.scale,
         seed: args.seed,
         jobs: args.jobs as u64,
+        dense: args.dense,
         total_wall_seconds: runs.iter().map(|r| r.wall_seconds).sum(),
         total_edges: runs.iter().map(|r| r.edges).sum(),
         total_ticks: runs.iter().map(|r| r.ticks).sum(),
+        total_skipped: runs.iter().map(|r| r.skipped).sum(),
         runs,
     };
     println!(
-        "total: {} edges, {} sim cycles in {:.2}s host time",
-        section.total_edges, section.total_ticks, section.total_wall_seconds
+        "total: {} edges, {} sim cycles ({} skipped) in {:.2}s host time",
+        section.total_edges, section.total_ticks, section.total_skipped, section.total_wall_seconds
     );
     if args.bench_out {
         let path = args
@@ -241,7 +253,7 @@ fn main() -> ExitCode {
         }
     }
     if let Some(baseline) = &args.check_bench {
-        return check_bench(baseline, &section.runs);
+        return check_bench(baseline, &section.runs, &args);
     }
     ExitCode::SUCCESS
 }
@@ -306,10 +318,24 @@ const MAX_REGRESSION: f64 = 0.30;
 /// subsystem has regressed.
 const MIN_WARM_FORK_SPEEDUP: f64 = 1.5;
 
+/// Minimum sparse-vs-dense speedup the `"sparse"` ledger section (the
+/// idle-heavy `kernel_hotpath` case) must show for [`check_bench`] to
+/// pass: skipping quiescent components has to beat ticking them by a
+/// clear margin where idleness dominates, or sparse scheduling has
+/// regressed into bookkeeping overhead.
+const MIN_SPARSE_SPEEDUP: f64 = 1.3;
+
+/// Re-measurements granted to an experiment whose first sample lands below
+/// the regression floor before it is declared regressed. The smallest
+/// experiments finish in single-digit milliseconds, where one scheduler
+/// hiccup on the host halves the measured rate; a real regression fails
+/// every sample, noise does not.
+const CHECK_RETRIES: usize = 2;
+
 /// Compares the measured edges/sec of `runs` against the ledger at
 /// `baseline`. Experiments missing from the baseline (newly added ones)
 /// are reported but never fail the check.
-fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun]) -> ExitCode {
+fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun], args: &Args) -> ExitCode {
     let doc = match std::fs::read_to_string(baseline) {
         Ok(doc) => doc,
         Err(e) => {
@@ -331,22 +357,61 @@ fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun]) -> ExitCode {
             println!("[check {:<14} no baseline — skipped]", run.id);
             continue;
         };
-        let ratio = run.edges_per_sec / base.max(1e-9);
-        let ok = ratio >= 1.0 - MAX_REGRESSION;
+        let floor = base.max(1e-9) * (1.0 - MAX_REGRESSION);
+        let mut rate = run.edges_per_sec;
+        let mut retried = 0;
+        while rate < floor && retried < CHECK_RETRIES {
+            retried += 1;
+            match measure_experiment(&run.id, args.scale, args.seed, args.jobs) {
+                Ok(again) => rate = rate.max(again.edges_per_sec),
+                Err(e) => {
+                    eprintln!("re-measuring {} failed: {e}", run.id);
+                    break;
+                }
+            }
+        }
+        let ok = rate >= floor;
         println!(
-            "[check {:<14} {:>10.0} vs baseline {:>10.0} edges/s — {}]",
+            "[check {:<14} {:>10.0} vs baseline {:>10.0} edges/s — {}{}]",
             run.id,
-            run.edges_per_sec,
+            rate,
             base,
-            if ok { "ok" } else { "REGRESSED" }
+            if ok { "ok" } else { "REGRESSED" },
+            if retried > 0 {
+                format!(" ({retried} retry)")
+            } else {
+                String::new()
+            }
         );
         if !ok {
             regressed = true;
         }
     }
+    match ledger::sparse_speedup(&doc) {
+        Some(speedup) if speedup >= MIN_SPARSE_SPEEDUP => {
+            println!("[check sparse speedup {speedup:.2}x >= {MIN_SPARSE_SPEEDUP}x — ok]");
+        }
+        Some(speedup) => {
+            eprintln!(
+                "sparse check failed: idle-heavy speedup {speedup:.2}x below the \
+                 {MIN_SPARSE_SPEEDUP}x floor in {}",
+                baseline.display()
+            );
+            regressed = true;
+        }
+        None => {
+            eprintln!(
+                "sparse check failed: {} has no sparse section (run \
+                 `cargo bench -p mpsoc-bench --bench kernel_hotpath -- --committed`)",
+                baseline.display()
+            );
+            regressed = true;
+        }
+    }
     if regressed {
         eprintln!(
-            "bench check failed: throughput dropped more than {:.0}% vs {}",
+            "bench check failed: throughput dropped more than {:.0}% vs {} \
+             or a speedup floor was missed",
             MAX_REGRESSION * 100.0,
             baseline.display()
         );

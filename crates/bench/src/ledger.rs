@@ -8,7 +8,8 @@
 //! * `repro --warm-fork` writes the `"warm_fork"` section (cold vs
 //!   checkpoint-forked fig4 sweep wall time and the speedup ratio), and
 //! * the `kernel_hotpath` microbench writes the `"microbench"` section
-//!   (bucketed vs naive scheduler edges/sec and the speedup ratio).
+//!   (bucketed vs naive scheduler edges/sec and the speedup ratio) and the
+//!   `"sparse"` section (sparse vs dense ticking on the idle-heavy case).
 //!
 //! Each writer regenerates the whole file but preserves the other's section
 //! verbatim. The file layout is deliberately line-oriented — every section
@@ -54,11 +55,13 @@ pub fn committed_path() -> PathBuf {
     workspace_root().join(LEDGER_PATH)
 }
 
-/// Schema tag stamped into the ledger.
-pub const SCHEMA: &str = "mpsoc-bench/kernel-v1";
+/// Schema tag stamped into the ledger. `v2` added the sparse-ticking
+/// fields (`skipped` per experiment, the idle-heavy microbench case);
+/// readers scan by field prefix and accept either version.
+pub const SCHEMA: &str = "mpsoc-bench/kernel-v2";
 
 /// The known top-level sections, in the order they appear in the file.
-const SECTIONS: [&str; 3] = ["experiments", "warm_fork", "microbench"];
+const SECTIONS: [&str; 4] = ["experiments", "warm_fork", "microbench", "sparse"];
 
 /// Replaces `section` of the ledger at `path` with `value_json`, keeping
 /// every other known section from the existing file (if any).
@@ -148,7 +151,19 @@ pub fn experiment_rates(doc: &str) -> Vec<(String, f64)> {
 /// `"warm_fork"` section. Returns `None` when the section is absent or
 /// malformed.
 pub fn warm_fork_speedup(doc: &str) -> Option<f64> {
-    let section = extract_section(doc, "warm_fork")?;
+    section_speedup(doc, "warm_fork")
+}
+
+/// Pulls the measured sparse-vs-dense speedup out of a ledger document's
+/// `"sparse"` section (the idle-heavy `kernel_hotpath` case). Returns
+/// `None` when the section is absent or malformed.
+pub fn sparse_speedup(doc: &str) -> Option<f64> {
+    section_speedup(doc, "sparse")
+}
+
+/// Scans `section` of `doc` for its `"speedup"` field.
+fn section_speedup(doc: &str, name: &str) -> Option<f64> {
+    let section = extract_section(doc, name)?;
     let pos = section.find("\"speedup\":")?;
     let rest = &section[pos + 10..];
     let end = rest.find([',', '}']).unwrap_or(rest.len());
@@ -171,7 +186,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         update_section(&path, "experiments", r#"{"runs":[]}"#).expect("writes");
         let doc = std::fs::read_to_string(&path).expect("readable");
-        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v1""#));
+        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v2""#));
         assert!(doc.contains(r#""experiments": {"runs":[]}"#));
         assert!(!doc.contains("microbench"));
         std::fs::remove_file(&path).expect("cleanup");
@@ -219,6 +234,16 @@ mod tests {
         );
         assert_eq!(warm_fork_speedup(doc), Some(2.5));
         assert_eq!(warm_fork_speedup("{}\n"), None);
+    }
+
+    #[test]
+    fn sparse_speedup_is_scanned() {
+        let doc = concat!(
+            "{\n\"schema\": \"x\",\n",
+            "\"sparse\": {\"skip_fraction\":0.9,\"speedup\":3.25}\n}\n"
+        );
+        assert_eq!(sparse_speedup(doc), Some(3.25));
+        assert_eq!(sparse_speedup("{}\n"), None);
     }
 
     #[test]

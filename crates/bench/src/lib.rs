@@ -190,6 +190,10 @@ pub struct ExperimentRun {
     pub edges: u64,
     /// Component ticks (simulated component-cycles) executed.
     pub ticks: u64,
+    /// Component ticks the sparse scheduler proved skippable (quiescent
+    /// slots with no due deadline and no pending input). Zero when running
+    /// dense.
+    pub skipped: u64,
     /// Host-side scheduler throughput: `edges / wall_seconds`.
     pub edges_per_sec: f64,
     /// Simulated component-cycles per host second: `ticks / wall_seconds`.
@@ -197,14 +201,26 @@ pub struct ExperimentRun {
 }
 
 impl ExperimentRun {
+    /// Fraction of component-edge slots the sparse scheduler skipped, in
+    /// `0.0..=1.0` (0 for a dense run or an empty measurement).
+    pub fn skip_fraction(&self) -> f64 {
+        let total = self.ticks + self.skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / total as f64
+        }
+    }
+
     /// One-line human-readable performance summary.
     pub fn perf_line(&self) -> String {
         format!(
-            "[{} done in {:.2}s — {} edges/s, {} sim cycles/s]",
+            "[{} done in {:.2}s — {} edges/s, {} sim cycles/s, {:.0}% ticks skipped]",
             self.id,
             self.wall_seconds,
             si(self.edges_per_sec),
             si(self.sim_cycles_per_sec),
+            self.skip_fraction() * 100.0,
         )
     }
 }
@@ -244,6 +260,7 @@ pub fn measure_experiment(
         wall_seconds,
         edges: delta.edges,
         ticks: delta.ticks,
+        skipped: delta.skipped,
         edges_per_sec: delta.edges as f64 / wall_seconds,
         sim_cycles_per_sec: delta.ticks as f64 / wall_seconds,
     })

@@ -508,6 +508,21 @@ impl Component<Packet> for BridgeTargetSide {
             && self.retries.is_empty()
             && self.dead_letters.is_empty()
     }
+
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(vec![self.req_in, self.resp_fifo])
+    }
+
+    fn next_activity(&self) -> Option<Time> {
+        // Dead letters wait only on response-channel space, so they must be
+        // retried every edge; retry entries sleep until their backoff
+        // deadline. Everything else (accepts, response returns) is woken by
+        // deliveries on req_in / resp_fifo.
+        if !self.dead_letters.is_empty() {
+            return Some(Time::ZERO);
+        }
+        self.retries.iter().map(|entry| entry.deadline).min()
+    }
 }
 
 /// The bridge half that appears as an *initiator* on the destination bus.
@@ -548,6 +563,13 @@ impl Component<Packet> for BridgeInitiatorSide {
                 .expect("can_push checked");
         }
     }
+
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(vec![self.req_fifo, self.resp_in])
+    }
+    // Purely reactive FIFO shuttling: a payload blocked by a full
+    // destination stays queued on the watched link, which keeps the wake
+    // due until it crosses. `next_activity` stays `None`.
 }
 
 #[cfg(test)]

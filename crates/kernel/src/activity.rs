@@ -1,10 +1,11 @@
 //! Process-wide kernel activity counters.
 //!
 //! Every [`Simulation::step`](crate::Simulation::step) (and its
-//! [`reference`](crate::reference) counterpart) records the edge and the
-//! number of component ticks it executed into two relaxed atomics. Harness
-//! code (the `repro` binary, microbenches) snapshots them around a workload
-//! to report host-side throughput — `edges/sec` and simulated ticks/sec —
+//! [`reference`](crate::reference) counterpart) records the edge, the number
+//! of component ticks it executed and the number it skipped (sparse ticking)
+//! into relaxed atomics. Harness code (the `repro` binary, microbenches)
+//! snapshots them around a workload to report host-side throughput —
+//! `edges/sec` and simulated ticks/sec — and the ticked/skipped split,
 //! without threading handles through every experiment's plumbing.
 //!
 //! The counters are global and monotonically increasing; meaningful rates
@@ -20,13 +21,14 @@
 //! let before = activity::snapshot();
 //! // ... run simulations ...
 //! let delta = activity::snapshot().since(before);
-//! println!("{} edges, {} ticks", delta.edges, delta.ticks);
+//! println!("{} edges, {} ticks, {} skipped", delta.edges, delta.ticks, delta.skipped);
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static EDGES: AtomicU64 = AtomicU64::new(0);
 static TICKS: AtomicU64 = AtomicU64::new(0);
+static SKIPPED: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time reading of the global activity counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +37,9 @@ pub struct ActivitySnapshot {
     pub edges: u64,
     /// Total component ticks executed by all simulations so far.
     pub ticks: u64,
+    /// Total component ticks *skipped* by the sparse active-set schedule
+    /// (components asleep on an edge their clock domain fired).
+    pub skipped: u64,
 }
 
 impl ActivitySnapshot {
@@ -43,6 +48,7 @@ impl ActivitySnapshot {
         ActivitySnapshot {
             edges: self.edges.wrapping_sub(earlier.edges),
             ticks: self.ticks.wrapping_sub(earlier.ticks),
+            skipped: self.skipped.wrapping_sub(earlier.skipped),
         }
     }
 }
@@ -52,14 +58,19 @@ pub fn snapshot() -> ActivitySnapshot {
     ActivitySnapshot {
         edges: EDGES.load(Ordering::Relaxed),
         ticks: TICKS.load(Ordering::Relaxed),
+        skipped: SKIPPED.load(Ordering::Relaxed),
     }
 }
 
-/// Records one processed edge that executed `ticks` component ticks.
+/// Records one processed edge that executed `ticks` component ticks and
+/// skipped `skipped` sleeping ones.
 #[inline]
-pub(crate) fn record_edge(ticks: u64) {
+pub(crate) fn record_edge(ticks: u64, skipped: u64) {
     EDGES.fetch_add(1, Ordering::Relaxed);
     TICKS.fetch_add(ticks, Ordering::Relaxed);
+    if skipped != 0 {
+        SKIPPED.fetch_add(skipped, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -69,11 +80,12 @@ mod tests {
     #[test]
     fn deltas_accumulate() {
         let before = snapshot();
-        record_edge(3);
-        record_edge(2);
+        record_edge(3, 1);
+        record_edge(2, 0);
         let delta = snapshot().since(before);
         // Other tests may run concurrently, so >=, not ==.
         assert!(delta.edges >= 2);
         assert!(delta.ticks >= 5);
+        assert!(delta.skipped >= 1);
     }
 }

@@ -1,7 +1,7 @@
 //! The component trait and per-tick context.
 
 use crate::fault::FaultEngine;
-use crate::link::LinkPool;
+use crate::link::{LinkId, LinkPool};
 use crate::rng::SplitMix64;
 use crate::stats::StatsRegistry;
 use crate::time::{Cycles, Time};
@@ -94,6 +94,50 @@ pub trait Component<T>: crate::snapshot::Snapshot {
         true
     }
 
+    /// Links whose deliveries should wake this component (sparse-ticking
+    /// opt-in).
+    ///
+    /// Returning `Some(links)` enrols the component in the executor's
+    /// *active-set* schedule: on edges where the component has no deliverable
+    /// payload on any listed link and no due [`next_activity`] deadline, its
+    /// [`tick`](Component::tick) is skipped entirely. Returning `None` (the
+    /// default) keeps the classic dense behaviour — the component is ticked
+    /// on every edge of its clock domain.
+    ///
+    /// # Contract
+    ///
+    /// The list must cover **every** link the component pops or peeks during
+    /// `tick`. A payload arriving on an unlisted link would not wake the
+    /// component, and a skipped tick must be unobservable (see the idle
+    /// contract verified by `Simulation::enable_skip_audit`). The answer is
+    /// read once at registration and must not change afterwards.
+    ///
+    /// [`next_activity`]: Component::next_activity
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        None
+    }
+
+    /// Earliest future instant at which the component may act *without* any
+    /// new deliverable input on its [`watched_links`](Component::watched_links).
+    ///
+    /// Sparse-ticking components use this to declare internal timers: DRAM
+    /// refresh deadlines, inter-arrival think timers, retry/backoff
+    /// deadlines, pipeline completion times. `Some(Time::ZERO)` (or any
+    /// past instant) means "tick me every edge"; `None` means "purely
+    /// reactive — wake me only on link delivery".
+    ///
+    /// # Contract
+    ///
+    /// Deadlines may be **conservative-early but never late**: waking a
+    /// component before it has anything to do costs a harmless no-op tick,
+    /// while a late deadline would diverge from the dense schedule. Like
+    /// [`is_idle`](Component::is_idle), the answer may only change during
+    /// the component's own tick; the executor re-reads it after every
+    /// executed tick (and once after a snapshot restore).
+    fn next_activity(&self) -> Option<Time> {
+        None
+    }
+
     /// Optional downcasting hook for post-build reconfiguration.
     ///
     /// Components that expose runtime-tunable knobs (e.g. memory wait
@@ -121,6 +165,12 @@ mod tests {
     #[test]
     fn default_idle_is_true() {
         assert!(Nop.is_idle());
+    }
+
+    #[test]
+    fn default_sparse_hints_keep_dense_behaviour() {
+        assert!(Nop.watched_links().is_none());
+        assert!(Nop.next_activity().is_none());
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use error::{SimError, SimResult};
 pub use fault::{FaultCounts, FaultEngine, FaultKind, FaultSchedule};
 pub use link::{Link, LinkId, LinkPool};
 pub use rng::SplitMix64;
-pub use sim::{RunOutcome, Simulation};
+pub use sim::{dense_default, set_dense_default, RunOutcome, Simulation};
 pub use snapshot::{
     Snapshot, SnapshotBlob, SnapshotError, SnapshotPayload, StateReader, StateWriter,
 };

@@ -137,6 +137,14 @@ pub struct LinkPool<T> {
     /// Maintained count of payloads queued across all links, so quiescence
     /// checks are O(1) instead of a scan (updated on every push and pop).
     queued: usize,
+    /// `watchers[link] = slots to wake when a payload is pushed onto it`
+    /// (sparse-ticking wake-on-delivery). Indexed lazily: links registered
+    /// after the last `watch` call simply have no watchers yet.
+    watchers: Vec<Vec<u32>>,
+    /// `wakes[slot] = earliest pending delivery instant (ps) across the
+    /// slot's watched links`, `u64::MAX` when nothing is pending. Never
+    /// serialized — derived state, recomputed from the queues on restore.
+    wakes: Vec<u64>,
 }
 
 impl<T> LinkPool<T> {
@@ -145,6 +153,8 @@ impl<T> LinkPool<T> {
         LinkPool {
             links: Vec::new(),
             queued: 0,
+            watchers: Vec::new(),
+            wakes: Vec::new(),
         }
     }
 
@@ -223,7 +233,65 @@ impl<T> LinkPool<T> {
         link.stats.pushes += 1;
         link.stats.max_occupancy = link.stats.max_occupancy.max(link.queue.len());
         self.queued += 1;
+        // Wake-on-delivery: lower every watcher's wake to this delivery
+        // instant so a sleeping destination is ticked no later than the edge
+        // on which the payload becomes deliverable.
+        if let Some(watchers) = self.watchers.get(id.index()) {
+            let at = deliver.as_ps();
+            for &slot in watchers {
+                let wake = &mut self.wakes[slot as usize];
+                if at < *wake {
+                    *wake = at;
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Registers `slot` as a wake-on-delivery watcher of `id` (sparse
+    /// ticking). Any payload already queued on the link lowers the slot's
+    /// wake immediately.
+    pub(crate) fn watch(&mut self, id: LinkId, slot: u32) {
+        if self.watchers.len() < self.links.len() {
+            self.watchers.resize(self.links.len(), Vec::new());
+        }
+        if self.wakes.len() <= slot as usize {
+            self.wakes.resize(slot as usize + 1, u64::MAX);
+        }
+        let list = &mut self.watchers[id.index()];
+        if !list.contains(&slot) {
+            list.push(slot);
+        }
+        if let Some((at, _)) = self.links[id.index()].queue.front() {
+            let wake = &mut self.wakes[slot as usize];
+            *wake = (*wake).min(at.as_ps());
+        }
+    }
+
+    /// Earliest pending delivery (ps) across the slot's watched links, or
+    /// `u64::MAX` if nothing is pending. May be conservative-early (a stale
+    /// low value only causes a harmless no-op tick); never late, because
+    /// every push lowers it and only [`recompute_wake`](Self::recompute_wake)
+    /// raises it.
+    #[inline]
+    pub(crate) fn wake_of(&self, slot: u32) -> u64 {
+        self.wakes.get(slot as usize).copied().unwrap_or(u64::MAX)
+    }
+
+    /// Re-derives a slot's wake from the current queue heads of its watched
+    /// links. Called after each executed tick of the slot's component (which
+    /// may have popped payloads) and after a snapshot restore.
+    pub(crate) fn recompute_wake(&mut self, slot: u32, watched: &[LinkId]) {
+        let mut wake = u64::MAX;
+        for id in watched {
+            if let Some((at, _)) = self.links[id.index()].queue.front() {
+                wake = wake.min(at.as_ps());
+            }
+        }
+        if self.wakes.len() <= slot as usize {
+            self.wakes.resize(slot as usize + 1, u64::MAX);
+        }
+        self.wakes[slot as usize] = wake;
     }
 
     /// Peeks the head payload if it has been delivered by `now`.
@@ -425,6 +493,37 @@ mod tests {
             .unwrap();
         assert!(p.peek(l, Time::from_ns(17)).is_none());
         assert_eq!(p.pop(l, Time::from_ns(18)), Some(9));
+    }
+
+    #[test]
+    fn watchers_track_earliest_pending_delivery() {
+        let mut p = pool();
+        let a = p.add_link("a", 4, Time::from_ns(5));
+        let b = p.add_link("b", 4, Time::from_ns(1));
+        p.watch(a, 0);
+        p.watch(b, 0);
+        assert_eq!(p.wake_of(0), u64::MAX);
+        p.push(a, Time::ZERO, 1).unwrap(); // deliverable at 5 ns
+        assert_eq!(p.wake_of(0), 5_000);
+        p.push(b, Time::ZERO, 2).unwrap(); // deliverable at 1 ns
+        assert_eq!(p.wake_of(0), 1_000);
+        p.pop(b, Time::from_ns(1)).unwrap();
+        p.recompute_wake(0, &[a, b]);
+        assert_eq!(p.wake_of(0), 5_000);
+        p.pop(a, Time::from_ns(5)).unwrap();
+        p.recompute_wake(0, &[a, b]);
+        assert_eq!(p.wake_of(0), u64::MAX);
+    }
+
+    #[test]
+    fn watch_sees_payloads_already_queued() {
+        let mut p = pool();
+        let l = p.add_link("l", 4, Time::from_ns(3));
+        p.push(l, Time::ZERO, 9).unwrap();
+        p.watch(l, 2);
+        assert_eq!(p.wake_of(2), 3_000);
+        // Slots never registered have no pending wake.
+        assert_eq!(p.wake_of(0), u64::MAX);
     }
 
     #[test]

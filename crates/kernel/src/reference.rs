@@ -135,7 +135,7 @@ impl<T> NaiveSimulation<T> {
                 ticked += 1;
             }
         }
-        crate::activity::record_edge(ticked);
+        crate::activity::record_edge(ticked, 0);
         Some(edge)
     }
 

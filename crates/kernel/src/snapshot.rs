@@ -40,7 +40,11 @@ use std::sync::Arc;
 /// Leading magic bytes of every snapshot blob.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"MPSN";
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+///
+/// v2 (sparse-ticking): executed-tick counts left the blob (they are
+/// schedule-derived), bucket sections gained an edge index and component
+/// sections an edge base, so sparse and dense runs checkpoint identically.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 const TAG_U8: u8 = 0x01;
 const TAG_U16: u8 = 0x02;

@@ -130,6 +130,14 @@ impl StateResidency {
 
     fn set(&mut self, state: usize, now: Time) {
         assert!(state < self.states.len(), "unknown residency state");
+        // Re-asserting the current state is a no-op: the elapsed span stays
+        // attributed to it either way, and leaving `since`/`acc` untouched
+        // makes the write idempotent — required so components re-asserting a
+        // quiet state every dense tick serialize identically whether or not
+        // sparse scheduling skipped those ticks.
+        if state == self.current {
+            return;
+        }
         self.acc[self.current] += now.saturating_sub(self.since);
         self.since = self.since.max(now);
         self.current = state;

@@ -135,6 +135,13 @@ pub struct LmiController {
     /// Consecutive clean (un-stalled) engine starts, for recovery.
     clean_accesses: u32,
     mode_residency: Option<ResidencyId>,
+    /// Whether the bus-interface residencies have reached their rest state
+    /// (`no_request` / `empty`). The tick that drains the last transaction
+    /// leaves them one cycle stale — e.g. a posted write that is stored
+    /// and consumed in the same tick parks the interface in `storing` — so
+    /// the controller stays awake for one more tick to write the rest
+    /// state before [`Component::next_activity`] lets it sleep.
+    settled: bool,
 }
 
 /// Clean engine starts required to leave degraded mode.
@@ -171,6 +178,7 @@ impl LmiController {
             recent_stalls: 0,
             clean_accesses: 0,
             mode_residency: None,
+            settled: false,
         }
     }
 
@@ -276,6 +284,7 @@ impl mpsoc_kernel::Snapshot for LmiController {
         w.write_bool(self.degraded);
         w.write_u32(self.recent_stalls);
         w.write_u32(self.clean_accesses);
+        w.write_bool(self.settled);
         // The residency-id caches are name-resolved against the stats
         // registry, not simulation state.
     }
@@ -295,6 +304,7 @@ impl mpsoc_kernel::Snapshot for LmiController {
         self.degraded = r.read_bool();
         self.recent_stalls = r.read_u32();
         self.clean_accesses = r.read_u32();
+        self.settled = r.read_bool();
     }
 }
 
@@ -365,6 +375,12 @@ impl Component<Packet> for LmiController {
         );
         ctx.stats
             .set_state(empty, usize::from(!self.in_fifo.is_empty()), now);
+        // The interface is at rest once this tick observed no request and
+        // nothing queued or in flight; steps 3/4 below cannot disturb that
+        // (the engine only starts with a non-empty FIFO).
+        self.settled = state == LmiInterfaceState::NoRequest
+            && self.in_fifo.is_empty()
+            && self.pending.is_empty();
 
         // 3. Refresh management: when due and the engine is free. An
         //    injected refresh storm chains extra back-to-back refreshes,
@@ -491,6 +507,25 @@ impl Component<Packet> for LmiController {
 
     fn is_idle(&self) -> bool {
         self.in_fifo.is_empty() && self.pending.is_empty()
+    }
+
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(vec![self.req_in])
+    }
+
+    fn next_activity(&self) -> Option<Time> {
+        if !self.in_fifo.is_empty() || !self.pending.is_empty() || !self.settled {
+            // Conservative: a controller with queued or in-flight work ticks
+            // every edge (drain ordering, engine pacing and fault probes all
+            // key off the per-edge cycle count), and a freshly drained one
+            // takes one more tick to settle its interface residencies.
+            return Some(Time::ZERO);
+        }
+        // Idle controller: only the periodic auto-refresh is due. The
+        // deadline is conservative-early — if the engine is still busy at
+        // that edge the tick is a no-op and the timer stays in the past
+        // until the refresh actually fires, matching the dense schedule.
+        Some(self.cycle_to_time(self.next_refresh_cycle))
     }
 }
 

@@ -195,6 +195,25 @@ impl Component<Packet> for OnChipMemory {
         self.in_service.is_none()
     }
 
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(vec![self.req_in])
+    }
+
+    fn next_activity(&self) -> Option<Time> {
+        // The in-service transaction advances at exactly two instants: the
+        // first beat becoming ready (response emission) and streaming
+        // completion (slot free). A response blocked on a full wire keeps
+        // `first_ready` in the past, so the memory retries every edge just
+        // like the dense schedule. Idle memories are woken by `req_in`.
+        self.in_service.as_ref().map(|svc| {
+            if svc.response.is_some() {
+                svc.first_ready
+            } else {
+                svc.done
+            }
+        })
+    }
+
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }

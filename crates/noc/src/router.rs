@@ -62,7 +62,6 @@ pub struct Router {
     breadcrumbs: HashMap<TransactionId, Dir>,
     /// Per-output channel occupancy.
     busy: [Time; 5],
-    rr: usize,
     forwarded_ctr: Option<CounterId>,
 }
 
@@ -87,7 +86,6 @@ impl Router {
             routes,
             breadcrumbs: HashMap::new(),
             busy: [Time::ZERO; 5],
-            rr: 0,
             forwarded_ctr: None,
         }
     }
@@ -133,7 +131,6 @@ impl mpsoc_kernel::Snapshot for Router {
         for t in self.busy {
             w.write_time(t);
         }
-        w.write_usize(self.rr);
     }
 
     fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
@@ -147,7 +144,6 @@ impl mpsoc_kernel::Snapshot for Router {
         for t in self.busy.iter_mut() {
             *t = r.read_time();
         }
-        self.rr = r.read_usize();
     }
 }
 
@@ -160,11 +156,16 @@ impl Component<Packet> for Router {
         let now = ctx.time;
         let period = self.clock.period();
         let n = ALL_DIRS.len();
+        // Rotating arbitration priority, derived from the router's own
+        // cycle count so it advances with wall-clock cycles rather than
+        // executed ticks — a sleeping router (sparse ticking) resumes with
+        // exactly the priority a dense schedule would have reached.
+        let rr = ctx.cycle.count() as usize % n;
         // One forwarding decision per input per cycle; outputs are channel
         // resources that can each accept one packet per cycle.
         let mut granted_outputs = [false; 5];
         for k in 0..n {
-            let in_dir = ALL_DIRS[(self.rr + k) % n];
+            let in_dir = ALL_DIRS[(rr + k) % n];
             let Some(input) = self.inputs[in_dir as usize] else {
                 continue;
             };
@@ -221,12 +222,19 @@ impl Component<Packet> for Router {
                 .get_or_insert_with(|| ctx.stats.counter(&format!("{}.forwarded", self.name)));
             ctx.stats.inc(forwarded, 1);
         }
-        self.rr = (self.rr + 1) % n;
     }
 
     fn is_idle(&self) -> bool {
         self.breadcrumbs.is_empty()
     }
+
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(self.inputs.iter().flatten().copied().collect())
+    }
+    // Purely reactive: a router only acts on deliverable input packets, so
+    // wake-on-delivery is the complete wake condition (an input blocked on a
+    // busy or full output keeps its payload queued, which keeps the wake
+    // due). `next_activity` stays `None`.
 }
 
 #[cfg(test)]

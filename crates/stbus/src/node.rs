@@ -749,6 +749,30 @@ impl Component<Packet> for StbusNode {
     fn is_idle(&self) -> bool {
         self.in_flight.is_empty() && self.replays.is_empty() && self.dead_letters.is_empty()
     }
+
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(
+            self.initiators
+                .iter()
+                .map(|p| p.req_in)
+                .chain(self.targets.iter().map(|t| t.resp_in))
+                .collect(),
+        )
+    }
+
+    fn next_activity(&self) -> Option<Time> {
+        // Grants and response deliveries are woken by the links; the node's
+        // own deadlines are fault-recovery work. Dead letters wait on
+        // response-channel conditions that can free up without any delivery,
+        // so they keep the node ticking every edge; replays sleep until
+        // their backoff deadline (a due-but-blocked replay keeps the
+        // deadline in the past, which keeps the node ticking, exactly like
+        // the dense schedule).
+        if !self.dead_letters.is_empty() {
+            return Some(Time::ZERO);
+        }
+        self.replays.iter().map(|e| e.deadline).min()
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,7 @@
 //! The ST220-style DSP core model.
 
 use mpsoc_kernel::stats::CounterId;
-#[cfg(test)]
-use mpsoc_kernel::Time;
-use mpsoc_kernel::{Component, LinkId, SplitMix64, TickContext};
+use mpsoc_kernel::{Component, LinkId, SplitMix64, TickContext, Time};
 use mpsoc_protocol::{DataWidth, InitiatorId, Packet, Transaction};
 use std::collections::HashMap;
 
@@ -428,6 +426,23 @@ impl Component<Packet> for DspCore {
         matches!(self.state, CoreState::Finished)
             && self.pending_writeback.is_none()
             && self.outstanding_posted.is_empty()
+    }
+
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(vec![self.resp_in])
+    }
+
+    fn next_activity(&self) -> Option<Time> {
+        // A running core executes (and a stalled one counts stall cycles)
+        // every edge; only a finished core with nothing in flight sleeps.
+        if matches!(self.state, CoreState::Finished)
+            && self.pending_writeback.is_none()
+            && self.outstanding_posted.is_empty()
+        {
+            None
+        } else {
+            Some(Time::ZERO)
+        }
     }
 }
 

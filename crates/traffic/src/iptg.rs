@@ -630,6 +630,47 @@ impl Component<Packet> for IpTrafficGenerator {
             .iter()
             .all(|a| a.state == AgentState::Done && a.outstanding == 0)
     }
+
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(vec![self.resp_in])
+    }
+
+    fn next_activity(&self) -> Option<Time> {
+        if self.is_idle() {
+            // One more tick records the done timestamp, then the generator
+            // sleeps for good.
+            return (!self.done_recorded).then_some(Time::ZERO);
+        }
+        let fractions: Vec<f64> = self.agents.iter().map(Agent::done_fraction).collect();
+        let mut earliest: Option<Time> = None;
+        let mut merge = |t: Time| earliest = Some(earliest.map_or(t, |e| e.min(t)));
+        for agent in &self.agents {
+            match agent.state {
+                AgentState::Done => {}
+                AgentState::Pending => {
+                    // Completion fractions only advance when this generator
+                    // ticks (responses are drained here), so an unmet
+                    // dependency needs no deadline — the hint is re-read
+                    // after every executed tick. A met one must keep the
+                    // generator ticking: the actual transition still waits
+                    // on request-link space, which frees without a wake.
+                    let (dep, frac) = agent.config.start_after.expect("pending implies dep");
+                    if fractions[dep] >= frac {
+                        merge(Time::ZERO);
+                    }
+                }
+                AgentState::Thinking(until) => merge(until),
+                AgentState::Bursting(_) => {
+                    if agent.outstanding < agent.config.max_outstanding {
+                        merge(Time::ZERO);
+                    }
+                    // At the outstanding cap the agent resumes on a
+                    // response, which arrives on the watched link.
+                }
+            }
+        }
+        earliest
+    }
 }
 
 #[cfg(test)]

@@ -352,6 +352,23 @@ impl Component<Packet> for TraceDrivenGenerator {
     fn is_idle(&self) -> bool {
         self.trace.is_empty() && self.outstanding == 0
     }
+
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(vec![self.resp_in])
+    }
+
+    fn next_activity(&self) -> Option<Time> {
+        // With the trace drained the generator only reacts to responses.
+        // Otherwise the next entry is due at `next_issue_at`; if that edge
+        // cannot issue (back-pressure or the outstanding bound) the deadline
+        // stays in the past and the generator retries every edge, exactly
+        // like the dense schedule.
+        if self.trace.is_empty() {
+            None
+        } else {
+            Some(self.next_issue_at)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,144 @@
+//! Idle-contract enforcement over the real platform models.
+//!
+//! The active-set scheduler skips a component's tick only when it is idle,
+//! has no pending input on a watched link and no due `next_activity`
+//! deadline. The contract that makes the skip sound: such a tick must be an
+//! unobservable no-op. `Simulation::enable_skip_audit` turns every would-be
+//! skip into an executed tick whose component state, RNG, stats, fault
+//! engine and link queues are byte-compared around it — any difference
+//! panics naming the violating component.
+//!
+//! These tests run the audit over full platform builds (every component
+//! crate: stbus, ahb, axi, bridge, memory, traffic, noc) across protocols,
+//! topologies, memory systems, workloads and random seeds.
+
+use mpsoc_kernel::Time;
+use mpsoc_memory::LmiConfig;
+use mpsoc_platform::{build_platform, MemorySystem, PlatformSpec, Topology, Workload};
+use mpsoc_protocol::ProtocolKind;
+use proptest::prelude::*;
+
+/// How much simulated time each spec runs under audit. The audit
+/// serializes the link table, stats registry and fault engine around every
+/// would-be-skipped tick, which makes audited edges roughly two orders of
+/// magnitude more expensive than plain ones — auditing a platform all the
+/// way to quiescence takes minutes in a debug build. Contract violations
+/// are not drain-time phenomena (components go idle and wake throughout
+/// the run), so a bounded window per spec over many specs buys more
+/// coverage per second than one exhaustive run.
+const AUDIT_WINDOW: Time = Time::from_us(2);
+
+/// Runs one spec under the skip audit; panics (failing the test) if any
+/// component violates the idle contract inside the window.
+fn audit(spec: &PlatformSpec) {
+    let mut platform = build_platform(spec).unwrap_or_else(|e| {
+        panic!(
+            "platform must build for {:?}/{:?}: {e}",
+            spec.protocol, spec.topology
+        )
+    });
+    platform.sim_mut().enable_skip_audit();
+    platform.sim_mut().run_until(AUDIT_WINDOW);
+    assert!(
+        platform.sim_mut().ticks_executed() > 0,
+        "audited window must exercise {:?}/{:?}",
+        spec.protocol,
+        spec.topology
+    );
+}
+
+fn protocol(idx: usize) -> ProtocolKind {
+    [ProtocolKind::StbusT3, ProtocolKind::Ahb, ProtocolKind::Axi][idx % 3]
+}
+
+fn topology(idx: usize) -> Topology {
+    [
+        Topology::SingleLayer,
+        Topology::Collapsed,
+        Topology::Distributed,
+    ][idx % 3]
+}
+
+fn memory(idx: usize) -> MemorySystem {
+    match idx % 3 {
+        0 => MemorySystem::OnChip { wait_states: 1 },
+        1 => MemorySystem::Lmi(LmiConfig::default()),
+        _ => MemorySystem::DualLmi(LmiConfig::default()),
+    }
+}
+
+fn workload(idx: usize) -> Workload {
+    [
+        Workload::Standard,
+        Workload::TwoPhase,
+        Workload::BurstyPosted,
+    ][idx % 3]
+}
+
+/// The fixed regression matrix: the platform organisations the paper's
+/// figures are built from, audited deterministically on every test run.
+#[test]
+fn paper_platforms_honour_the_idle_contract() {
+    for (proto, topo, mem) in [
+        (ProtocolKind::StbusT3, Topology::Distributed, memory(1)),
+        (ProtocolKind::StbusT3, Topology::Collapsed, memory(0)),
+        (ProtocolKind::Ahb, Topology::Distributed, memory(1)),
+        (ProtocolKind::Axi, Topology::Distributed, memory(0)),
+        (ProtocolKind::Axi, Topology::Collapsed, memory(2)),
+        (ProtocolKind::StbusT3, Topology::SingleLayer, memory(0)),
+    ] {
+        audit(&PlatformSpec {
+            protocol: proto,
+            topology: topo,
+            memory: mem,
+            scale: 1,
+            seed: 0x0dab,
+            ..PlatformSpec::default()
+        });
+    }
+}
+
+/// The two-phase fig6 workload exercises the LMI residency settling path
+/// (posted writes that drain store-and-consume in a single tick).
+#[test]
+fn two_phase_lmi_platform_honours_the_idle_contract() {
+    audit(&PlatformSpec {
+        protocol: ProtocolKind::StbusT3,
+        topology: Topology::Distributed,
+        memory: MemorySystem::Lmi(LmiConfig::default()),
+        workload: Workload::TwoPhase,
+        scale: 1,
+        seed: 0x0dab,
+        with_dsp: false,
+        ..PlatformSpec::default()
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized sweep: any protocol x topology x memory x workload x
+    /// seed combination must survive the skip audit. Ten cases per run
+    /// keep the suite fast; the dimensions cycle so successive CI runs
+    /// cover different corners.
+    #[test]
+    fn random_platforms_honour_the_idle_contract(
+        proto_idx in 0usize..3,
+        topo_idx in 0usize..3,
+        mem_idx in 0usize..3,
+        work_idx in 0usize..3,
+        seed in 1u64..0xffff,
+        with_dsp in any::<bool>(),
+    ) {
+        audit(&PlatformSpec {
+            protocol: protocol(proto_idx),
+            topology: topology(topo_idx),
+            memory: memory(mem_idx),
+            workload: workload(work_idx),
+            scale: 1,
+            seed,
+            with_dsp,
+            ..PlatformSpec::default()
+        });
+    }
+}

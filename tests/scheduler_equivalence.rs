@@ -306,3 +306,203 @@ fn mid_run_registration_is_equivalent() {
     assert_eq!(naive.time(), bucketed.time());
     assert_eq!(*naive_log.borrow(), *bucketed_log.borrow());
 }
+
+/// Observation log for the sparse differential tests:
+/// `(time in ps, consumer index, payload)`.
+type ObsLog = Rc<RefCell<Vec<(u64, u32, u64)>>>;
+
+/// A sparse-opted-in producer: pushes one payload then sleeps `gap` of its
+/// own cycles, advertising the next issue instant through `next_activity`.
+/// When the link is full at the deadline the deadline stays in the past, so
+/// the producer retries every edge exactly like the dense schedule.
+struct PacedProducer {
+    out: LinkId,
+    period: Time,
+    gap: u64,
+    budget: u64,
+    sent: u64,
+    next_at: Time,
+}
+
+impl mpsoc_kernel::Snapshot for PacedProducer {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        w.write_u64(self.sent);
+        w.write_time(self.next_at);
+    }
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        self.sent = r.read_u64();
+        self.next_at = r.read_time();
+    }
+}
+
+impl Component<u64> for PacedProducer {
+    fn name(&self) -> &str {
+        "paced-producer"
+    }
+    fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+        if self.sent < self.budget && ctx.time >= self.next_at && ctx.links.can_push(self.out) {
+            ctx.links.push(self.out, ctx.time, self.sent).unwrap();
+            self.sent += 1;
+            self.next_at = ctx.time + self.period * self.gap;
+        }
+    }
+    fn is_idle(&self) -> bool {
+        self.sent == self.budget
+    }
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(Vec::new()) // pops nothing; purely timer-driven
+    }
+    fn next_activity(&self) -> Option<Time> {
+        (self.sent < self.budget).then_some(self.next_at)
+    }
+}
+
+/// A sparse-opted-in consumer: wakes only when its watched link delivers,
+/// logging every `(time, index, payload)` it pops.
+struct WatchingConsumer {
+    input: LinkId,
+    idx: u32,
+    received: u64,
+    log: ObsLog,
+}
+
+impl mpsoc_kernel::Snapshot for WatchingConsumer {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        w.write_u64(self.received);
+    }
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        self.received = r.read_u64();
+    }
+}
+
+impl Component<u64> for WatchingConsumer {
+    fn name(&self) -> &str {
+        "watching-consumer"
+    }
+    fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+        if let Some(v) = ctx.links.pop(self.input, ctx.time) {
+            self.received += 1;
+            self.log.borrow_mut().push((ctx.time.as_ps(), self.idx, v));
+        }
+    }
+    fn watched_links(&self) -> Option<Vec<LinkId>> {
+        Some(vec![self.input])
+    }
+}
+
+/// Builds the paced producer/consumer pairs on one executor (works for
+/// both `Simulation` and `NaiveSimulation`, which share the API shape).
+macro_rules! build_paced {
+    ($sim:expr, $pairs:expr, $log:expr) => {{
+        let pool = clock_pool();
+        for (i, &(pc, cc, gap, budget, cap)) in $pairs.iter().enumerate() {
+            let prod_clk = pool[pc % pool.len()];
+            let cons_clk = pool[cc % pool.len()];
+            let link = $sim
+                .links_mut()
+                .add_link(&format!("pair{i}"), cap, prod_clk.period());
+            $sim.add_component(
+                Box::new(PacedProducer {
+                    out: link,
+                    period: prod_clk.period(),
+                    gap,
+                    budget,
+                    sent: 0,
+                    next_at: Time::ZERO,
+                }),
+                prod_clk,
+            );
+            $sim.add_component(
+                Box::new(WatchingConsumer {
+                    input: link,
+                    idx: i as u32,
+                    received: 0,
+                    log: Rc::clone(&$log),
+                }),
+                cons_clk,
+            );
+        }
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sparse ticking differential: for random paced producer/consumer
+    /// platforms with components opted into the active-set scheduler, the
+    /// sparse executor produces the same observation log and final time as
+    /// the always-tick naive oracle AND the dense bucketed executor, never
+    /// executes more ticks than dense, and checkpoints to byte-identical
+    /// blobs (the snapshot format excludes schedule-derived state).
+    #[test]
+    fn sparse_matches_naive_and_dense_on_paced_pairs(
+        pairs in prop::collection::vec(
+            (0usize..8, 0usize..8, 0u64..40, 1u64..25, 1usize..4),
+            1..5,
+        ),
+        horizon_ns in 100u64..2000,
+    ) {
+        let horizon = Time::from_ns(horizon_ns);
+
+        let naive_log: ObsLog = Rc::new(RefCell::new(Vec::new()));
+        let mut naive: NaiveSimulation<u64> = NaiveSimulation::new();
+        build_paced!(naive, pairs, naive_log);
+
+        let sparse_log: ObsLog = Rc::new(RefCell::new(Vec::new()));
+        let mut sparse: Simulation<u64> = Simulation::new();
+        sparse.set_dense(false);
+        build_paced!(sparse, pairs, sparse_log);
+
+        let dense_log: ObsLog = Rc::new(RefCell::new(Vec::new()));
+        let mut dense: Simulation<u64> = Simulation::new();
+        dense.set_dense(true);
+        build_paced!(dense, pairs, dense_log);
+
+        naive.run_until(horizon);
+        sparse.run_until(horizon);
+        dense.run_until(horizon);
+
+        prop_assert_eq!(naive.time(), sparse.time());
+        prop_assert_eq!(dense.time(), sparse.time());
+        prop_assert_eq!(naive_log.borrow().clone(), sparse_log.borrow().clone());
+        prop_assert_eq!(dense_log.borrow().clone(), sparse_log.borrow().clone());
+        prop_assert!(sparse.ticks_executed() <= dense.ticks_executed());
+        let sparse_blob = sparse.checkpoint();
+        let dense_blob = dense.checkpoint();
+        prop_assert_eq!(sparse_blob.as_bytes(), dense_blob.as_bytes());
+    }
+}
+
+/// Regression pinning the actual saving: with a long think gap the sparse
+/// executor must do strictly less work than dense while producing the same
+/// observations and an identical checkpoint.
+#[test]
+fn sparse_skips_most_ticks_on_long_gaps() {
+    let pairs = [(0usize, 7usize, 50u64, 10u64, 2usize)];
+
+    let sparse_log: ObsLog = Rc::new(RefCell::new(Vec::new()));
+    let mut sparse: Simulation<u64> = Simulation::new();
+    sparse.set_dense(false);
+    build_paced!(sparse, pairs, sparse_log);
+
+    let dense_log: ObsLog = Rc::new(RefCell::new(Vec::new()));
+    let mut dense: Simulation<u64> = Simulation::new();
+    dense.set_dense(true);
+    build_paced!(dense, pairs, dense_log);
+
+    let horizon = Time::from_us(2);
+    sparse.run_until(horizon);
+    dense.run_until(horizon);
+
+    assert_eq!(*sparse_log.borrow(), *dense_log.borrow());
+    assert_eq!(sparse_log.borrow().len(), 10, "all payloads delivered");
+    let sparse_blob = sparse.checkpoint();
+    let dense_blob = dense.checkpoint();
+    assert_eq!(sparse_blob.as_bytes(), dense_blob.as_bytes());
+    assert!(
+        sparse.ticks_executed() * 4 < dense.ticks_executed(),
+        "long gaps must be slept through: sparse {} vs dense {}",
+        sparse.ticks_executed(),
+        dense.ticks_executed()
+    );
+}
