@@ -16,9 +16,13 @@
 #      must clear the repro binary's floor
 #   7. sparse equivalence: the sparse active-set schedule (default) and the
 #      dense schedule (--dense escape hatch) must emit identical tables
-#   8. bench guard: scheduler throughput vs the committed perf ledger, the
-#      warm-fork and sparse-ticking speedup floors, and a live run of the
-#      idle-heavy kernel_hotpath case against the sparse floor
+#   8. parallel equivalence: intra-edge parallel tick execution
+#      (--tick-jobs 4) must emit tables byte-identical to the serial run
+#   9. bench guard: scheduler throughput vs the committed perf ledger, the
+#      warm-fork/sparse/parallel speedup floors, and a live run of the
+#      idle-heavy kernel_hotpath case against the sparse floor; on hosts
+#      with at least 4 cores, also a live run of the compute-heavy case
+#      against the parallel floor
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -53,7 +57,9 @@ cargo run --release --example trace_replay
 echo "== determinism: fig3 twice, same seed, identical tables =="
 # Strip host-timing lines (the bracketed perf summaries and the totals)
 # before comparing: wall-clock numbers legitimately differ between runs.
-filter_timing() { grep -v -e '^\[' -e '^total:' -e '^perf ledger' "$1"; }
+# The "reproducing ..." header is also stripped: it echoes run options
+# (e.g. --tick-jobs) that legitimately differ between equivalent runs.
+filter_timing() { grep -v -e '^\[' -e '^total:' -e '^perf ledger' -e '^reproducing' "$1"; }
 run_dir="$(mktemp -d)"
 trap 'rm -rf "$run_dir"' EXIT
 cargo run --release -p mpsoc-bench --bin repro -- \
@@ -96,11 +102,33 @@ if ! diff <(filter_timing "$run_dir/a.txt") <(filter_timing "$run_dir/dense.txt"
 fi
 echo "sparse equivalence gate passed"
 
+echo "== parallel equivalence: fig3 serial vs --tick-jobs 4, identical tables =="
+# The compute/commit split buffers every side effect of a worker-computed
+# tick and replays it in registration order, so any --tick-jobs value must
+# reproduce the serial tables byte for byte.
+cargo run --release -p mpsoc-bench --bin repro -- \
+    --exp fig3 --scale 1 --tick-jobs 4 --no-bench-out > "$run_dir/tickjobs.txt"
+if ! diff <(filter_timing "$run_dir/a.txt") <(filter_timing "$run_dir/tickjobs.txt"); then
+    echo "parallel gate FAILED: --tick-jobs 4 produced different tables" >&2
+    exit 1
+fi
+echo "parallel equivalence gate passed"
+
 echo "== bench guard: throughput vs committed ledger =="
 cargo run --release -p mpsoc-bench --bin repro -- \
     --scale 1 --no-bench-out --check-bench BENCH_kernel.json
 
 echo "== bench guard: live sparse-ticking floor on the idle-heavy case =="
-cargo bench -p mpsoc-bench --bench kernel_hotpath -- --min-sparse-speedup 1.3
+# The compute-heavy serial-vs-parallel byte-identity asserts inside the
+# bench run unconditionally; the parallel speedup *floor* only applies on
+# hosts that can actually run the workers side by side.
+if [ "$(nproc)" -ge 4 ]; then
+    echo "   (>= 4 cores: also enforcing the live parallel-speedup floor)"
+    cargo bench -p mpsoc-bench --bench kernel_hotpath -- \
+        --min-sparse-speedup 1.3 --min-parallel-speedup 1.5
+else
+    echo "   ($(nproc) core(s): skipping the live parallel-speedup floor)"
+    cargo bench -p mpsoc-bench --bench kernel_hotpath -- --min-sparse-speedup 1.3
+fi
 
 echo "ci: all gates passed"

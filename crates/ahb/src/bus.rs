@@ -239,16 +239,17 @@ impl AhbBus {
             let Some(Packet::Request(txn)) = ctx.links.peek(port.req_in, now) else {
                 continue;
             };
-            let Some(target) = self.map.route(txn.addr) else {
-                panic!("{}: no route for address {:#x}", self.name, txn.addr);
+            let (addr, priority, created_at) = (txn.addr, txn.priority, txn.created_at);
+            let Some(target) = self.map.route(addr) else {
+                panic!("{}: no route for address {addr:#x}", self.name);
             };
             if !ctx.links.can_push(self.targets[target].req_out) {
                 continue;
             }
             contenders.push(Contender {
                 port: p,
-                priority: txn.priority,
-                created_at: txn.created_at,
+                priority,
+                created_at,
             });
         }
         let Some(winner) =
@@ -361,6 +362,10 @@ impl Component<Packet> for AhbBus {
 
     fn is_idle(&self) -> bool {
         self.active.is_none()
+    }
+
+    fn parallel_safe(&self) -> bool {
+        true
     }
 
     fn watched_links(&self) -> Option<Vec<LinkId>> {

@@ -268,7 +268,7 @@ impl AxiInterconnect {
         }
     }
 
-    fn contenders(&self, ctx: &TickContext<'_, Packet>, want: Opcode) -> Vec<Contender> {
+    fn contenders(&self, ctx: &mut TickContext<'_, Packet>, want: Opcode) -> Vec<Contender> {
         let now = ctx.time;
         let max_outstanding = self.config.max_outstanding.max(1);
         let mut found = Vec::new();
@@ -279,20 +279,21 @@ impl AxiInterconnect {
             if txn.opcode != want {
                 continue;
             }
-            let Some(target) = self.map.route(txn.addr) else {
-                panic!("{}: no route for address {:#x}", self.name, txn.addr);
+            let (addr, priority, created_at) = (txn.addr, txn.priority, txn.created_at);
+            let needs_slot = !txn.completes_on_acceptance();
+            let Some(target) = self.map.route(addr) else {
+                panic!("{}: no route for address {addr:#x}", self.name);
             };
             if !ctx.links.can_push(self.targets[target].req_out) {
                 continue;
             }
-            let needs_slot = !txn.completes_on_acceptance();
             if needs_slot && port.outstanding >= max_outstanding {
                 continue;
             }
             found.push(Contender {
                 port: p,
-                priority: txn.priority,
-                created_at: txn.created_at,
+                priority,
+                created_at,
             });
         }
         found
@@ -477,6 +478,10 @@ impl Component<Packet> for AxiInterconnect {
 
     fn is_idle(&self) -> bool {
         self.in_flight.is_empty()
+    }
+
+    fn parallel_safe(&self) -> bool {
+        true
     }
 
     fn watched_links(&self) -> Option<Vec<LinkId>> {
@@ -738,8 +743,7 @@ mod tests {
     #[test]
     fn ordering_mode_controls_overtaking() {
         use mpsoc_protocol::testing::CompletionLog;
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
         let run = |in_order: bool| -> Vec<u64> {
             let cfg = AxiInterconnectConfig {
                 in_order,
@@ -761,7 +765,7 @@ mod tests {
             axi.add_route(AddressRange::new(0x1000, 0x2000), tf)
                 .unwrap();
             sim.add_component(Box::new(axi), clk);
-            let log: CompletionLog = Rc::new(RefCell::new(Vec::new()));
+            let log: CompletionLog = Arc::new(Mutex::new(Vec::new()));
             let script = vec![read(0, 1, 0x100, 4), read(0, 2, 0x1100, 4)];
             sim.add_component(
                 Box::new(
@@ -780,7 +784,12 @@ mod tests {
             );
             sim.run_to_quiescence_strict(Time::from_ms(10))
                 .expect("drains");
-            let order: Vec<u64> = log.borrow().iter().map(|(_, t)| t.id.sequence()).collect();
+            let order: Vec<u64> = log
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(_, t)| t.id.sequence())
+                .collect();
             order
         };
         assert_eq!(run(false), vec![2, 1], "OOO lets the fast read overtake");

@@ -21,10 +21,11 @@
 
 use mpsoc_bench::ledger;
 use mpsoc_kernel::reference::NaiveSimulation;
+use mpsoc_kernel::stats::CounterId;
 use mpsoc_kernel::{activity, ClockDomain, Component, LinkId, Simulation, TickContext, Time};
 use serde::Serialize;
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Components per run. Large enough that the naive per-edge scan dominates.
@@ -136,7 +137,7 @@ struct IdleInitiator {
     out: LinkId,
     period: Time,
     next_at: Time,
-    sent: Rc<Cell<u64>>,
+    sent: Arc<AtomicU64>,
 }
 
 impl mpsoc_kernel::Snapshot for IdleInitiator {
@@ -155,7 +156,7 @@ impl Component<u64> for IdleInitiator {
     fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
         if ctx.time >= self.next_at && ctx.links.can_push(self.out) {
             ctx.links.push(self.out, ctx.time, 1).unwrap();
-            self.sent.set(self.sent.get() + 1);
+            self.sent.fetch_add(1, Ordering::Relaxed);
             self.next_at = ctx.time + self.period * THINK_CYCLES;
         }
     }
@@ -171,7 +172,7 @@ impl Component<u64> for IdleInitiator {
 /// woken only by deliveries.
 struct MemoryPort {
     inputs: Vec<LinkId>,
-    served: Rc<Cell<u64>>,
+    served: Arc<AtomicU64>,
 }
 
 impl mpsoc_kernel::Snapshot for MemoryPort {}
@@ -183,7 +184,7 @@ impl Component<u64> for MemoryPort {
     fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
         for &input in &self.inputs {
             if ctx.links.pop(input, ctx.time).is_some() {
-                self.served.set(self.served.get() + 1);
+                self.served.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -206,8 +207,8 @@ fn bench_idle_heavy(dense: bool) -> IdleRun {
         .iter()
         .map(|&mhz| ClockDomain::from_mhz(mhz))
         .collect();
-    let sent = Rc::new(Cell::new(0u64));
-    let served = Rc::new(Cell::new(0u64));
+    let sent = Arc::new(AtomicU64::new(0));
+    let served = Arc::new(AtomicU64::new(0));
     let mut sim: Simulation<u64> = Simulation::new();
     sim.set_dense(dense);
     let mut memory_inputs: Vec<Vec<LinkId>> = vec![Vec::new(); MEMORIES];
@@ -220,7 +221,7 @@ fn bench_idle_heavy(dense: bool) -> IdleRun {
                 out: link,
                 period: clk.period(),
                 next_at: Time::ZERO,
-                sent: Rc::clone(&sent),
+                sent: Arc::clone(&sent),
             }),
             clk,
         );
@@ -229,7 +230,7 @@ fn bench_idle_heavy(dense: bool) -> IdleRun {
         sim.add_component(
             Box::new(MemoryPort {
                 inputs,
-                served: Rc::clone(&served),
+                served: Arc::clone(&served),
             }),
             clocks[0],
         );
@@ -243,9 +244,163 @@ fn bench_idle_heavy(dense: bool) -> IdleRun {
         edges: delta.edges,
         ticks: delta.ticks,
         skipped: delta.skipped,
-        served: served.get(),
+        served: served.load(Ordering::Relaxed),
         wall,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Compute-heavy case: serial vs intra-edge parallel tick execution.
+//
+// Many initiators each doing real per-tick work on one shared clock edge is
+// the regime the compute/commit split targets: the workers tick the
+// parallel-safe initiators against a frozen view while the main thread only
+// replays their buffered effects in registration order. The output is
+// guaranteed byte-identical to serial — asserted here on the rendered stats
+// table and the checkpoint bytes — so the only thing allowed to change is
+// wall time.
+// ---------------------------------------------------------------------------
+
+/// Parallel-safe initiators in the compute-heavy case.
+const CRUNCHERS: usize = 128;
+/// Mixing rounds each cruncher burns per tick — the work knob.
+const CRUNCH_ROUNDS: u64 = 800;
+/// Simulated horizon for the compute-heavy case.
+const PAR_HORIZON_NS: u64 = 10_000;
+/// Worker threads the parallel sample runs with.
+const PAR_TICK_JOBS: usize = 4;
+
+/// A compute-heavy initiator: burns [`CRUNCH_ROUNDS`] of integer mixing on
+/// its own state every tick, pushes the digest onto its output link and
+/// counts the tick. All cross-component effects go through the context, so
+/// the kernel may tick it from a worker thread.
+struct Cruncher {
+    name: String,
+    out: LinkId,
+    state: u64,
+    counter: Option<CounterId>,
+}
+
+impl mpsoc_kernel::Snapshot for Cruncher {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        w.write_u64(self.state);
+    }
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        self.state = r.read_u64();
+    }
+}
+
+impl Component<u64> for Cruncher {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+        let counter = match self.counter {
+            Some(c) => c,
+            None => {
+                let c = ctx.stats.counter(&format!("{}.ticks", self.name));
+                self.counter = Some(c);
+                c
+            }
+        };
+        let mut x = self.state;
+        for _ in 0..CRUNCH_ROUNDS {
+            // SplitMix64 finalizer — cheap, serially dependent, unhoistable.
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= z ^ (z >> 31);
+        }
+        self.state = x;
+        if ctx.links.can_push(self.out) {
+            ctx.links.push(self.out, ctx.time, x).unwrap();
+        }
+        ctx.stats.inc(counter, 1);
+    }
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+}
+
+/// Drains every cruncher's output link; deliberately *not* parallel-safe,
+/// so each edge mixes worker-computed and serially-committed slots exactly
+/// like a real platform with a legacy component in it.
+struct Drain {
+    inputs: Vec<LinkId>,
+    drained: u64,
+}
+
+impl mpsoc_kernel::Snapshot for Drain {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        w.write_u64(self.drained);
+    }
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        self.drained = r.read_u64();
+    }
+}
+
+impl Component<u64> for Drain {
+    fn name(&self) -> &str {
+        "drain"
+    }
+    fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+        for &input in &self.inputs {
+            if ctx.links.pop(input, ctx.time).is_some() {
+                self.drained += 1;
+            }
+        }
+    }
+}
+
+/// One compute-heavy run at `jobs` worker threads: returns edges, wall
+/// seconds and the run's observable fingerprint (stats table + checkpoint).
+fn bench_parallel(jobs: usize) -> (u64, f64, String, Vec<u8>) {
+    let clk = ClockDomain::from_mhz(400);
+    let mut sim: Simulation<u64> = Simulation::new();
+    sim.set_tick_jobs(jobs);
+    let mut inputs = Vec::with_capacity(CRUNCHERS);
+    let mut crunchers = Vec::with_capacity(CRUNCHERS);
+    for i in 0..CRUNCHERS {
+        let link = sim
+            .links_mut()
+            .add_link(format!("digest{i}"), 4, clk.period());
+        inputs.push(link);
+        crunchers.push(Cruncher {
+            name: format!("crunch{i}"),
+            out: link,
+            state: 0x9e37_79b9_7f4a_7c15 ^ i as u64,
+            counter: None,
+        });
+    }
+    for c in crunchers {
+        sim.add_component(Box::new(c), clk);
+    }
+    sim.add_component(Box::new(Drain { inputs, drained: 0 }), clk);
+    let before = activity::snapshot();
+    let started = Instant::now();
+    sim.run_until(Time::from_ns(PAR_HORIZON_NS));
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let edges = activity::snapshot().since(before).edges;
+    let report = sim.stats().report(sim.time()).to_string();
+    (edges, wall, report, sim.checkpoint().as_bytes().to_vec())
+}
+
+/// The `"parallel"` section of `BENCH_kernel.json`: the compute-heavy
+/// case's serial-vs-parallel comparison, stamped with the measuring host's
+/// core count so readers can judge a sub-floor speedup.
+#[derive(Serialize)]
+struct ParallelSection {
+    components: u64,
+    rounds_per_tick: u64,
+    horizon_ns: u64,
+    samples: u64,
+    tick_jobs: u64,
+    host_cores: u64,
+    edges_per_run: u64,
+    serial_edges_per_sec: f64,
+    parallel_edges_per_sec: f64,
+    speedup: f64,
 }
 
 /// The `"sparse"` section of `BENCH_kernel.json`: the idle-heavy case's
@@ -285,6 +440,10 @@ struct MicrobenchSection {
 struct Options {
     /// Fail the run if the idle-heavy sparse speedup lands below this.
     min_sparse_speedup: Option<f64>,
+    /// Fail the run if the compute-heavy parallel speedup lands below
+    /// this. Only meaningful on hosts with at least [`PAR_TICK_JOBS`]
+    /// cores; `ci.sh` gates the flag on `nproc`.
+    min_parallel_speedup: Option<f64>,
     /// Also refresh the committed `BENCH_kernel.json` at the repo root.
     committed: bool,
 }
@@ -292,6 +451,7 @@ struct Options {
 fn parse_options() -> Options {
     let mut opts = Options {
         min_sparse_speedup: None,
+        min_parallel_speedup: None,
         committed: false,
     };
     let mut it = std::env::args().skip(1);
@@ -303,6 +463,13 @@ fn parse_options() -> Options {
                     .and_then(|v| v.parse().ok())
                     .expect("--min-sparse-speedup needs a number");
                 opts.min_sparse_speedup = Some(value);
+            }
+            "--min-parallel-speedup" => {
+                let value = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-parallel-speedup needs a number");
+                opts.min_parallel_speedup = Some(value);
             }
             "--committed" => opts.committed = true,
             _ => {}
@@ -431,11 +598,78 @@ fn main() {
         Ok(()) => println!("perf ledger updated: {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    println!(
+        "\ncompute-heavy: {CRUNCHERS} crunchers x {CRUNCH_ROUNDS} rounds/tick, \
+         horizon {PAR_HORIZON_NS} ns, {PAR_TICK_JOBS} jobs on {host_cores} core(s), \
+         best of {SAMPLES}"
+    );
+
+    let mut serial_best: Option<(u64, f64)> = None;
+    let mut par_best: Option<(u64, f64)> = None;
+    for _ in 0..SAMPLES {
+        let (s_edges, s_wall, s_report, s_blob) = bench_parallel(1);
+        let (p_edges, p_wall, p_report, p_blob) = bench_parallel(PAR_TICK_JOBS);
+        // The whole point of the compute/commit split: parallel execution
+        // must be observationally indistinguishable from serial.
+        assert_eq!(s_edges, p_edges, "serial and parallel edge counts differ");
+        assert_eq!(
+            s_report, p_report,
+            "parallel run rendered a different stats table"
+        );
+        assert_eq!(
+            s_blob, p_blob,
+            "parallel run checkpointed to different bytes"
+        );
+        if serial_best.as_ref().is_none_or(|&(_, w)| s_wall < w) {
+            serial_best = Some((s_edges, s_wall));
+        }
+        if par_best.as_ref().is_none_or(|&(_, w)| p_wall < w) {
+            par_best = Some((p_edges, p_wall));
+        }
+    }
+    let (par_edges, serial_wall) = serial_best.expect("sampled");
+    let (_, par_wall) = par_best.expect("sampled");
+    let serial_rate = par_edges as f64 / serial_wall;
+    let par_rate = par_edges as f64 / par_wall;
+    let par_speedup = par_rate / serial_rate;
+    println!(
+        "  serial   : {} edges, {:.3}M edges/s",
+        par_edges,
+        serial_rate / 1e6
+    );
+    println!(
+        "  parallel : {} edges, {:.3}M edges/s (tables and checkpoints byte-identical)",
+        par_edges,
+        par_rate / 1e6
+    );
+    println!("  speedup  : {par_speedup:.2}x");
+
+    let parallel_section = ParallelSection {
+        components: CRUNCHERS as u64,
+        rounds_per_tick: CRUNCH_ROUNDS,
+        horizon_ns: PAR_HORIZON_NS,
+        samples: SAMPLES as u64,
+        tick_jobs: PAR_TICK_JOBS as u64,
+        host_cores,
+        edges_per_run: par_edges,
+        serial_edges_per_sec: serial_rate,
+        parallel_edges_per_sec: par_rate,
+        speedup: par_speedup,
+    };
+    match ledger::update_section(&path, "parallel", &parallel_section.to_json()) {
+        Ok(()) => println!("perf ledger updated: {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+
     if opts.committed {
         let committed = ledger::committed_path();
         let microbench = ledger::update_section(&committed, "microbench", &section.to_json());
         let sparse_write = ledger::update_section(&committed, "sparse", &sparse_section.to_json());
-        match microbench.and(sparse_write) {
+        let parallel_write =
+            ledger::update_section(&committed, "parallel", &parallel_section.to_json());
+        match microbench.and(sparse_write).and(parallel_write) {
             Ok(()) => println!("committed ledger updated: {}", committed.display()),
             Err(e) => eprintln!("failed to write {}: {e}", committed.display()),
         }
@@ -450,5 +684,15 @@ fn main() {
             std::process::exit(1);
         }
         println!("[check sparse speedup {sparse_speedup:.2}x >= {floor}x — ok]");
+    }
+    if let Some(floor) = opts.min_parallel_speedup {
+        if par_speedup < floor {
+            eprintln!(
+                "parallel floor FAILED: {par_speedup:.2}x below the {floor}x floor \
+                 on the compute-heavy case ({host_cores} cores, {PAR_TICK_JOBS} jobs)"
+            );
+            std::process::exit(1);
+        }
+        println!("[check parallel speedup {par_speedup:.2}x >= {floor}x — ok]");
     }
 }

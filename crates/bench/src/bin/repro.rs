@@ -7,6 +7,7 @@
 //! repro --exp fig5           # one experiment
 //! repro --scale 8 --seed 42  # bigger workload, different seed
 //! repro --jobs 4             # parallel sweep points inside fig4 / many-to-many
+//! repro --tick-jobs 4        # intra-edge parallel tick execution (identical tables)
 //! repro --list               # list experiment ids with descriptions
 //! repro --exp fig4 --warm-fork          # checkpoint-forked sweep + speedup
 //! repro --exp fig4 --checkpoint-every 500 --rewind-to 2000   # time travel
@@ -18,7 +19,11 @@
 //! Experiments always run one at a time and print in a fixed order, so the
 //! tables are byte-identical for any `--jobs` value; `--jobs` only fans the
 //! independent simulation instances *inside* the sweep-shaped experiments
-//! out to worker threads. Each experiment is followed by a host-side
+//! out to worker threads. `--tick-jobs` instead parallelizes *within* each
+//! simulation — parallel-safe components are computed on worker threads
+//! against a frozen view and their buffered effects replayed in
+//! registration order — and the kernel guarantees the output stays
+//! byte-identical to serial for any value. Each experiment is followed by a host-side
 //! throughput line (scheduler edges/sec and simulated component-cycles/sec,
 //! from the kernel's activity counters), and the measurements are recorded
 //! in a machine-readable ledger. By default that ledger lands in the
@@ -44,6 +49,7 @@ struct Args {
     scale: u64,
     seed: u64,
     jobs: usize,
+    tick_jobs: usize,
     list: bool,
     warm_fork: bool,
     checkpoint_every_ns: Option<u64>,
@@ -60,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         scale: DEFAULT_SCALE,
         seed: DEFAULT_SEED,
         jobs: 1,
+        tick_jobs: 1,
         list: false,
         warm_fork: false,
         checkpoint_every_ns: None,
@@ -99,6 +106,16 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--jobs must be at least 1".into());
                 }
             }
+            "--tick-jobs" => {
+                args.tick_jobs = it
+                    .next()
+                    .ok_or("--tick-jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad tick jobs: {e}"))?;
+                if args.tick_jobs == 0 {
+                    return Err("--tick-jobs must be at least 1".into());
+                }
+            }
             "--list" => args.list = true,
             "--warm-fork" => args.warm_fork = true,
             "--checkpoint-every" => {
@@ -127,7 +144,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--exp <id>] [--scale N] [--seed N] [--jobs N] [--list] \
+                    "repro [--exp <id>] [--scale N] [--seed N] [--jobs N] [--tick-jobs N] [--list] \
                      [--warm-fork] [--checkpoint-every NS --rewind-to NS] [--dense] \
                      [--no-bench-out] [--bench-out <path>] [--check-bench <path>]\n\
                      experiments: {}",
@@ -164,6 +181,8 @@ struct ExperimentsSection {
     scale: u64,
     seed: u64,
     jobs: u64,
+    tick_jobs: u64,
+    host_cores: u64,
     dense: bool,
     total_wall_seconds: f64,
     total_edges: u64,
@@ -192,6 +211,12 @@ fn main() -> ExitCode {
         // everything) scheduler, e.g. to cross-check the sparse tables.
         mpsoc_kernel::set_dense_default(true);
     }
+    if args.tick_jobs > 1 {
+        // Every simulation the experiments build (via PlatformBuilder)
+        // picks this up at construction; tables stay byte-identical to a
+        // serial run by the kernel's commit-phase determinism guarantee.
+        mpsoc_kernel::set_tick_jobs_default(args.tick_jobs);
+    }
     if let (Some(every), Some(target)) = (args.checkpoint_every_ns, args.rewind_to_ns) {
         return time_travel(&args, every, target);
     }
@@ -203,11 +228,12 @@ fn main() -> ExitCode {
         None => EXPERIMENTS.to_vec(),
     };
     println!(
-        "reproducing {} experiment(s), scale {}, seed {:#x}, jobs {}\n",
+        "reproducing {} experiment(s), scale {}, seed {:#x}, jobs {}, tick-jobs {}\n",
         ids.len(),
         args.scale,
         args.seed,
-        args.jobs
+        args.jobs,
+        args.tick_jobs
     );
     let mut runs: Vec<ExperimentRun> = Vec::with_capacity(ids.len());
     for id in ids {
@@ -228,6 +254,8 @@ fn main() -> ExitCode {
         scale: args.scale,
         seed: args.seed,
         jobs: args.jobs as u64,
+        tick_jobs: args.tick_jobs as u64,
+        host_cores: host_cores(),
         dense: args.dense,
         total_wall_seconds: runs.iter().map(|r| r.wall_seconds).sum(),
         total_edges: runs.iter().map(|r| r.edges).sum(),
@@ -325,6 +353,19 @@ const MIN_WARM_FORK_SPEEDUP: f64 = 1.5;
 /// regressed into bookkeeping overhead.
 const MIN_SPARSE_SPEEDUP: f64 = 1.3;
 
+/// Minimum serial-vs-parallel speedup the `"parallel"` ledger section (the
+/// compute-heavy `kernel_hotpath` case at 4 worker threads) must show for
+/// [`check_bench`] to pass — *when the recording host actually had the
+/// cores to run the workers*. A ledger recorded on a box with fewer cores
+/// than tick jobs only warns: the floor is a property of the scheduler,
+/// not of an oversubscribed host.
+const MIN_PARALLEL_SPEEDUP: f64 = 1.5;
+
+/// The number of hardware threads available to this process.
+fn host_cores() -> u64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u64)
+}
+
 /// Re-measurements granted to an experiment whose first sample lands below
 /// the regression floor before it is declared regressed. The smallest
 /// experiments finish in single-digit milliseconds, where one scheduler
@@ -406,6 +447,50 @@ fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun], args: &Args) 
                 baseline.display()
             );
             regressed = true;
+        }
+    }
+    match ledger::parallel_speedup(&doc) {
+        Some(speedup) if speedup >= MIN_PARALLEL_SPEEDUP => {
+            println!("[check parallel speedup {speedup:.2}x >= {MIN_PARALLEL_SPEEDUP}x — ok]");
+        }
+        Some(speedup) => {
+            let cores = ledger::parallel_host_cores(&doc);
+            let jobs = ledger::parallel_tick_jobs(&doc);
+            match (cores, jobs) {
+                (Some(cores), Some(jobs)) if cores < jobs => {
+                    // The recording host could not physically run the
+                    // workers side by side; the measurement is still
+                    // byte-identity-checked, just not a speedup sample.
+                    println!(
+                        "[check parallel speedup {speedup:.2}x below {MIN_PARALLEL_SPEEDUP}x, \
+                         but recorded on {cores} core(s) for {jobs} jobs — warning only]"
+                    );
+                }
+                _ => {
+                    eprintln!(
+                        "parallel check failed: speedup {speedup:.2}x below the \
+                         {MIN_PARALLEL_SPEEDUP}x floor in {} (recorded host had enough cores)",
+                        baseline.display()
+                    );
+                    regressed = true;
+                }
+            }
+        }
+        None => {
+            eprintln!(
+                "parallel check failed: {} has no parallel section (run \
+                 `cargo bench -p mpsoc-bench --bench kernel_hotpath -- --committed`)",
+                baseline.display()
+            );
+            regressed = true;
+        }
+    }
+    if let (Some(jobs), cores) = (ledger::parallel_tick_jobs(&doc), host_cores()) {
+        if cores < jobs {
+            println!(
+                "[note: this host has {cores} core(s), baseline parallel section used \
+                 {jobs} jobs — live parallel re-measurement would not be meaningful]"
+            );
         }
     }
     if regressed {

@@ -57,11 +57,20 @@ pub fn committed_path() -> PathBuf {
 
 /// Schema tag stamped into the ledger. `v2` added the sparse-ticking
 /// fields (`skipped` per experiment, the idle-heavy microbench case);
-/// readers scan by field prefix and accept either version.
-pub const SCHEMA: &str = "mpsoc-bench/kernel-v2";
+/// `v3` added the `"parallel"` section plus the `host_cores` and
+/// `tick_jobs` fields that make a recorded parallel speedup judgeable on
+/// a different machine. Readers scan by field prefix and accept any
+/// version.
+pub const SCHEMA: &str = "mpsoc-bench/kernel-v3";
 
 /// The known top-level sections, in the order they appear in the file.
-const SECTIONS: [&str; 4] = ["experiments", "warm_fork", "microbench", "sparse"];
+const SECTIONS: [&str; 5] = [
+    "experiments",
+    "warm_fork",
+    "microbench",
+    "sparse",
+    "parallel",
+];
 
 /// Replaces `section` of the ledger at `path` with `value_json`, keeping
 /// every other known section from the existing file (if any).
@@ -161,6 +170,27 @@ pub fn sparse_speedup(doc: &str) -> Option<f64> {
     section_speedup(doc, "sparse")
 }
 
+/// Pulls the measured serial-vs-parallel speedup out of a ledger
+/// document's `"parallel"` section (the compute-heavy `kernel_hotpath`
+/// case run with worker threads). Returns `None` when the section is
+/// absent or malformed.
+pub fn parallel_speedup(doc: &str) -> Option<f64> {
+    section_speedup(doc, "parallel")
+}
+
+/// Pulls the host core count recorded alongside the `"parallel"` section's
+/// measurement. A speedup measured on a box with fewer cores than worker
+/// threads is expected to miss the floor; readers use this to warn instead
+/// of failing.
+pub fn parallel_host_cores(doc: &str) -> Option<u64> {
+    section_u64(doc, "parallel", "host_cores")
+}
+
+/// Pulls the worker-thread count the `"parallel"` section was measured at.
+pub fn parallel_tick_jobs(doc: &str) -> Option<u64> {
+    section_u64(doc, "parallel", "tick_jobs")
+}
+
 /// Scans `section` of `doc` for its `"speedup"` field.
 fn section_speedup(doc: &str, name: &str) -> Option<f64> {
     let section = extract_section(doc, name)?;
@@ -168,6 +198,16 @@ fn section_speedup(doc: &str, name: &str) -> Option<f64> {
     let rest = &section[pos + 10..];
     let end = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse::<f64>().ok()
+}
+
+/// Scans `section` of `doc` for an integer `field`.
+fn section_u64(doc: &str, name: &str, field: &str) -> Option<u64> {
+    let section = extract_section(doc, name)?;
+    let tag = format!("\"{field}\":");
+    let pos = section.find(&tag)?;
+    let rest = &section[pos + tag.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse::<u64>().ok()
 }
 
 #[cfg(test)]
@@ -186,7 +226,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         update_section(&path, "experiments", r#"{"runs":[]}"#).expect("writes");
         let doc = std::fs::read_to_string(&path).expect("readable");
-        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v2""#));
+        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v3""#));
         assert!(doc.contains(r#""experiments": {"runs":[]}"#));
         assert!(!doc.contains("microbench"));
         std::fs::remove_file(&path).expect("cleanup");
@@ -244,6 +284,21 @@ mod tests {
         );
         assert_eq!(sparse_speedup(doc), Some(3.25));
         assert_eq!(sparse_speedup("{}\n"), None);
+    }
+
+    #[test]
+    fn parallel_section_is_scanned() {
+        let doc = concat!(
+            "{\n\"schema\": \"x\",\n",
+            "\"parallel\": {\"tick_jobs\":4,\"host_cores\":8,",
+            "\"serial_edges_per_sec\":1.0,\"parallel_edges_per_sec\":2.1,",
+            "\"speedup\":2.1}\n}\n"
+        );
+        assert_eq!(parallel_speedup(doc), Some(2.1));
+        assert_eq!(parallel_host_cores(doc), Some(8));
+        assert_eq!(parallel_tick_jobs(doc), Some(4));
+        assert_eq!(parallel_speedup("{}\n"), None);
+        assert_eq!(parallel_host_cores("{}\n"), None);
     }
 
     #[test]

@@ -75,6 +75,10 @@ impl Component<Packet> for PipelineStage {
             ctx.links.push(self.resp_out, now, pkt).expect("can_push");
         }
     }
+
+    fn parallel_safe(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,9 @@
 //! The component trait and per-tick context.
 
-use crate::fault::FaultEngine;
-use crate::link::{LinkId, LinkPool};
-use crate::rng::SplitMix64;
-use crate::stats::StatsRegistry;
+use crate::fault::{FaultAccess, FaultEngine};
+use crate::link::{LinkAccess, LinkId, LinkPool};
+use crate::rng::{RngAccess, SplitMix64};
+use crate::stats::{StatsAccess, StatsRegistry};
 use crate::time::{Cycles, Time};
 use std::fmt;
 
@@ -29,19 +29,49 @@ impl fmt::Display for ComponentId {
 ///
 /// The context borrows the shared [`LinkPool`] (for communication), the
 /// [`StatsRegistry`] (for metrics) and a deterministic per-simulation RNG.
+///
+/// Each resource is wrapped in an access handle ([`LinkAccess`],
+/// [`StatsAccess`], [`RngAccess`], [`FaultAccess`]) that either forwards
+/// straight to the shared state (the classic serial schedule) or — during a
+/// parallel compute phase — answers from a frozen pre-edge view while
+/// buffering every side effect into a per-component effect log that the
+/// executor later applies in exact serial tick order. Components cannot tell
+/// the difference: the handles expose the same methods either way.
 pub struct TickContext<'a, T> {
     /// Current simulation time (the instant of this rising edge).
     pub time: Time,
     /// Index of this edge in the component's own clock domain.
     pub cycle: Cycles,
     /// Shared communication links.
-    pub links: &'a mut LinkPool<T>,
+    pub links: LinkAccess<'a, T>,
     /// Shared metric registry.
-    pub stats: &'a mut StatsRegistry,
+    pub stats: StatsAccess<'a>,
     /// Deterministic pseudo-random source (seeded once per simulation).
-    pub rng: &'a mut SplitMix64,
+    pub rng: RngAccess<'a>,
     /// Fault-injection engine (disarmed — and free to probe — by default).
-    pub faults: &'a mut FaultEngine,
+    pub faults: FaultAccess<'a>,
+}
+
+impl<'a, T> TickContext<'a, T> {
+    /// Builds a direct (pass-through) context over the shared simulation
+    /// state — the serial execution mode.
+    pub fn direct(
+        time: Time,
+        cycle: Cycles,
+        links: &'a mut LinkPool<T>,
+        stats: &'a mut StatsRegistry,
+        rng: &'a mut SplitMix64,
+        faults: &'a mut FaultEngine,
+    ) -> Self {
+        TickContext {
+            time,
+            cycle,
+            links: LinkAccess::direct(links),
+            stats: StatsAccess::direct(stats),
+            rng: RngAccess::direct(rng),
+            faults: FaultAccess::direct(faults),
+        }
+    }
 }
 
 impl<T> fmt::Debug for TickContext<'_, T> {
@@ -66,7 +96,11 @@ impl<T> fmt::Debug for TickContext<'_, T> {
 /// kernel can checkpoint and restore complete simulations; stateless
 /// components can rely on the trait's no-op defaults
 /// (`impl Snapshot for MyComponent {}`).
-pub trait Component<T>: crate::snapshot::Snapshot {
+///
+/// Components are `Send` so the executor may evaluate independent ticks of
+/// one edge on worker threads (see [`Component::parallel_safe`]); the serial
+/// commit phase keeps results bit-identical to serial execution either way.
+pub trait Component<T>: crate::snapshot::Snapshot + Send {
     /// Diagnostic name (unique within a simulation by convention).
     fn name(&self) -> &str;
 
@@ -138,6 +172,27 @@ pub trait Component<T>: crate::snapshot::Snapshot {
         None
     }
 
+    /// Whether the executor may evaluate this component's ticks on a worker
+    /// thread during a parallel compute phase (see
+    /// [`Simulation::set_tick_jobs`](crate::Simulation::set_tick_jobs)).
+    ///
+    /// The default is `false`: components are committed serially unless they
+    /// opt in, so parallel execution is always sound by construction.
+    ///
+    /// # Contract
+    ///
+    /// A parallel-safe component must confine every tick side effect to
+    /// `self` and the [`TickContext`] handles. In particular it must not
+    /// write through shared interior mutability (`Arc<Mutex<_>>` diagnostics
+    /// logs, waveform writers, files): such writes bypass the effect log, so
+    /// they would happen in compute order instead of serial tick order.
+    /// Components whose observable state lives entirely in `self`, the links
+    /// and the stats registry satisfy this automatically. The answer is read
+    /// once at registration and must not change afterwards.
+    fn parallel_safe(&self) -> bool {
+        false
+    }
+
     /// Optional downcasting hook for post-build reconfiguration.
     ///
     /// Components that expose runtime-tunable knobs (e.g. memory wait
@@ -171,6 +226,11 @@ mod tests {
     fn default_sparse_hints_keep_dense_behaviour() {
         assert!(Nop.watched_links().is_none());
         assert!(Nop.next_activity().is_none());
+    }
+
+    #[test]
+    fn default_parallel_safe_is_false() {
+        assert!(!Nop.parallel_safe());
     }
 
     #[test]

@@ -198,6 +198,153 @@ impl FaultCounts {
 /// [`TickContext::faults`](crate::TickContext::faults) and call
 /// [`probe`](FaultEngine::probe) at the points where a fault of a given
 /// kind is physically meaningful (a link crossing, an engine start, ...).
+/// One buffered fault-accounting side effect, recorded during a parallel
+/// compute phase and applied to the real [`FaultEngine`] in exact serial
+/// tick order at commit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultOp {
+    /// `record_recovered(n)`.
+    Recovered(u64),
+    /// `record_lost(n)`.
+    Lost(u64),
+    /// `record_retry(n)`.
+    Retry(u64),
+}
+
+/// Applies buffered fault ops to the real engine (commit phase).
+pub(crate) fn apply_fault_ops(engine: &mut FaultEngine, ops: &[FaultOp]) {
+    for op in ops {
+        match *op {
+            FaultOp::Recovered(n) => engine.record_recovered(n),
+            FaultOp::Lost(n) => engine.record_lost(n),
+            FaultOp::Retry(n) => engine.record_retry(n),
+        }
+    }
+}
+
+/// Per-tick handle to the fault engine (the `faults` field of
+/// [`TickContext`](crate::TickContext)).
+///
+/// In the serial schedule every call forwards to the shared engine. During a
+/// parallel compute phase the engine is guaranteed disarmed (an armed engine
+/// forces whole-edge serial execution, because its probe counter is
+/// checkpointed state whose value depends on the serial probe interleaving),
+/// so probes answer `false` exactly as the real engine would — without
+/// touching any counter — and the accounting calls are buffered for the
+/// serial commit phase.
+#[derive(Debug)]
+pub struct FaultAccess<'a> {
+    inner: FaultInner<'a>,
+}
+
+#[derive(Debug)]
+enum FaultInner<'a> {
+    Direct(&'a mut FaultEngine),
+    Buffered {
+        /// The engine's schedule, frozen at the start of the edge (it cannot
+        /// change during an edge: only harness code arms/disarms).
+        schedule: &'a FaultSchedule,
+        ops: &'a mut Vec<FaultOp>,
+        /// Set when the tick reads accounting a buffered view cannot answer
+        /// exactly; the executor then re-runs the tick serially.
+        retick: &'a mut bool,
+    },
+}
+
+impl<'a> FaultAccess<'a> {
+    /// Pass-through handle over the shared engine (serial execution).
+    pub(crate) fn direct(engine: &'a mut FaultEngine) -> Self {
+        FaultAccess {
+            inner: FaultInner::Direct(engine),
+        }
+    }
+
+    /// Buffered handle for a parallel compute phase. Only valid while the
+    /// real engine is disarmed.
+    pub(crate) fn buffered(
+        schedule: &'a FaultSchedule,
+        ops: &'a mut Vec<FaultOp>,
+        retick: &'a mut bool,
+    ) -> Self {
+        FaultAccess {
+            inner: FaultInner::Buffered {
+                schedule,
+                ops,
+                retick,
+            },
+        }
+    }
+
+    /// See [`FaultEngine::probe`]. In a parallel compute phase the engine is
+    /// disarmed by construction, so the answer is `false` and — exactly like
+    /// the real disarmed engine — no counter moves.
+    #[inline]
+    pub fn probe(&mut self, kind: FaultKind) -> bool {
+        match &mut self.inner {
+            FaultInner::Direct(engine) => engine.probe(kind),
+            FaultInner::Buffered { .. } => false,
+        }
+    }
+
+    /// See [`FaultEngine::is_armed`].
+    #[inline]
+    pub fn is_armed(&self) -> bool {
+        match &self.inner {
+            FaultInner::Direct(engine) => engine.is_armed(),
+            FaultInner::Buffered { .. } => false,
+        }
+    }
+
+    /// See [`FaultEngine::schedule`].
+    pub fn schedule(&self) -> &FaultSchedule {
+        match &self.inner {
+            FaultInner::Direct(engine) => engine.schedule(),
+            FaultInner::Buffered { schedule, .. } => schedule,
+        }
+    }
+
+    /// See [`FaultEngine::record_recovered`].
+    pub fn record_recovered(&mut self, n: u64) {
+        match &mut self.inner {
+            FaultInner::Direct(engine) => engine.record_recovered(n),
+            FaultInner::Buffered { ops, .. } => ops.push(FaultOp::Recovered(n)),
+        }
+    }
+
+    /// See [`FaultEngine::record_lost`].
+    pub fn record_lost(&mut self, n: u64) {
+        match &mut self.inner {
+            FaultInner::Direct(engine) => engine.record_lost(n),
+            FaultInner::Buffered { ops, .. } => ops.push(FaultOp::Lost(n)),
+        }
+    }
+
+    /// See [`FaultEngine::record_retry`].
+    pub fn record_retry(&mut self, n: u64) {
+        match &mut self.inner {
+            FaultInner::Direct(engine) => engine.record_retry(n),
+            FaultInner::Buffered { ops, .. } => ops.push(FaultOp::Retry(n)),
+        }
+    }
+
+    /// See [`FaultEngine::counts`]. Reading accounting during a parallel
+    /// compute phase cannot be answered exactly (earlier ticks of the same
+    /// edge may have buffered updates), so it marks the tick for a serial
+    /// re-run.
+    pub fn counts(&mut self) -> FaultCounts {
+        match &mut self.inner {
+            FaultInner::Direct(engine) => engine.counts(),
+            FaultInner::Buffered { retick, .. } => {
+                **retick = true;
+                FaultCounts::default()
+            }
+        }
+    }
+}
+
+/// The deterministic fault-injection engine: answers per-tick probes from a
+/// seeded hash stream according to a [`FaultSchedule`], and tracks recovery
+/// accounting. Disarmed by default (probes always answer "no fault").
 #[derive(Debug, Clone, Default)]
 pub struct FaultEngine {
     armed: bool,

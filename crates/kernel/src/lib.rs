@@ -53,6 +53,7 @@ mod component;
 mod error;
 pub mod fault;
 mod link;
+mod parallel;
 pub mod reference;
 mod rng;
 mod sim;
@@ -62,17 +63,20 @@ mod time;
 pub mod trace;
 pub mod vcd;
 
-pub use activity::ActivitySnapshot;
+pub use activity::{ActivitySnapshot, ParFallback};
 pub use clock::ClockDomain;
 pub use component::{Component, ComponentId, TickContext};
 pub use error::{SimError, SimResult};
-pub use fault::{FaultCounts, FaultEngine, FaultKind, FaultSchedule};
-pub use link::{Link, LinkId, LinkPool};
-pub use rng::SplitMix64;
-pub use sim::{dense_default, set_dense_default, RunOutcome, Simulation};
+pub use fault::{FaultAccess, FaultCounts, FaultEngine, FaultKind, FaultSchedule};
+pub use link::{Link, LinkAccess, LinkId, LinkPool};
+pub use rng::{RngAccess, SplitMix64};
+pub use sim::{
+    dense_default, set_dense_default, set_tick_jobs_default, tick_jobs_default, RunOutcome,
+    Simulation,
+};
 pub use snapshot::{
     Snapshot, SnapshotBlob, SnapshotError, SnapshotPayload, StateReader, StateWriter,
 };
-pub use stats::StatsRegistry;
+pub use stats::{StatsAccess, StatsRegistry};
 pub use time::{Cycles, Time};
 pub use trace::{TraceBuffer, TraceKind, TraceRecord};

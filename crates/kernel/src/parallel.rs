@@ -1,0 +1,388 @@
+//! Intra-edge parallel tick execution: the compute phase.
+//!
+//! The executor splits each clock edge into a **compute** phase and a
+//! **commit** phase. During compute, a persistent pool of worker threads
+//! ticks shards of the edge's tick order against a frozen, read-only view of
+//! the pre-edge simulation state ([`EdgeCtx`]); every side effect a tick
+//! would have — link pushes/pops, statistic updates, trace records, fault
+//! accounting — is buffered into a per-component effect log ([`Done`])
+//! instead of mutating shared state. The commit phase (in
+//! `Simulation::step`) then walks the logs **in exact serial tick order**,
+//! validating each against the live state and applying it, so the result of
+//! a parallel run is bit-identical to the serial schedule.
+//!
+//! Components move to workers by value: each [`Unit`] carries the
+//! `Box<dyn Component<T>>` out of its scheduler slot and [`Done`] carries it
+//! back, so no `unsafe` sharing is needed (`Component: Send` suffices). A
+//! pre-tick snapshot of the component rides along in the log; if commit-time
+//! validation finds that an earlier tick of the same edge invalidated what
+//! this tick observed, the component is rolled back to the snapshot and the
+//! tick re-runs serially against the live state.
+
+use crate::component::{Component, TickContext};
+use crate::fault::{FaultAccess, FaultOp, FaultSchedule};
+use crate::link::{LinkAccess, LinkLog, LinkOp, LinkPool};
+use crate::rng::RngAccess;
+use crate::snapshot::{SnapshotBlob, StateWriter};
+use crate::stats::{StatDir, StatOp, StatsAccess};
+use crate::time::{Cycles, Time};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread;
+
+/// The frozen pre-edge view shared (read-only) by every compute worker of
+/// one edge. The link pool is moved in from the simulation for the duration
+/// of the compute phase and reclaimed afterwards, so freezing costs no copy.
+#[derive(Debug)]
+pub(crate) struct EdgeCtx<T> {
+    /// The edge instant.
+    pub(crate) time: Time,
+    /// The simulation's link pool, frozen for the duration of the phase.
+    pub(crate) pool: LinkPool<T>,
+    /// Read-only metric name directory (ids only; values live in the
+    /// registry and are updated at commit).
+    pub(crate) dir: Arc<StatDir>,
+    /// Whether tracing is enabled this edge (cannot change mid-edge).
+    pub(crate) trace_enabled: bool,
+    /// The fault engine's schedule (the engine itself is disarmed whenever
+    /// a parallel phase runs; armed engines force the serial path).
+    pub(crate) schedule: FaultSchedule,
+    /// RNG state at the start of the edge, for the frozen per-tick copies.
+    pub(crate) rng_state: u64,
+}
+
+/// One tick of work handed to the compute phase: the component (moved out of
+/// its scheduler slot) plus its position in the serial tick order.
+pub(crate) struct Unit<T> {
+    /// Scheduler slot index.
+    pub(crate) index: u32,
+    /// The component's domain-local cycle count for this edge.
+    pub(crate) cycle: Cycles,
+    /// The component itself, by value.
+    pub(crate) component: Box<dyn Component<T>>,
+}
+
+/// The outcome of one computed tick: the component (to be returned to its
+/// slot), its pre-tick snapshot (for rollback), and the buffered effect log.
+pub(crate) struct Done<T> {
+    /// Scheduler slot index.
+    pub(crate) index: u32,
+    /// The ticked component.
+    pub(crate) component: Box<dyn Component<T>>,
+    /// Snapshot of the component taken immediately before the tick.
+    pub(crate) pre: SnapshotBlob,
+    /// Recorded link operations, with observed answers.
+    pub(crate) links: Vec<LinkOp<T>>,
+    /// Buffered metric/trace side effects.
+    pub(crate) stats: Vec<StatOp>,
+    /// Buffered fault accounting.
+    pub(crate) faults: Vec<FaultOp>,
+    /// The tick touched state a frozen view cannot answer exactly (RNG, raw
+    /// counter reads, unregistered metric names): it must re-run serially.
+    pub(crate) retick: bool,
+}
+
+/// Runs every unit of a shard against the frozen view, in order.
+pub(crate) fn run_shard<T: Clone>(ctx: &EdgeCtx<T>, units: Vec<Unit<T>>) -> Vec<Done<T>> {
+    units.into_iter().map(|u| run_unit(ctx, u)).collect()
+}
+
+fn run_unit<T: Clone>(ctx: &EdgeCtx<T>, unit: Unit<T>) -> Done<T> {
+    let Unit {
+        index,
+        cycle,
+        mut component,
+    } = unit;
+    let mut w = StateWriter::new();
+    component.save(&mut w);
+    let pre = w.finish();
+    let mut link_log = LinkLog::new();
+    let mut stat_ops = Vec::new();
+    let mut fault_ops = Vec::new();
+    let (mut rng_retick, mut stat_retick, mut fault_retick) = (false, false, false);
+    {
+        let mut tick_ctx = TickContext {
+            time: ctx.time,
+            cycle,
+            links: LinkAccess::buffered(&ctx.pool, &mut link_log),
+            stats: StatsAccess::buffered(
+                &ctx.dir,
+                &mut stat_ops,
+                ctx.trace_enabled,
+                &mut stat_retick,
+            ),
+            rng: RngAccess::buffered(ctx.rng_state, &mut rng_retick),
+            faults: FaultAccess::buffered(&ctx.schedule, &mut fault_ops, &mut fault_retick),
+        };
+        // A tick that asks for an unregistered metric name unwinds with
+        // `StatsMissAbort` (see `StatsAccess::counter` for why it cannot
+        // just return a dummy id). Catch exactly that payload and turn it
+        // into a retick — the pre-image restore plus serial re-run then
+        // registers the metric for real. Anything else is a genuine panic
+        // and keeps unwinding to the stepping thread.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            component.tick(&mut tick_ctx)
+        }));
+        if let Err(payload) = outcome {
+            if !payload.is::<crate::stats::StatsMissAbort>() {
+                std::panic::resume_unwind(payload);
+            }
+            debug_assert!(stat_retick, "miss abort must have flagged a retick");
+        }
+    }
+    Done {
+        index,
+        component,
+        pre,
+        links: link_log.into_ops(),
+        stats: stat_ops,
+        faults: fault_ops,
+        retick: rng_retick | stat_retick | fault_retick,
+    }
+}
+
+/// One shard of compute work sent to a worker thread.
+pub(crate) struct Job<T> {
+    /// Shard position within the edge (results may arrive out of order).
+    pub(crate) shard: usize,
+    /// The shared frozen view.
+    pub(crate) ctx: Arc<EdgeCtx<T>>,
+    /// The units of this shard, in tick order.
+    pub(crate) units: Vec<Unit<T>>,
+}
+
+/// A shard's results, or the payload of a panic raised by a component tick
+/// (resumed on the main thread so test expectations and backtraces behave
+/// like serial execution).
+pub(crate) type ShardResult<T> = Result<Vec<Done<T>>, Box<dyn std::any::Any + Send>>;
+
+struct Worker<T> {
+    tx: Sender<Job<T>>,
+    handle: thread::JoinHandle<()>,
+}
+
+/// A persistent pool of compute workers, one per extra tick job. Workers
+/// live for the lifetime of the simulation (spawned lazily on the first
+/// parallel edge) so the per-edge cost is two channel sends per shard, not a
+/// thread spawn.
+pub(crate) struct WorkerPool<T> {
+    workers: Vec<Worker<T>>,
+    results: Receiver<(usize, ShardResult<T>)>,
+}
+
+impl<T> std::fmt::Debug for WorkerPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn worker_main<T: Clone>(rx: Receiver<Job<T>>, results: Sender<(usize, ShardResult<T>)>) {
+    for job in rx {
+        let Job { shard, ctx, units } = job;
+        let out = catch_unwind(AssertUnwindSafe(|| run_shard(&ctx, units)));
+        // Release the frozen view *before* reporting: once the main thread
+        // has received every shard it reclaims the link pool from the Arc,
+        // which requires all worker references to be gone.
+        drop(ctx);
+        if results.send((shard, out)).is_err() {
+            break;
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> WorkerPool<T> {
+    /// Spawns `threads` persistent workers.
+    pub(crate) fn new(threads: usize) -> Self {
+        let (results_tx, results) = channel();
+        let workers = (0..threads)
+            .map(|i| {
+                let (tx, rx) = channel::<Job<T>>();
+                let res = results_tx.clone();
+                let handle = thread::Builder::new()
+                    .name(format!("tick-worker-{i}"))
+                    .spawn(move || worker_main(rx, res))
+                    .expect("failed to spawn tick worker");
+                Worker { tx, handle }
+            })
+            .collect();
+        WorkerPool { workers, results }
+    }
+
+    /// Number of worker threads (the main thread adds one more shard).
+    pub(crate) fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Hands a shard to a specific worker.
+    pub(crate) fn submit(&self, worker: usize, job: Job<T>) {
+        self.workers[worker]
+            .tx
+            .send(job)
+            .expect("tick worker disappeared");
+    }
+
+    /// Receives the next finished shard (any order).
+    pub(crate) fn recv(&self) -> (usize, ShardResult<T>) {
+        self.results
+            .recv()
+            .expect("tick workers disconnected without reporting")
+    }
+}
+
+impl<T> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        for worker in self.workers.drain(..) {
+            drop(worker.tx);
+            let _ = worker.handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::StateReader;
+
+    /// Forwards one payload per tick and counts forwarded payloads in `self`.
+    struct Fwd {
+        rx: crate::link::LinkId,
+        tx: crate::link::LinkId,
+        forwarded: u64,
+    }
+
+    impl crate::snapshot::Snapshot for Fwd {
+        fn save(&self, w: &mut StateWriter) {
+            w.write_u64(self.forwarded);
+        }
+        fn restore(&mut self, r: &mut StateReader<'_>) {
+            self.forwarded = r.read_u64();
+        }
+    }
+
+    impl Component<u32> for Fwd {
+        fn name(&self) -> &str {
+            "fwd"
+        }
+        fn tick(&mut self, ctx: &mut TickContext<'_, u32>) {
+            if let Some(v) = ctx.links.pop(self.rx, ctx.time) {
+                ctx.links.push(self.tx, ctx.time, v + 1).unwrap();
+                self.forwarded += 1;
+            }
+        }
+    }
+
+    fn edge_ctx(pool: LinkPool<u32>) -> EdgeCtx<u32> {
+        EdgeCtx {
+            time: Time::from_ns(1),
+            pool,
+            dir: Arc::new(StatDir::default()),
+            trace_enabled: false,
+            schedule: FaultSchedule::default(),
+            rng_state: 0,
+        }
+    }
+
+    #[test]
+    fn run_unit_buffers_effects_and_snapshots_preimage() {
+        let mut pool: LinkPool<u32> = LinkPool::new();
+        let rx = pool.add_link("rx", 4, Time::ZERO);
+        let tx = pool.add_link("tx", 4, Time::ZERO);
+        pool.push(rx, Time::ZERO, 10).unwrap();
+        let ctx = edge_ctx(pool);
+        let unit = Unit {
+            index: 3,
+            cycle: Cycles::new(5),
+            component: Box::new(Fwd {
+                rx,
+                tx,
+                forwarded: 0,
+            }),
+        };
+        let done = run_unit(&ctx, unit);
+        assert_eq!(done.index, 3);
+        assert!(!done.retick);
+        assert_eq!(done.links.iter().filter(|op| op.is_mutating()).count(), 2);
+        assert_eq!(ctx.pool.total_queued(), 1, "frozen pool must be untouched");
+        // The pre-image captures the state before the tick (forwarded == 0).
+        let mut r = StateReader::new(&done.pre).unwrap();
+        assert_eq!(r.read_u64(), 0);
+    }
+
+    #[test]
+    fn worker_pool_runs_shards_and_returns_components() {
+        let mut pool: LinkPool<u32> = LinkPool::new();
+        let rx = pool.add_link("rx", 4, Time::ZERO);
+        let tx = pool.add_link("tx", 4, Time::ZERO);
+        pool.push(rx, Time::ZERO, 7).unwrap();
+        let ctx = Arc::new(edge_ctx(pool));
+        let workers: WorkerPool<u32> = WorkerPool::new(2);
+        for shard in 0..2 {
+            workers.submit(
+                shard,
+                Job {
+                    shard,
+                    ctx: Arc::clone(&ctx),
+                    units: vec![Unit {
+                        index: shard as u32,
+                        cycle: Cycles::ZERO,
+                        component: Box::new(Fwd {
+                            rx,
+                            tx,
+                            forwarded: 0,
+                        }),
+                    }],
+                },
+            );
+        }
+        let mut seen = [false; 2];
+        for _ in 0..2 {
+            let (shard, result) = workers.recv();
+            let done = result.unwrap_or_else(|p| std::panic::resume_unwind(p));
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].component.name(), "fwd");
+            seen[shard] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        // Both workers dropped their view; the pool can be reclaimed.
+        let ctx = Arc::try_unwrap(ctx).expect("workers must release the frozen view");
+        assert_eq!(ctx.pool.total_queued(), 1);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_not_swallowed() {
+        struct Bomb;
+        impl crate::snapshot::Snapshot for Bomb {}
+        impl Component<u32> for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn tick(&mut self, _ctx: &mut TickContext<'_, u32>) {
+                panic!("bomb tick");
+            }
+        }
+        let ctx = Arc::new(edge_ctx(LinkPool::new()));
+        let workers: WorkerPool<u32> = WorkerPool::new(1);
+        workers.submit(
+            0,
+            Job {
+                shard: 0,
+                ctx: Arc::clone(&ctx),
+                units: vec![Unit {
+                    index: 0,
+                    cycle: Cycles::ZERO,
+                    component: Box::new(Bomb),
+                }],
+            },
+        );
+        let (_, result) = workers.recv();
+        let payload = match result {
+            Err(payload) => payload,
+            Ok(_) => panic!("panic must surface as an Err shard"),
+        };
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "bomb tick");
+    }
+}

@@ -121,14 +121,14 @@ impl<T> NaiveSimulation<T> {
         for slot in &mut self.slots {
             if slot.next_tick == edge {
                 let cycle = Cycles::new(slot.ticks);
-                let mut ctx = TickContext {
-                    time: edge,
+                let mut ctx = TickContext::direct(
+                    edge,
                     cycle,
-                    links: &mut self.links,
-                    stats: &mut self.stats,
-                    rng: &mut self.rng,
-                    faults: &mut self.faults,
-                };
+                    &mut self.links,
+                    &mut self.stats,
+                    &mut self.rng,
+                    &mut self.faults,
+                );
                 slot.component.tick(&mut ctx);
                 slot.ticks += 1;
                 slot.next_tick = edge + slot.clock.period();

@@ -104,6 +104,101 @@ impl SplitMix64 {
     }
 }
 
+/// Per-tick handle to the simulation RNG (the `rng` field of
+/// [`TickContext`](crate::TickContext)).
+///
+/// In the serial schedule every call forwards to the shared generator. During
+/// a parallel compute phase the handle owns a copy of the generator frozen at
+/// the start of the edge; any access marks the tick for a serial re-run (the
+/// shared stream position depends on the exact serial interleaving of draws,
+/// which a parallel worker cannot know), so RNG-using ticks are always
+/// replayed in exact tick order against the real generator and results stay
+/// bit-identical.
+#[derive(Debug)]
+pub struct RngAccess<'a> {
+    inner: RngInner<'a>,
+}
+
+#[derive(Debug)]
+enum RngInner<'a> {
+    Direct(&'a mut SplitMix64),
+    Buffered {
+        local: SplitMix64,
+        retick: &'a mut bool,
+    },
+}
+
+impl<'a> RngAccess<'a> {
+    /// Pass-through handle over the shared generator (serial execution).
+    pub(crate) fn direct(rng: &'a mut SplitMix64) -> Self {
+        RngAccess {
+            inner: RngInner::Direct(rng),
+        }
+    }
+
+    /// Buffered handle over a frozen copy of the generator state; any use
+    /// sets `retick` so the executor re-runs the tick serially.
+    pub(crate) fn buffered(state: u64, retick: &'a mut bool) -> Self {
+        RngAccess {
+            inner: RngInner::Buffered {
+                local: SplitMix64::new(state),
+                retick,
+            },
+        }
+    }
+
+    fn touch(&mut self) -> &mut SplitMix64 {
+        match &mut self.inner {
+            RngInner::Direct(rng) => rng,
+            RngInner::Buffered { local, retick } => {
+                **retick = true;
+                local
+            }
+        }
+    }
+
+    /// See [`SplitMix64::fork`].
+    pub fn fork(&mut self) -> SplitMix64 {
+        self.touch().fork()
+    }
+
+    /// See [`SplitMix64::state`]. Reading the stream position still counts
+    /// as an RNG access in a parallel compute phase.
+    pub fn state(&mut self) -> u64 {
+        self.touch().state()
+    }
+
+    /// See [`SplitMix64::next_u64`].
+    pub fn next_u64(&mut self) -> u64 {
+        self.touch().next_u64()
+    }
+
+    /// See [`SplitMix64::range`].
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.touch().range(lo, hi)
+    }
+
+    /// See [`SplitMix64::unit`].
+    pub fn unit(&mut self) -> f64 {
+        self.touch().unit()
+    }
+
+    /// See [`SplitMix64::chance`].
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.touch().chance(p)
+    }
+
+    /// See [`SplitMix64::geometric`].
+    pub fn geometric(&mut self, p: f64, max: u64) -> u64 {
+        self.touch().geometric(p, max)
+    }
+
+    /// See [`SplitMix64::weighted_index`].
+    pub fn weighted_index(&mut self, weights: &[u64]) -> usize {
+        self.touch().weighted_index(weights)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +277,32 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn empty_range_panics() {
         SplitMix64::new(0).range(4, 4);
+    }
+
+    #[test]
+    fn direct_access_forwards_to_shared_stream() {
+        let mut shared = SplitMix64::new(0);
+        let expect = SplitMix64::new(0).next_u64();
+        let mut access = RngAccess::direct(&mut shared);
+        assert_eq!(access.next_u64(), expect);
+        assert_ne!(shared.state(), 0, "shared stream must have advanced");
+    }
+
+    #[test]
+    fn buffered_access_marks_retick_and_draws_from_copy() {
+        let mut retick = false;
+        let mut access = RngAccess::buffered(0, &mut retick);
+        let expect = SplitMix64::new(0).next_u64();
+        assert_eq!(access.next_u64(), expect);
+        assert!(retick, "any buffered draw must request a serial re-run");
+    }
+
+    #[test]
+    fn buffered_state_read_also_reticks() {
+        let mut retick = false;
+        let mut access = RngAccess::buffered(77, &mut retick);
+        assert_eq!(access.state(), 77);
+        assert!(retick);
     }
 
     #[test]

@@ -36,14 +36,16 @@
 use crate::clock::ClockDomain;
 use crate::component::{Component, ComponentId, TickContext};
 use crate::error::{SimError, SimResult};
-use crate::fault::{FaultCounts, FaultEngine, FaultSchedule};
-use crate::link::{LinkId, LinkPool};
+use crate::fault::{apply_fault_ops, FaultCounts, FaultEngine, FaultSchedule};
+use crate::link::{apply_link_ops, validate_link_ops, LinkId, LinkPool};
+use crate::parallel::{Done, EdgeCtx, Job, Unit, WorkerPool};
 use crate::rng::SplitMix64;
-use crate::stats::StatsRegistry;
+use crate::stats::{apply_stat_ops, StatsRegistry};
 use crate::time::{Cycles, Time};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Process-wide default for newly constructed simulations: `true` forces the
 /// classic dense schedule (every member of a fired domain ticks every edge).
@@ -61,8 +63,26 @@ pub fn dense_default() -> bool {
     DENSE_DEFAULT.load(Ordering::Relaxed)
 }
 
+/// Process-wide default tick-job count for simulations constructed through
+/// harnesses that honour it (the platform builders call
+/// [`Simulation::set_tick_jobs`] with this value). `1` = serial.
+static TICK_JOBS_DEFAULT: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide default tick-job count (the `--tick-jobs N` knob).
+/// Existing simulations are unaffected; see [`Simulation::set_tick_jobs`].
+pub fn set_tick_jobs_default(jobs: usize) {
+    TICK_JOBS_DEFAULT.store(jobs.max(1), Ordering::Relaxed);
+}
+
+/// Reads the process-wide default tick-job count.
+pub fn tick_jobs_default() -> usize {
+    TICK_JOBS_DEFAULT.load(Ordering::Relaxed)
+}
+
 struct Slot<T> {
-    component: Box<dyn Component<T>>,
+    /// The component itself. `None` only transiently, while the component is
+    /// checked out to a compute worker during a parallel edge.
+    component: Option<Box<dyn Component<T>>>,
     /// Ticks actually executed (not serialized; resets to 0 on restore).
     ticks: u64,
     /// Cached `is_idle()` as of the component's last tick (or registration).
@@ -82,6 +102,33 @@ struct Slot<T> {
     /// is the component's own-domain cycle count (what a dense schedule's
     /// executed-tick count would be).
     edge_base: u64,
+    /// Cached [`Component::parallel_safe`] (read once at registration).
+    par_ok: bool,
+}
+
+impl<T> Slot<T> {
+    #[inline]
+    fn comp(&self) -> &dyn Component<T> {
+        self.component
+            .as_deref()
+            .expect("component checked out to a compute worker")
+    }
+
+    #[inline]
+    fn comp_mut(&mut self) -> &mut dyn Component<T> {
+        self.component
+            .as_deref_mut()
+            .expect("component checked out to a compute worker")
+    }
+}
+
+/// Where `step` borrowed the edge's tick order from, so it can be returned
+/// without copying after the pass (the allocation-reuse fast path).
+enum OrderSrc {
+    /// A single bucket fired: the order *is* its member list.
+    Bucket(usize),
+    /// A coincident multi-bucket edge: the order is a merge-cache entry.
+    Cache(usize),
 }
 
 /// Components sharing one clock domain *and* one next-edge time.
@@ -125,6 +172,10 @@ impl RunOutcome {
     }
 }
 
+/// Signature of the installed parallel edge executor: takes the edge's
+/// owned tick order and the edge time, returns `(ticked, skipped)`.
+type ParExec<T> = fn(&mut Simulation<T>, &[u32], Time) -> (u64, u64);
+
 /// A deterministic multi-clock simulation: components, links, metrics and a
 /// seeded RNG.
 ///
@@ -144,8 +195,6 @@ pub struct Simulation<T> {
     heap: BinaryHeap<Reverse<(Time, u32)>>,
     /// Scratch: bucket indices firing at the current edge.
     fired: Vec<u32>,
-    /// Scratch: merged member indices when several buckets fire together.
-    tick_order: Vec<u32>,
     /// Cache of merged member orders keyed by the fired-bucket set (which is
     /// deterministic: the heap yields equal-time buckets in index order).
     /// Invalidated on component registration. Linear scan — coincident-edge
@@ -165,6 +214,25 @@ pub struct Simulation<T> {
     /// contract. Stored as a function pointer so the `SnapshotPayload`
     /// bound it needs is captured at enable time.
     audit: Option<fn(&mut Simulation<T>, usize, Time)>,
+    /// Requested intra-edge parallelism (1 = serial). See
+    /// [`Simulation::set_tick_jobs`].
+    tick_jobs: usize,
+    /// The parallel edge executor, installed by `set_tick_jobs` as a
+    /// function pointer so the `Clone + PartialEq + Send + Sync` bounds it
+    /// needs are captured at enable time (mirrors `audit`).
+    par_exec: Option<ParExec<T>>,
+    /// Persistent compute workers, spawned lazily on the first parallel
+    /// edge (`tick_jobs - 1` threads; the main thread runs shard 0).
+    pool: Option<WorkerPool<T>>,
+    /// `link_dirty[link] == par_stamp` marks links already mutated by an
+    /// earlier commit of the current parallel edge; a buffered tick whose
+    /// ops only touch clean links can skip replay validation entirely.
+    link_dirty: Vec<u64>,
+    /// Stamp for `link_dirty`, bumped once per parallel edge (monotonic,
+    /// never reset — restore-proof).
+    par_stamp: u64,
+    /// Scratch: per-position compute results of the current parallel edge.
+    par_done: Vec<Option<Done<T>>>,
     links: LinkPool<T>,
     stats: StatsRegistry,
     rng: SplitMix64,
@@ -185,13 +253,18 @@ impl<T> Simulation<T> {
             buckets: Vec::new(),
             heap: BinaryHeap::new(),
             fired: Vec::new(),
-            tick_order: Vec::new(),
             merge_cache: Vec::new(),
             busy: 0,
             edges: 0,
             total_ticks: 0,
             dense: dense_default(),
             audit: None,
+            tick_jobs: 1,
+            par_exec: None,
+            pool: None,
+            link_dirty: Vec::new(),
+            par_stamp: 0,
+            par_done: Vec::new(),
             links: LinkPool::new(),
             stats: StatsRegistry::new(),
             rng: SplitMix64::new(seed),
@@ -241,6 +314,7 @@ impl<T> Simulation<T> {
                 self.links.watch(l, index);
             }
         }
+        let par_ok = component.parallel_safe();
         // Join the bucket with the same domain and the same pending edge;
         // otherwise open a new one (and give it a heap entry).
         let bucket;
@@ -266,7 +340,7 @@ impl<T> Simulation<T> {
             self.heap.push(Reverse((next_tick, bucket)));
         }
         self.slots.push(Slot {
-            component,
+            component: Some(component),
             ticks: 0,
             idle,
             watched,
@@ -276,6 +350,7 @@ impl<T> Simulation<T> {
             timer: 0,
             bucket,
             edge_base,
+            par_ok,
         });
         self.merge_cache.clear();
         id
@@ -299,7 +374,7 @@ impl<T> Simulation<T> {
 
     /// Name of a component.
     pub fn component_name(&self, id: ComponentId) -> &str {
-        self.slots[id.index()].component.name()
+        self.slots[id.index()].comp().name()
     }
 
     /// Ticks actually executed by a component since construction (or since
@@ -388,26 +463,18 @@ impl<T> Simulation<T> {
             self.heap.pop();
             self.fired.push(b);
         }
-        let now_ps = edge.as_ps();
-        let dense = self.dense;
-        let mut ticked: u64 = 0;
-        let mut skipped: u64 = 0;
-        if self.fired.len() == 1 {
+        // Borrow the edge's tick order by value (returned below) so the
+        // tick pass — serial or parallel — can take `&mut self` freely. No
+        // copies: a single-bucket edge lends its member list, a coincident
+        // edge lends the cached merged order.
+        let (order, src) = if self.fired.len() == 1 {
             // Hot path: a single domain fires; its member list is already
             // in registration order.
             let b = self.fired[0] as usize;
-            for k in 0..self.buckets[b].members.len() {
-                let i = self.buckets[b].members[k] as usize;
-                if dense || self.slot_runnable(i, now_ps) {
-                    self.tick_slot(i, edge);
-                    ticked += 1;
-                } else if let Some(audit) = self.audit {
-                    audit(self, i, edge);
-                    ticked += 1;
-                } else {
-                    skipped += 1;
-                }
-            }
+            (
+                std::mem::take(&mut self.buckets[b].members),
+                OrderSrc::Bucket(b),
+            )
         } else {
             // Several domains share this instant: merge their (sorted)
             // member lists so ticks happen in global registration order,
@@ -415,34 +482,40 @@ impl<T> Simulation<T> {
             // order is cached per fired-bucket set (`fired` is
             // deterministic: the heap yields equal-time buckets in index
             // order).
-            if let Some(pos) = self
+            let pos = match self
                 .merge_cache
                 .iter()
                 .position(|(key, _)| *key == self.fired)
             {
-                self.tick_order.clone_from(&self.merge_cache[pos].1);
-            } else {
-                self.tick_order.clear();
-                for f in 0..self.fired.len() {
-                    let b = self.fired[f] as usize;
-                    self.tick_order.extend_from_slice(&self.buckets[b].members);
+                Some(pos) => pos,
+                None => {
+                    let mut merged = Vec::with_capacity(
+                        self.fired
+                            .iter()
+                            .map(|&b| self.buckets[b as usize].members.len())
+                            .sum(),
+                    );
+                    for f in 0..self.fired.len() {
+                        let b = self.fired[f] as usize;
+                        merged.extend_from_slice(&self.buckets[b].members);
+                    }
+                    merged.sort_unstable();
+                    self.merge_cache.push((self.fired.clone(), merged));
+                    self.merge_cache.len() - 1
                 }
-                self.tick_order.sort_unstable();
-                self.merge_cache
-                    .push((self.fired.clone(), self.tick_order.clone()));
-            }
-            for k in 0..self.tick_order.len() {
-                let i = self.tick_order[k] as usize;
-                if dense || self.slot_runnable(i, now_ps) {
-                    self.tick_slot(i, edge);
-                    ticked += 1;
-                } else if let Some(audit) = self.audit {
-                    audit(self, i, edge);
-                    ticked += 1;
-                } else {
-                    skipped += 1;
-                }
-            }
+            };
+            (
+                std::mem::take(&mut self.merge_cache[pos].1),
+                OrderSrc::Cache(pos),
+            )
+        };
+        let (ticked, skipped) = match self.par_exec {
+            Some(par) => par(self, &order, edge),
+            None => self.serial_pass(&order, edge),
+        };
+        match src {
+            OrderSrc::Bucket(b) => self.buckets[b].members = order,
+            OrderSrc::Cache(pos) => self.merge_cache[pos].1 = order,
         }
         for f in 0..self.fired.len() {
             let b = self.fired[f] as usize;
@@ -457,27 +530,64 @@ impl<T> Simulation<T> {
         Some(edge)
     }
 
+    /// Ticks every runnable component of `order`, in order — the serial
+    /// schedule (and the commit-order reference the parallel executor must
+    /// reproduce bit-for-bit).
+    fn serial_pass(&mut self, order: &[u32], edge: Time) -> (u64, u64) {
+        let now_ps = edge.as_ps();
+        let dense = self.dense;
+        let mut ticked: u64 = 0;
+        let mut skipped: u64 = 0;
+        for &raw in order {
+            let i = raw as usize;
+            if dense || self.slot_runnable(i, now_ps) {
+                self.tick_slot(i, edge);
+                ticked += 1;
+            } else if let Some(audit) = self.audit {
+                audit(self, i, edge);
+                ticked += 1;
+            } else {
+                skipped += 1;
+            }
+        }
+        (ticked, skipped)
+    }
+
+    /// The component's own-domain cycle count: how many edges its bucket
+    /// fired since it joined. Equals a dense schedule's executed-tick
+    /// count, so cycle-driven behaviour (DRAM refresh, round-robin
+    /// rotation) is independent of how many ticks were skipped.
+    #[inline]
+    fn cycle_of(&self, index: usize) -> u64 {
+        let slot = &self.slots[index];
+        self.buckets[slot.bucket as usize].edge_index - slot.edge_base
+    }
+
     fn tick_slot(&mut self, index: usize, edge: Time) {
-        // The component's own-domain cycle count: how many edges its bucket
-        // fired since it joined. Equals a dense schedule's executed-tick
-        // count, so cycle-driven behaviour (DRAM refresh, round-robin
-        // rotation) is independent of how many ticks were skipped.
-        let cycle = {
-            let slot = &self.slots[index];
-            self.buckets[slot.bucket as usize].edge_index - slot.edge_base
-        };
+        let cycle = self.cycle_of(index);
         let slot = &mut self.slots[index];
-        let mut ctx = TickContext {
-            time: edge,
-            cycle: Cycles::new(cycle),
-            links: &mut self.links,
-            stats: &mut self.stats,
-            rng: &mut self.rng,
-            faults: &mut self.faults,
-        };
-        slot.component.tick(&mut ctx);
+        let mut ctx = TickContext::direct(
+            edge,
+            Cycles::new(cycle),
+            &mut self.links,
+            &mut self.stats,
+            &mut self.rng,
+            &mut self.faults,
+        );
+        slot.component
+            .as_deref_mut()
+            .expect("component checked out to a compute worker")
+            .tick(&mut ctx);
+        self.post_tick(index);
+    }
+
+    /// Bookkeeping after a component's tick took effect (directly or via a
+    /// committed effect log): tick counters, the cached idle flag and the
+    /// busy count, and the slot's sparse wake conditions.
+    fn post_tick(&mut self, index: usize) {
+        let slot = &mut self.slots[index];
         slot.ticks += 1;
-        let idle = slot.component.is_idle();
+        let idle = slot.comp().is_idle();
         if idle != slot.idle {
             slot.idle = idle;
             if idle {
@@ -489,7 +599,7 @@ impl<T> Simulation<T> {
         // Re-derive the slot's wake conditions: the tick may have consumed
         // watched input and moved its internal deadlines.
         if let Some(watched) = &slot.watched {
-            slot.timer = slot.component.next_activity().map_or(u64::MAX, Time::as_ps);
+            slot.timer = slot.comp().next_activity().map_or(u64::MAX, Time::as_ps);
             self.links.recompute_wake(index as u32, watched);
         }
     }
@@ -552,11 +662,258 @@ impl<T> Simulation<T> {
                 busy: self
                     .slots
                     .iter()
-                    .filter(|s| !s.component.is_idle())
-                    .map(|s| s.component.name().to_owned())
+                    .filter(|s| !s.comp().is_idle())
+                    .map(|s| s.comp().name().to_owned())
                     .collect(),
             }),
         }
+    }
+}
+
+impl<T: Clone + PartialEq + Send + Sync + 'static> Simulation<T> {
+    /// Requests intra-edge parallelism: edges tick with `jobs` compute
+    /// shards (`jobs - 1` persistent worker threads plus the main thread),
+    /// each buffering its side effects for a serial, deterministic commit
+    /// phase. `1` (the default) restores plain serial execution.
+    ///
+    /// Parallel execution is **observationally identical** to serial: the
+    /// commit phase applies effect logs in exact tick order, validates every
+    /// log's recorded observations against the live state, and re-runs any
+    /// invalidated tick serially after rolling the component back to its
+    /// pre-tick snapshot. Edges where the contract cannot hold (armed fault
+    /// engine, skip-audit mode, fewer than two eligible components) fall
+    /// back to the serial path wholesale, with the reason recorded in the
+    /// [`activity`](crate::activity) counters — never silently.
+    ///
+    /// Only components that opt in via [`Component::parallel_safe`] are
+    /// computed on workers; everything else ticks serially at its exact
+    /// commit position.
+    pub fn set_tick_jobs(&mut self, jobs: usize) {
+        let jobs = jobs.max(1);
+        if let Some(pool) = &self.pool {
+            if pool.threads() != jobs - 1 {
+                self.pool = None;
+            }
+        }
+        self.tick_jobs = jobs;
+        self.par_exec = if jobs > 1 {
+            Some(Self::parallel_pass)
+        } else {
+            self.pool = None;
+            None
+        };
+    }
+
+    /// The requested intra-edge parallelism (1 = serial).
+    pub fn tick_jobs(&self) -> usize {
+        self.tick_jobs
+    }
+
+    /// The parallel edge executor: compute phase on `jobs` shards against a
+    /// frozen view, then a serial in-order commit phase. Must produce
+    /// byte-identical results to [`Simulation::serial_pass`].
+    fn parallel_pass(&mut self, order: &[u32], edge: Time) -> (u64, u64) {
+        use crate::activity::{record_par_fallback, record_parallel_edge, ParFallback};
+
+        // Metric-registration misses unwind out of buffered ticks; keep
+        // the default panic hook from reporting those expected unwinds.
+        crate::stats::install_miss_hook();
+
+        // Whole-edge serial fallbacks: conditions under which buffered
+        // compute cannot reproduce serial semantics. Each is counted.
+        if self.faults.is_armed() {
+            record_par_fallback(ParFallback::FaultsArmed);
+            return self.serial_pass(order, edge);
+        }
+        if self.audit.is_some() {
+            record_par_fallback(ParFallback::SkipAudit);
+            return self.serial_pass(order, edge);
+        }
+
+        let now_ps = edge.as_ps();
+        let dense = self.dense;
+        // Positions (within `order`) eligible for buffered compute: opted-in
+        // components past their first tick (the first tick runs lazy setup —
+        // metric registration, initial deadlines — that would retick anyway)
+        // that would run this edge. Runnability is monotone within an edge
+        // (pushes only *lower* wake times), so eligible-at-freeze implies
+        // runnable-at-commit.
+        let mut eligible: Vec<u32> = Vec::with_capacity(order.len());
+        for (k, &raw) in order.iter().enumerate() {
+            let i = raw as usize;
+            let slot = &self.slots[i];
+            if slot.par_ok && slot.ticks > 0 && (dense || self.slot_runnable(i, now_ps)) {
+                eligible.push(k as u32);
+            }
+        }
+        if eligible.len() < 2 {
+            record_par_fallback(ParFallback::TooSmall);
+            return self.serial_pass(order, edge);
+        }
+
+        let jobs = self.tick_jobs.min(eligible.len());
+        if self.pool.is_none() && self.tick_jobs > 1 {
+            self.pool = Some(WorkerPool::new(self.tick_jobs - 1));
+        }
+
+        // Freeze the pre-edge view. The link pool moves (no copy) into the
+        // shared context and is reclaimed below once every worker has
+        // dropped its reference.
+        let ctx = Arc::new(EdgeCtx {
+            time: edge,
+            pool: std::mem::take(&mut self.links),
+            dir: self.stats.dir(),
+            trace_enabled: self.stats.trace().is_enabled(),
+            schedule: *self.faults.schedule(),
+            rng_state: self.rng.state(),
+        });
+
+        // Shard the eligible positions contiguously: shard 0 runs on the
+        // main thread, shards 1.. on the workers.
+        let per = eligible.len().div_ceil(jobs);
+        let mut worker_shards = 0usize;
+        for s in 1..jobs {
+            let lo = s * per;
+            let hi = ((s + 1) * per).min(eligible.len());
+            if lo >= hi {
+                break;
+            }
+            let units = self.take_units(&eligible[lo..hi], order);
+            self.pool.as_ref().expect("pool spawned above").submit(
+                s - 1,
+                Job {
+                    shard: s,
+                    ctx: Arc::clone(&ctx),
+                    units,
+                },
+            );
+            worker_shards += 1;
+        }
+        let units0 = self.take_units(&eligible[..per.min(eligible.len())], order);
+        let done0 = crate::parallel::run_shard(&ctx, units0);
+
+        // Collect: place every result at its serial tick position.
+        let mut par_done = std::mem::take(&mut self.par_done);
+        par_done.clear();
+        par_done.resize_with(order.len(), || None);
+        for (j, done) in done0.into_iter().enumerate() {
+            par_done[eligible[j] as usize] = Some(done);
+        }
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        for _ in 0..worker_shards {
+            let (shard, result) = self.pool.as_ref().expect("pool spawned above").recv();
+            match result {
+                Ok(dones) => {
+                    let base = shard * per;
+                    for (j, done) in dones.into_iter().enumerate() {
+                        par_done[eligible[base + j] as usize] = Some(done);
+                    }
+                }
+                Err(payload) => panic_payload = Some(payload),
+            }
+        }
+
+        // Reclaim the link pool. Workers drop their Arc before reporting, so
+        // after all receipts ours is the only reference.
+        let EdgeCtx { pool, .. } = Arc::try_unwrap(ctx)
+            .ok()
+            .expect("workers must release the frozen view before reporting");
+        self.links = pool;
+        if let Some(payload) = panic_payload {
+            // Restore invariants (scratch, link pool) before resuming so the
+            // panic unwinds like a serial tick panic. Components of the
+            // panicked shard stay checked out: the simulation is poisoned.
+            self.par_done = par_done;
+            std::panic::resume_unwind(payload);
+        }
+
+        // Commit phase: walk the serial tick order, applying effect logs and
+        // interleaving serial ticks of non-eligible components at their
+        // exact positions.
+        self.par_stamp += 1;
+        let stamp = self.par_stamp;
+        if self.link_dirty.len() < self.links.len() {
+            self.link_dirty.resize(self.links.len(), 0);
+        }
+        // Set once any tick of this edge has run serially at commit: serial
+        // ticks mutate links without dirty-marking, so every later buffered
+        // log must be validated by replay.
+        let mut serial_touched = false;
+        let computed = eligible.len() as u64;
+        let mut reticked: u64 = 0;
+        let mut ticked: u64 = 0;
+        let mut skipped: u64 = 0;
+        for (k, &raw) in order.iter().enumerate() {
+            let i = raw as usize;
+            match par_done[k].take() {
+                Some(done) => {
+                    debug_assert_eq!(done.index, raw);
+                    self.slots[i].component = Some(done.component);
+                    let contended = serial_touched
+                        || done
+                            .links
+                            .iter()
+                            .any(|op| self.link_dirty[op.link().index()] == stamp);
+                    if !done.retick
+                        && (!contended || validate_link_ops(&done.links, &self.links, edge))
+                    {
+                        let links = &mut self.links;
+                        let dirty = &mut self.link_dirty;
+                        apply_link_ops(done.links, links, edge, |id| dirty[id.index()] = stamp);
+                        apply_stat_ops(&mut self.stats, done.stats);
+                        apply_fault_ops(&mut self.faults, &done.faults);
+                        self.post_tick(i);
+                    } else {
+                        // The tick observed state an earlier commit changed
+                        // (or touched state the frozen view cannot answer):
+                        // roll back to the pre-tick snapshot and re-run
+                        // serially against the live state.
+                        reticked += 1;
+                        let mut r = crate::snapshot::StateReader::new(&done.pre)
+                            .expect("pre-tick snapshot must parse");
+                        self.slots[i].comp_mut().restore(&mut r);
+                        self.tick_slot(i, edge);
+                        serial_touched = true;
+                    }
+                    ticked += 1;
+                }
+                None => {
+                    // Not eligible for compute: full serial semantics at the
+                    // commit position (skip-audit is off — it forced a
+                    // fallback above).
+                    if dense || self.slot_runnable(i, now_ps) {
+                        self.tick_slot(i, edge);
+                        serial_touched = true;
+                        ticked += 1;
+                    } else {
+                        skipped += 1;
+                    }
+                }
+            }
+        }
+        self.par_done = par_done;
+        record_parallel_edge(computed, reticked);
+        (ticked, skipped)
+    }
+
+    /// Checks the components at `positions` of `order` out of their slots
+    /// as compute units (returned at commit).
+    fn take_units(&mut self, positions: &[u32], order: &[u32]) -> Vec<Unit<T>> {
+        positions
+            .iter()
+            .map(|&k| {
+                let index = order[k as usize];
+                let i = index as usize;
+                Unit {
+                    index,
+                    cycle: Cycles::new(self.cycle_of(i)),
+                    component: self.slots[i]
+                        .component
+                        .take()
+                        .expect("component already checked out to a compute worker"),
+                }
+            })
+            .collect()
     }
 }
 
@@ -570,8 +927,8 @@ impl<T> Simulation<T> {
     pub fn component_any_mut(&mut self, name: &str) -> Option<&mut dyn std::any::Any> {
         self.slots
             .iter_mut()
-            .find(|s| s.component.name() == name)
-            .and_then(|s| s.component.as_any_mut())
+            .find(|s| s.comp().name() == name)
+            .and_then(|s| s.comp_mut().as_any_mut())
     }
 }
 
@@ -584,7 +941,7 @@ impl<T: crate::snapshot::SnapshotPayload> Simulation<T> {
         let mut h = crate::snapshot::Fnv64::new();
         h.write_u64(self.slots.len() as u64);
         for slot in &self.slots {
-            h.write_str(slot.component.name());
+            h.write_str(slot.comp().name());
         }
         h.write_u64(self.buckets.len() as u64);
         for bucket in &self.buckets {
@@ -638,7 +995,7 @@ impl<T: crate::snapshot::SnapshotPayload> Simulation<T> {
         for slot in &self.slots {
             w.write_u64(slot.edge_base);
             w.write_bool(slot.idle);
-            slot.component.save(&mut w);
+            slot.comp().save(&mut w);
         }
         w.finish()
     }
@@ -713,7 +1070,7 @@ impl<T: crate::snapshot::SnapshotPayload> Simulation<T> {
         for slot in self.slots.iter_mut() {
             slot.edge_base = r.read_u64();
             slot.idle = r.read_bool();
-            slot.component.restore(&mut r);
+            slot.comp_mut().restore(&mut r);
         }
         r.finish()?;
         // Rebuild derived scheduler state. The heap order among equal-time
@@ -732,10 +1089,7 @@ impl<T: crate::snapshot::SnapshotPayload> Simulation<T> {
             let slot = &mut self.slots[i];
             slot.ticks = 0;
             if let Some(watched) = &slot.watched {
-                slot.timer = slot
-                    .component
-                    .next_activity()
-                    .map_or(u64::MAX, |t| t.as_ps());
+                slot.timer = slot.comp().next_activity().map_or(u64::MAX, |t| t.as_ps());
                 self.links.recompute_wake(i as u32, watched);
             }
         }
@@ -759,14 +1113,14 @@ impl<T: crate::snapshot::SnapshotPayload> Simulation<T> {
             f(&mut w);
             w.finish().as_bytes().to_vec()
         }
-        let before_comp = bytes(|w| self.slots[index].component.save(w));
+        let before_comp = bytes(|w| self.slots[index].comp().save(w));
         let before_rng = self.rng.state();
         let before_stats = bytes(|w| self.stats.save_state(w));
         let before_faults = bytes(|w| self.faults.save_state(w));
         let before_links = bytes(|w| self.links.save_state(w));
         self.tick_slot(index, edge);
-        let name = self.slots[index].component.name().to_owned();
-        let after_comp = bytes(|w| self.slots[index].component.save(w));
+        let name = self.slots[index].comp().name().to_owned();
+        let after_comp = bytes(|w| self.slots[index].comp().save(w));
         assert_eq!(
             before_comp, after_comp,
             "idle contract violated: `{name}` mutated its own state during a tick sparse scheduling would have skipped (edge {edge})"
@@ -927,7 +1281,7 @@ mod tests {
     fn multi_clock_interleaving_is_deterministic() {
         struct Tracer {
             label: char,
-            log: std::rc::Rc<std::cell::RefCell<Vec<(u64, char)>>>,
+            log: std::sync::Arc<std::sync::Mutex<Vec<(u64, char)>>>,
         }
         impl crate::snapshot::Snapshot for Tracer {}
         impl Component<u64> for Tracer {
@@ -935,10 +1289,13 @@ mod tests {
                 "tracer"
             }
             fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
-                self.log.borrow_mut().push((ctx.time.as_ps(), self.label));
+                self.log
+                    .lock()
+                    .unwrap()
+                    .push((ctx.time.as_ps(), self.label));
             }
         }
-        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut sim: Simulation<u64> = Simulation::new();
         sim.add_component(
             Box::new(Tracer {
@@ -957,7 +1314,7 @@ mod tests {
         sim.run_until(Time::from_ns(10));
         // Edges: t=0 (a then b, registration order), t=5ns (b), t=10ns (a, b).
         assert_eq!(
-            *log.borrow(),
+            *log.lock().unwrap(),
             vec![
                 (0, 'a'),
                 (0, 'b'),
@@ -1349,7 +1706,7 @@ mod tests {
     fn merge_cache_invalidated_by_mid_run_registration() {
         struct Tracer {
             label: char,
-            log: std::rc::Rc<std::cell::RefCell<Vec<(u64, char)>>>,
+            log: std::sync::Arc<std::sync::Mutex<Vec<(u64, char)>>>,
         }
         impl crate::snapshot::Snapshot for Tracer {}
         impl Component<u64> for Tracer {
@@ -1357,10 +1714,13 @@ mod tests {
                 "tracer"
             }
             fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
-                self.log.borrow_mut().push((ctx.time.as_ps(), self.label));
+                self.log
+                    .lock()
+                    .unwrap()
+                    .push((ctx.time.as_ps(), self.label));
             }
         }
-        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let mk = |label| {
             Box::new(Tracer {
                 label,
@@ -1379,7 +1739,7 @@ mod tests {
         sim.add_component(mk('c'), ClockDomain::from_mhz(50));
         sim.run_until(Time::from_ns(20));
         assert_eq!(
-            *log.borrow(),
+            *log.lock().unwrap(),
             vec![
                 (0, 'a'),
                 (0, 'b'),
@@ -1416,5 +1776,345 @@ mod tests {
         // first tick is a re-visit of that instant (then 20, 30, 40 ns).
         sim.run_until(Time::from_ns(40));
         assert_eq!(sim.component_ticks(id), 4);
+    }
+
+    /// A parallel-safe hop of a store-and-forward chain: pops its input,
+    /// pushes the incremented value to its output, counts traffic in a
+    /// metric, and traces every forward.
+    struct ParHop {
+        tag: &'static str,
+        rx: LinkId,
+        tx: LinkId,
+        forwarded: u64,
+        counter: Option<crate::stats::CounterId>,
+    }
+    impl crate::snapshot::Snapshot for ParHop {
+        fn save(&self, w: &mut crate::snapshot::StateWriter) {
+            w.write_u64(self.forwarded);
+        }
+        fn restore(&mut self, r: &mut crate::snapshot::StateReader<'_>) {
+            self.forwarded = r.read_u64();
+        }
+    }
+    impl Component<u64> for ParHop {
+        fn name(&self) -> &str {
+            self.tag
+        }
+        fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+            let counter = match self.counter {
+                Some(c) => c,
+                None => {
+                    let c = ctx.stats.counter(&format!("{}.forwarded", self.tag));
+                    self.counter = Some(c);
+                    c
+                }
+            };
+            if ctx.links.can_push(self.tx) {
+                if let Some(v) = ctx.links.pop(self.rx, ctx.time) {
+                    ctx.links.push(self.tx, ctx.time, v + 1).unwrap();
+                    ctx.stats.inc(counter, 1);
+                    ctx.stats.emit_trace(
+                        ctx.time,
+                        self.tag,
+                        crate::trace::TraceKind::Forward,
+                        || format!("fwd {v}"),
+                    );
+                    self.forwarded += 1;
+                }
+            }
+        }
+        fn is_idle(&self) -> bool {
+            true // drains on demand; quiescence comes from empty links
+        }
+        fn parallel_safe(&self) -> bool {
+            true
+        }
+    }
+
+    /// Builds a platform of `chains` independent producer→hop→hop→sink
+    /// chains sharing one clock, with every hop parallel-safe.
+    fn chained_platform(chains: usize) -> Simulation<u64> {
+        let mut sim: Simulation<u64> = Simulation::new();
+        let clk = ClockDomain::from_mhz(100);
+        for c in 0..chains {
+            let a = sim.links_mut().add_link(format!("c{c}.a"), 2, clk.period());
+            let b = sim.links_mut().add_link(format!("c{c}.b"), 2, clk.period());
+            let d = sim.links_mut().add_link(format!("c{c}.d"), 4, clk.period());
+            sim.add_component(
+                Box::new(Producer {
+                    out: a,
+                    budget: 20,
+                    sent: 0,
+                }),
+                clk,
+            );
+            sim.add_component(
+                Box::new(ParHop {
+                    tag: ["hop0", "hop1", "hop2", "hop3"][c % 4],
+                    rx: a,
+                    tx: b,
+                    forwarded: 0,
+                    counter: None,
+                }),
+                clk,
+            );
+            sim.add_component(
+                Box::new(ParHop {
+                    tag: ["relay0", "relay1", "relay2", "relay3"][c % 4],
+                    rx: b,
+                    tx: d,
+                    forwarded: 0,
+                    counter: None,
+                }),
+                clk,
+            );
+            sim.add_component(
+                Box::new(Consumer {
+                    input: d,
+                    received: Vec::new(),
+                }),
+                clk,
+            );
+        }
+        sim
+    }
+
+    fn run_and_fingerprint(mut sim: Simulation<u64>) -> (Time, Vec<u8>, String) {
+        sim.stats_mut().trace_mut().enable(256);
+        let at = sim
+            .run_to_quiescence_strict(Time::from_us(100))
+            .expect("must drain");
+        let blob = sim.checkpoint();
+        let report = format!("{}\n{}", sim.stats().report(at), sim.stats().trace().dump());
+        (at, blob.as_bytes().to_vec(), report)
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_serial() {
+        let (t1, bytes1, report1) = run_and_fingerprint(chained_platform(4));
+        for jobs in [2, 4, 8] {
+            let mut sim = chained_platform(4);
+            sim.set_tick_jobs(jobs);
+            assert_eq!(sim.tick_jobs(), jobs);
+            let (t, bytes, report) = run_and_fingerprint(sim);
+            assert_eq!(t, t1, "quiescence time differs at {jobs} jobs");
+            assert_eq!(bytes, bytes1, "checkpoint differs at {jobs} jobs");
+            assert_eq!(report, report1, "stats/trace differ at {jobs} jobs");
+        }
+    }
+
+    #[test]
+    fn parallel_edges_actually_run_and_contention_reticks_resolve() {
+        // All four chains pour into ONE shared sink link: every relay
+        // contends for its capacity, so commit-time validation must catch
+        // and re-run invalidated ticks — and the outcome must still match
+        // serial exactly.
+        fn contended() -> Simulation<u64> {
+            let mut sim: Simulation<u64> = Simulation::new();
+            let clk = ClockDomain::from_mhz(100);
+            let shared = sim.links_mut().add_link("shared", 3, clk.period());
+            for c in 0..4 {
+                let a = sim.links_mut().add_link(format!("c{c}.a"), 2, clk.period());
+                sim.add_component(
+                    Box::new(Producer {
+                        out: a,
+                        budget: 10,
+                        sent: 0,
+                    }),
+                    clk,
+                );
+                sim.add_component(
+                    Box::new(ParHop {
+                        tag: ["hop0", "hop1", "hop2", "hop3"][c],
+                        rx: a,
+                        tx: shared,
+                        forwarded: 0,
+                        counter: None,
+                    }),
+                    clk,
+                );
+            }
+            sim.add_component(
+                Box::new(Consumer {
+                    input: shared,
+                    received: Vec::new(),
+                }),
+                clk,
+            );
+            sim
+        }
+        let (t1, bytes1, report1) = run_and_fingerprint(contended());
+        let before = crate::activity::snapshot();
+        let mut sim = contended();
+        sim.set_tick_jobs(4);
+        let (t, bytes, report) = run_and_fingerprint(sim);
+        let delta = crate::activity::snapshot().since(before);
+        assert_eq!((t, &bytes, &report), (t1, &bytes1, &report1));
+        assert!(delta.par_edges > 0, "no edge took the parallel path");
+        assert!(delta.par_computed > 0);
+        assert!(
+            delta.par_reticked > 0,
+            "shared-link contention must force at least one retick"
+        );
+    }
+
+    #[test]
+    fn armed_faults_and_skip_audit_force_counted_serial_fallbacks() {
+        let mut sim = chained_platform(2);
+        sim.set_tick_jobs(4);
+        sim.faults_mut().arm(crate::fault::FaultSchedule {
+            seed: 7,
+            ..Default::default()
+        });
+        let before = crate::activity::snapshot();
+        sim.step();
+        let d = crate::activity::snapshot().since(before);
+        assert!(d.par_fallback_faults > 0);
+        assert_eq!(d.par_edges, 0);
+
+        let mut sim = chained_platform(2);
+        sim.set_tick_jobs(4);
+        sim.enable_skip_audit();
+        let before = crate::activity::snapshot();
+        sim.step();
+        let d = crate::activity::snapshot().since(before);
+        assert!(d.par_fallback_audit > 0);
+
+        // First edge: every component has ticks == 0, so nothing is
+        // eligible yet and the edge falls back as "too small".
+        let mut sim = chained_platform(2);
+        sim.set_tick_jobs(4);
+        let before = crate::activity::snapshot();
+        sim.step();
+        let d = crate::activity::snapshot().since(before);
+        assert!(d.par_fallback_small > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "late boom")]
+    fn worker_panic_resumes_on_the_stepping_thread() {
+        struct LateBomb {
+            armed: bool,
+        }
+        impl crate::snapshot::Snapshot for LateBomb {}
+        impl Component<u64> for LateBomb {
+            fn name(&self) -> &str {
+                "late-bomb"
+            }
+            fn tick(&mut self, _ctx: &mut TickContext<'_, u64>) {
+                if self.armed {
+                    panic!("late boom");
+                }
+                self.armed = true;
+            }
+            fn parallel_safe(&self) -> bool {
+                true
+            }
+        }
+        let mut sim: Simulation<u64> = Simulation::new();
+        let clk = ClockDomain::from_mhz(100);
+        for _ in 0..4 {
+            sim.add_component(Box::new(LateBomb { armed: false }), clk);
+        }
+        sim.set_tick_jobs(4);
+        sim.step(); // arms (first tick is never parallel)
+        sim.step(); // boom, inside a compute shard
+    }
+
+    #[test]
+    fn set_tick_jobs_back_to_one_restores_plain_serial() {
+        let mut sim = chained_platform(1);
+        sim.set_tick_jobs(4);
+        sim.step();
+        sim.step();
+        sim.set_tick_jobs(1);
+        let before = crate::activity::snapshot();
+        sim.step();
+        let d = crate::activity::snapshot().since(before);
+        assert_eq!(d.par_edges, 0);
+        assert_eq!(
+            d.par_fallback_faults + d.par_fallback_audit + d.par_fallback_small,
+            0,
+            "serial mode must not even consult the parallel path"
+        );
+    }
+
+    /// Registers its counter only on its fourth tick, mimicking components
+    /// that lazily register a metric on the first *event* rather than the
+    /// first tick. The id cache is deliberately a plain (non-snapshot)
+    /// field: a registration miss during a buffered tick must unwind, not
+    /// hand back a dummy id this cache would keep across the rollback.
+    struct LateRegistrar {
+        tag: &'static str,
+        ticks: u64,
+        counter: Option<crate::stats::CounterId>,
+    }
+    impl crate::snapshot::Snapshot for LateRegistrar {
+        fn save(&self, w: &mut crate::snapshot::StateWriter) {
+            w.write_u64(self.ticks);
+        }
+        fn restore(&mut self, r: &mut crate::snapshot::StateReader<'_>) {
+            self.ticks = r.read_u64();
+        }
+    }
+    impl Component<u64> for LateRegistrar {
+        fn name(&self) -> &str {
+            self.tag
+        }
+        fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+            self.ticks += 1;
+            if self.ticks >= 4 {
+                let counter = match self.counter {
+                    Some(c) => c,
+                    None => {
+                        let c = ctx.stats.counter(&format!("{}.events", self.tag));
+                        self.counter = Some(c);
+                        c
+                    }
+                };
+                ctx.stats.inc(counter, 1);
+            }
+        }
+        fn parallel_safe(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn mid_run_metric_registration_reticks_without_poisoning_caches() {
+        let clk = ClockDomain::from_mhz(100);
+        let build = || {
+            let mut sim: Simulation<u64> = Simulation::new();
+            for tag in ["late.a", "late.b", "late.c"] {
+                sim.add_component(
+                    Box::new(LateRegistrar {
+                        tag,
+                        ticks: 0,
+                        counter: None,
+                    }),
+                    clk,
+                );
+            }
+            sim
+        };
+        let horizon = Time::from_ns(200);
+
+        let mut serial = build();
+        serial.run_until(horizon);
+        let serial_report = serial.stats().report(serial.time()).to_string();
+        let serial_blob = serial.checkpoint();
+
+        let before = crate::activity::snapshot();
+        let mut par = build();
+        par.set_tick_jobs(4);
+        par.run_until(horizon);
+        let delta = crate::activity::snapshot().since(before);
+
+        assert_eq!(par.stats().report(par.time()).to_string(), serial_report);
+        assert_eq!(par.checkpoint().as_bytes(), serial_blob.as_bytes());
+        assert!(
+            delta.par_reticked >= 1,
+            "the registration edge must re-run serially"
+        );
     }
 }

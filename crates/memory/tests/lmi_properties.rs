@@ -6,9 +6,8 @@ use mpsoc_kernel::{ClockDomain, Simulation, Time};
 use mpsoc_memory::{LmiConfig, LmiController};
 use mpsoc_protocol::{DataWidth, InitiatorId, Opcode, Packet, Transaction};
 use proptest::prelude::*;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A raw driver that pushes a fixed request list into the controller as
 /// back-pressure allows and logs every response.
@@ -16,7 +15,7 @@ struct Driver {
     pending: Vec<Transaction>,
     req: mpsoc_kernel::LinkId,
     resp: mpsoc_kernel::LinkId,
-    responses: Rc<RefCell<Vec<Transaction>>>,
+    responses: Arc<Mutex<Vec<Transaction>>>,
     expected: usize,
 }
 
@@ -28,7 +27,10 @@ impl mpsoc_kernel::Component<Packet> for Driver {
     }
     fn tick(&mut self, ctx: &mut mpsoc_kernel::TickContext<'_, Packet>) {
         if let Some(pkt) = ctx.links.pop(self.resp, ctx.time) {
-            self.responses.borrow_mut().push(pkt.expect_response().txn);
+            self.responses
+                .lock()
+                .unwrap()
+                .push(pkt.expect_response().txn);
         }
         if let Some(txn) = self.pending.first() {
             if ctx.links.can_push(self.req) {
@@ -41,7 +43,7 @@ impl mpsoc_kernel::Component<Packet> for Driver {
         }
     }
     fn is_idle(&self) -> bool {
-        self.pending.is_empty() && self.responses.borrow().len() >= self.expected
+        self.pending.is_empty() && self.responses.lock().unwrap().len() >= self.expected
     }
 }
 
@@ -92,7 +94,7 @@ proptest! {
             .iter()
             .filter(|t| !t.completes_on_acceptance())
             .count();
-        let responses = Rc::new(RefCell::new(Vec::new()));
+        let responses = Arc::new(Mutex::new(Vec::new()));
         sim.add_component(
             Box::new(Driver {
                 pending: txns.clone(),
@@ -106,7 +108,7 @@ proptest! {
         sim.add_component(Box::new(LmiController::new("lmi", cfg, clk, req, resp)), clk);
         sim.run_to_quiescence_strict(Time::from_ms(50)).expect("drains");
 
-        let got = responses.borrow();
+        let got = responses.lock().unwrap();
         // Conservation: exactly one response per response-expecting txn.
         prop_assert_eq!(got.len(), expected);
         // Per-source ordering survives lookahead/merging.

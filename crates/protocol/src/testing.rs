@@ -9,13 +9,12 @@
 use crate::packet::{Packet, Response};
 use crate::transaction::Transaction;
 use mpsoc_kernel::{ClockDomain, Component, LinkId, TickContext, Time};
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A shared, ordered record of completions, for tests that need to observe
 /// response ordering across boxed components.
-pub type CompletionLog = Rc<RefCell<Vec<(Time, Transaction)>>>;
+pub type CompletionLog = Arc<Mutex<Vec<(Time, Transaction)>>>;
 
 /// An initiator that issues a fixed script of transactions as fast as
 /// back-pressure allows, and records every completion.
@@ -117,7 +116,7 @@ impl Component<Packet> for ScriptedInitiator {
             let resp = pkt.expect_response();
             self.outstanding -= 1;
             if let Some(log) = &self.shared_log {
-                log.borrow_mut().push((ctx.time, resp.txn.clone()));
+                log.lock().unwrap().push((ctx.time, resp.txn.clone()));
             }
             self.completions.push((ctx.time, resp.txn));
         }
@@ -134,7 +133,7 @@ impl Component<Packet> for ScriptedInitiator {
                 } else {
                     // Posted write: completes at injection.
                     if let Some(log) = &self.shared_log {
-                        log.borrow_mut().push((ctx.time, txn.clone()));
+                        log.lock().unwrap().push((ctx.time, txn.clone()));
                     }
                     self.completions.push((ctx.time, txn.clone()));
                 }
@@ -148,6 +147,12 @@ impl Component<Packet> for ScriptedInitiator {
 
     fn is_idle(&self) -> bool {
         self.script.is_empty() && self.outstanding == 0
+    }
+
+    fn parallel_safe(&self) -> bool {
+        // The shared log observes completions in global tick order; a
+        // buffered compute phase would interleave pushes arbitrarily.
+        self.shared_log.is_none()
     }
 }
 
@@ -247,6 +252,10 @@ impl Component<Packet> for FixedLatencyTarget {
 
     fn is_idle(&self) -> bool {
         self.pending.is_none()
+    }
+
+    fn parallel_safe(&self) -> bool {
+        true
     }
 }
 

@@ -358,7 +358,7 @@ impl StbusNode {
     }
 
     /// Collects grantable contenders for one request channel.
-    fn contenders(&self, ctx: &TickContext<'_, Packet>, channel: usize) -> Vec<Contender> {
+    fn contenders(&self, ctx: &mut TickContext<'_, Packet>, channel: usize) -> Vec<Contender> {
         let now = ctx.time;
         let max_outstanding = self.effective_outstanding();
         let mut found = Vec::new();
@@ -366,8 +366,11 @@ impl StbusNode {
             let Some(Packet::Request(txn)) = ctx.links.peek(port.req_in, now) else {
                 continue;
             };
-            let Some(target) = self.map.route(txn.addr) else {
-                panic!("{}: no route for address {:#x}", self.name, txn.addr);
+            let (addr, priority, created_at) = (txn.addr, txn.priority, txn.created_at);
+            let needs_slot = !txn.completes_on_acceptance();
+            let initiator = txn.initiator;
+            let Some(target) = self.map.route(addr) else {
+                panic!("{}: no route for address {addr:#x}", self.name);
             };
             if self.req_channel(target) != channel {
                 continue;
@@ -375,20 +378,19 @@ impl StbusNode {
             if !ctx.links.can_push(self.targets[target].req_out) {
                 continue;
             }
-            let needs_slot = !txn.completes_on_acceptance();
             if needs_slot && port.outstanding >= max_outstanding {
                 continue;
             }
             // While a source has a transaction in fault recovery, its newer
             // transactions wait: issuing them would break the per-source
             // response order in-order types guarantee.
-            if self.fault_blocked(txn.initiator) {
+            if self.fault_blocked(initiator) {
                 continue;
             }
             found.push(Contender {
                 port: p,
-                priority: txn.priority,
-                created_at: txn.created_at,
+                priority,
+                created_at,
             });
         }
         found
@@ -748,6 +750,10 @@ impl Component<Packet> for StbusNode {
 
     fn is_idle(&self) -> bool {
         self.in_flight.is_empty() && self.replays.is_empty() && self.dead_letters.is_empty()
+    }
+
+    fn parallel_safe(&self) -> bool {
+        true
     }
 
     fn watched_links(&self) -> Option<Vec<LinkId>> {
@@ -1155,8 +1161,7 @@ mod tests {
     fn fixed_priority_favours_high_priority_port() {
         use mpsoc_protocol::testing::CompletionLog;
         use mpsoc_protocol::ArbitrationPolicy;
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
         let mut h = Harness::new();
         let i0 = h.wires("i0", 4);
         let i1 = h.wires("i1", 4);
@@ -1177,7 +1182,7 @@ mod tests {
                 t
             })
             .collect();
-        let log: CompletionLog = Rc::new(RefCell::new(Vec::new()));
+        let log: CompletionLog = Arc::new(Mutex::new(Vec::new()));
         h.sim.add_component(
             Box::new(
                 ScriptedInitiator::new("lo", i0.req, i0.resp, low, 4).with_shared_log(log.clone()),
@@ -1200,14 +1205,16 @@ mod tests {
         // The last completion of the high-priority initiator must come
         // before the last completion of the low-priority one.
         let last_hi = log
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .rev()
             .find(|(_, t)| t.initiator.raw() == 1)
             .map(|(at, _)| *at)
             .expect("hi completions");
         let last_lo = log
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .rev()
             .find(|(_, t)| t.initiator.raw() == 0)
@@ -1287,8 +1294,7 @@ mod tests {
     #[test]
     fn type3_delivers_out_of_order() {
         use mpsoc_protocol::testing::CompletionLog;
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
         let run = |protocol: ProtocolKind| -> Vec<u64> {
             let mut h = Harness::new();
             let iw = h.wires("i0", 4);
@@ -1306,7 +1312,7 @@ mod tests {
             h.sim.add_component(Box::new(node), h.clk);
             // First read goes to the slow target, second to the fast one.
             let script = vec![read(0, 1, 0x100, 4), read(0, 2, 0x1100, 4)];
-            let log: CompletionLog = Rc::new(RefCell::new(Vec::new()));
+            let log: CompletionLog = Arc::new(Mutex::new(Vec::new()));
             let init = ScriptedInitiator::new("i0", iw.req, iw.resp, script, 4)
                 .with_shared_log(log.clone());
             h.sim.add_component(Box::new(init), h.clk);
@@ -1321,7 +1327,12 @@ mod tests {
             h.sim
                 .run_to_quiescence_strict(Time::from_us(1000))
                 .expect("drains");
-            let order: Vec<u64> = log.borrow().iter().map(|(_, t)| t.id.sequence()).collect();
+            let order: Vec<u64> = log
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(_, t)| t.id.sequence())
+                .collect();
             order
         };
         assert_eq!(

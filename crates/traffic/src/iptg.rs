@@ -631,6 +631,12 @@ impl Component<Packet> for IpTrafficGenerator {
             .all(|a| a.state == AgentState::Done && a.outstanding == 0)
     }
 
+    fn parallel_safe(&self) -> bool {
+        // The issue recorder observes issues in global tick order; a
+        // buffered compute phase would interleave recordings arbitrarily.
+        self.issue_recorder.is_none()
+    }
+
     fn watched_links(&self) -> Option<Vec<LinkId>> {
         Some(vec![self.resp_in])
     }

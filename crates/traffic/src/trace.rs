@@ -130,7 +130,7 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEntry>, ParseTraceError> {
 /// the IPTG's record/replay story.
 #[derive(Debug, Clone, Default)]
 pub struct IssueRecorder {
-    inner: std::rc::Rc<std::cell::RefCell<Vec<(Time, TraceEntry)>>>,
+    inner: std::sync::Arc<std::sync::Mutex<Vec<(Time, TraceEntry)>>>,
 }
 
 impl IssueRecorder {
@@ -141,7 +141,7 @@ impl IssueRecorder {
 
     /// Records one issue at `time` (called by the generator).
     pub fn record(&self, time: Time, opcode: Opcode, addr: u64, beats: u32, posted: bool) {
-        self.inner.borrow_mut().push((
+        self.inner.lock().unwrap().push((
             time,
             TraceEntry {
                 delay_cycles: 0, // filled in by `into_trace`
@@ -155,18 +155,18 @@ impl IssueRecorder {
 
     /// Number of recorded issues.
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.lock().unwrap().len()
     }
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.inner.lock().unwrap().is_empty()
     }
 
     /// Converts the recording into a replayable trace, expressing the
     /// inter-issue delays in cycles of `clock`.
     pub fn into_trace(self, clock: ClockDomain) -> Vec<TraceEntry> {
-        let records = self.inner.borrow();
+        let records = self.inner.lock().unwrap();
         let mut out = Vec::with_capacity(records.len());
         let mut prev = Time::ZERO;
         for (time, entry) in records.iter() {
@@ -185,7 +185,7 @@ impl IssueRecorder {
     pub fn render(&self, clock: ClockDomain) -> String {
         let mut out = String::from("# recorded by IssueRecorder\n");
         let mut prev = Time::ZERO;
-        for (time, entry) in self.inner.borrow().iter() {
+        for (time, entry) in self.inner.lock().unwrap().iter() {
             let delay = clock.cycles_between(prev, *time).count();
             prev = *time;
             let op = if entry.opcode == Opcode::Read {
@@ -351,6 +351,10 @@ impl Component<Packet> for TraceDrivenGenerator {
 
     fn is_idle(&self) -> bool {
         self.trace.is_empty() && self.outstanding == 0
+    }
+
+    fn parallel_safe(&self) -> bool {
+        true
     }
 
     fn watched_links(&self) -> Option<Vec<LinkId>> {

@@ -11,11 +11,10 @@
 use mpsoc_kernel::reference::NaiveSimulation;
 use mpsoc_kernel::{ClockDomain, Component, LinkId, RunOutcome, Simulation, TickContext, Time};
 use proptest::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Shared tick log: `(time in ps, component registration index)`.
-type TickLog = Rc<RefCell<Vec<(u64, u32)>>>;
+type TickLog = Arc<Mutex<Vec<(u64, u32)>>>;
 
 /// Records every one of its ticks into a shared log.
 struct Recorder {
@@ -30,7 +29,7 @@ impl Component<u64> for Recorder {
         "recorder"
     }
     fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
-        self.log.borrow_mut().push((ctx.time.as_ps(), self.idx));
+        self.log.lock().unwrap().push((ctx.time.as_ps(), self.idx));
     }
 }
 
@@ -58,7 +57,7 @@ macro_rules! build_recorders {
             $sim.add_component(
                 Box::new(Recorder {
                     idx: i as u32,
-                    log: Rc::clone(&$log),
+                    log: Arc::clone(&$log),
                 }),
                 pool[c % pool.len()],
             );
@@ -79,11 +78,11 @@ proptest! {
     ) {
         let horizon = Time::from_ns(horizon_ns);
 
-        let naive_log: TickLog = Rc::new(RefCell::new(Vec::new()));
+        let naive_log: TickLog = Arc::new(Mutex::new(Vec::new()));
         let mut naive: NaiveSimulation<u64> = NaiveSimulation::new();
         build_recorders!(naive, clock_idxs, naive_log);
 
-        let bucketed_log: TickLog = Rc::new(RefCell::new(Vec::new()));
+        let bucketed_log: TickLog = Arc::new(Mutex::new(Vec::new()));
         let mut bucketed: Simulation<u64> = Simulation::new();
         build_recorders!(bucketed, clock_idxs, bucketed_log);
 
@@ -101,8 +100,8 @@ proptest! {
         }
         prop_assert_eq!(naive.time(), bucketed.time());
         prop_assert_eq!(
-            naive_log.borrow().clone(),
-            bucketed_log.borrow().clone()
+            naive_log.lock().unwrap().clone(),
+            bucketed_log.lock().unwrap().clone()
         );
     }
 
@@ -115,11 +114,11 @@ proptest! {
     ) {
         let horizon = Time::from_ns(horizon_ns);
 
-        let naive_log: TickLog = Rc::new(RefCell::new(Vec::new()));
+        let naive_log: TickLog = Arc::new(Mutex::new(Vec::new()));
         let mut naive: NaiveSimulation<u64> = NaiveSimulation::new();
         build_recorders!(naive, clock_idxs, naive_log);
 
-        let bucketed_log: TickLog = Rc::new(RefCell::new(Vec::new()));
+        let bucketed_log: TickLog = Arc::new(Mutex::new(Vec::new()));
         let mut bucketed: Simulation<u64> = Simulation::new();
         build_recorders!(bucketed, clock_idxs, bucketed_log);
 
@@ -128,8 +127,8 @@ proptest! {
 
         prop_assert_eq!(naive.time(), bucketed.time());
         prop_assert_eq!(
-            naive_log.borrow().clone(),
-            bucketed_log.borrow().clone()
+            naive_log.lock().unwrap().clone(),
+            bucketed_log.lock().unwrap().clone()
         );
     }
 }
@@ -258,23 +257,23 @@ fn quiescence_time_matches_across_clock_domains() {
 #[test]
 fn mid_run_registration_is_equivalent() {
     let pool = clock_pool();
-    let naive_log: TickLog = Rc::new(RefCell::new(Vec::new()));
+    let naive_log: TickLog = Arc::new(Mutex::new(Vec::new()));
     let mut naive: NaiveSimulation<u64> = NaiveSimulation::new();
-    let bucketed_log: TickLog = Rc::new(RefCell::new(Vec::new()));
+    let bucketed_log: TickLog = Arc::new(Mutex::new(Vec::new()));
     let mut bucketed: Simulation<u64> = Simulation::new();
 
     for (i, clk) in [pool[0], pool[3]].into_iter().enumerate() {
         naive.add_component(
             Box::new(Recorder {
                 idx: i as u32,
-                log: Rc::clone(&naive_log),
+                log: Arc::clone(&naive_log),
             }),
             clk,
         );
         bucketed.add_component(
             Box::new(Recorder {
                 idx: i as u32,
-                log: Rc::clone(&bucketed_log),
+                log: Arc::clone(&bucketed_log),
             }),
             clk,
         );
@@ -288,14 +287,14 @@ fn mid_run_registration_is_equivalent() {
         naive.add_component(
             Box::new(Recorder {
                 idx,
-                log: Rc::clone(&naive_log),
+                log: Arc::clone(&naive_log),
             }),
             clk,
         );
         bucketed.add_component(
             Box::new(Recorder {
                 idx,
-                log: Rc::clone(&bucketed_log),
+                log: Arc::clone(&bucketed_log),
             }),
             clk,
         );
@@ -304,12 +303,12 @@ fn mid_run_registration_is_equivalent() {
     bucketed.run_until(Time::from_ns(40));
 
     assert_eq!(naive.time(), bucketed.time());
-    assert_eq!(*naive_log.borrow(), *bucketed_log.borrow());
+    assert_eq!(*naive_log.lock().unwrap(), *bucketed_log.lock().unwrap());
 }
 
 /// Observation log for the sparse differential tests:
 /// `(time in ps, consumer index, payload)`.
-type ObsLog = Rc<RefCell<Vec<(u64, u32, u64)>>>;
+type ObsLog = Arc<Mutex<Vec<(u64, u32, u64)>>>;
 
 /// A sparse-opted-in producer: pushes one payload then sleeps `gap` of its
 /// own cycles, advertising the next issue instant through `next_activity`.
@@ -382,7 +381,10 @@ impl Component<u64> for WatchingConsumer {
     fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
         if let Some(v) = ctx.links.pop(self.input, ctx.time) {
             self.received += 1;
-            self.log.borrow_mut().push((ctx.time.as_ps(), self.idx, v));
+            self.log
+                .lock()
+                .unwrap()
+                .push((ctx.time.as_ps(), self.idx, v));
         }
     }
     fn watched_links(&self) -> Option<Vec<LinkId>> {
@@ -417,7 +419,7 @@ macro_rules! build_paced {
                     input: link,
                     idx: i as u32,
                     received: 0,
-                    log: Rc::clone(&$log),
+                    log: Arc::clone(&$log),
                 }),
                 cons_clk,
             );
@@ -444,16 +446,16 @@ proptest! {
     ) {
         let horizon = Time::from_ns(horizon_ns);
 
-        let naive_log: ObsLog = Rc::new(RefCell::new(Vec::new()));
+        let naive_log: ObsLog = Arc::new(Mutex::new(Vec::new()));
         let mut naive: NaiveSimulation<u64> = NaiveSimulation::new();
         build_paced!(naive, pairs, naive_log);
 
-        let sparse_log: ObsLog = Rc::new(RefCell::new(Vec::new()));
+        let sparse_log: ObsLog = Arc::new(Mutex::new(Vec::new()));
         let mut sparse: Simulation<u64> = Simulation::new();
         sparse.set_dense(false);
         build_paced!(sparse, pairs, sparse_log);
 
-        let dense_log: ObsLog = Rc::new(RefCell::new(Vec::new()));
+        let dense_log: ObsLog = Arc::new(Mutex::new(Vec::new()));
         let mut dense: Simulation<u64> = Simulation::new();
         dense.set_dense(true);
         build_paced!(dense, pairs, dense_log);
@@ -464,8 +466,8 @@ proptest! {
 
         prop_assert_eq!(naive.time(), sparse.time());
         prop_assert_eq!(dense.time(), sparse.time());
-        prop_assert_eq!(naive_log.borrow().clone(), sparse_log.borrow().clone());
-        prop_assert_eq!(dense_log.borrow().clone(), sparse_log.borrow().clone());
+        prop_assert_eq!(naive_log.lock().unwrap().clone(), sparse_log.lock().unwrap().clone());
+        prop_assert_eq!(dense_log.lock().unwrap().clone(), sparse_log.lock().unwrap().clone());
         prop_assert!(sparse.ticks_executed() <= dense.ticks_executed());
         let sparse_blob = sparse.checkpoint();
         let dense_blob = dense.checkpoint();
@@ -480,12 +482,12 @@ proptest! {
 fn sparse_skips_most_ticks_on_long_gaps() {
     let pairs = [(0usize, 7usize, 50u64, 10u64, 2usize)];
 
-    let sparse_log: ObsLog = Rc::new(RefCell::new(Vec::new()));
+    let sparse_log: ObsLog = Arc::new(Mutex::new(Vec::new()));
     let mut sparse: Simulation<u64> = Simulation::new();
     sparse.set_dense(false);
     build_paced!(sparse, pairs, sparse_log);
 
-    let dense_log: ObsLog = Rc::new(RefCell::new(Vec::new()));
+    let dense_log: ObsLog = Arc::new(Mutex::new(Vec::new()));
     let mut dense: Simulation<u64> = Simulation::new();
     dense.set_dense(true);
     build_paced!(dense, pairs, dense_log);
@@ -494,8 +496,12 @@ fn sparse_skips_most_ticks_on_long_gaps() {
     sparse.run_until(horizon);
     dense.run_until(horizon);
 
-    assert_eq!(*sparse_log.borrow(), *dense_log.borrow());
-    assert_eq!(sparse_log.borrow().len(), 10, "all payloads delivered");
+    assert_eq!(*sparse_log.lock().unwrap(), *dense_log.lock().unwrap());
+    assert_eq!(
+        sparse_log.lock().unwrap().len(),
+        10,
+        "all payloads delivered"
+    );
     let sparse_blob = sparse.checkpoint();
     let dense_blob = dense.checkpoint();
     assert_eq!(sparse_blob.as_bytes(), dense_blob.as_bytes());
@@ -505,4 +511,223 @@ fn sparse_skips_most_ticks_on_long_gaps() {
         sparse.ticks_executed(),
         dense.ticks_executed()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Parallel compute/commit differentials
+// ---------------------------------------------------------------------------
+//
+// With `set_tick_jobs(n > 1)` the kernel ticks parallel-safe components on
+// worker threads against a frozen view and replays their buffered effects in
+// registration order at commit time. The contract is *byte identity*: for any
+// platform and any job count, the run must be indistinguishable from serial —
+// same final time, same stats tables, same trace, same checkpoint bytes.
+
+use mpsoc_kernel::stats::CounterId;
+use mpsoc_kernel::{FaultSchedule, TraceKind};
+
+/// A parallel-safe forwarder: pops its input, pushes `payload + 1`, counts
+/// forwards and emits a trace record. Every cross-component effect goes
+/// through the `TickContext`, so the kernel may compute its tick on a worker
+/// thread and commit the buffered effect log afterwards.
+struct Hop {
+    name: String,
+    rx: LinkId,
+    tx: LinkId,
+    forwarded: u64,
+    counter: Option<CounterId>,
+}
+
+impl mpsoc_kernel::Snapshot for Hop {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        w.write_u64(self.forwarded);
+    }
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        self.forwarded = r.read_u64();
+    }
+}
+
+impl Component<u64> for Hop {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+        let counter = match self.counter {
+            Some(c) => c,
+            None => {
+                // First tick runs serially by design, so registration keeps
+                // its deterministic order even under parallel execution.
+                let c = ctx.stats.counter(&format!("{}.forwarded", self.name));
+                self.counter = Some(c);
+                c
+            }
+        };
+        if ctx.links.can_push(self.tx) {
+            if let Some(v) = ctx.links.pop(self.rx, ctx.time) {
+                ctx.links.push(self.tx, ctx.time, v + 1).unwrap();
+                ctx.stats.inc(counter, 1);
+                let name = &self.name;
+                ctx.stats
+                    .emit_trace(ctx.time, name, TraceKind::Forward, || format!("fwd {v}"));
+                self.forwarded += 1;
+            }
+        }
+    }
+    fn is_idle(&self) -> bool {
+        true // drains on demand; quiescence comes from empty links
+    }
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+}
+
+/// Builds producer → hop → hop → consumer chains on one executor. The hops
+/// are parallel-safe; the producers and consumers are not, so every edge
+/// mixes worker-computed and serially-committed slots.
+macro_rules! build_hop_chains {
+    ($sim:expr, $chains:expr) => {{
+        let pool = clock_pool();
+        for (i, &(pc, hc, budget, cap)) in $chains.iter().enumerate() {
+            let prod_clk = pool[pc % pool.len()];
+            let hop_clk = pool[hc % pool.len()];
+            let a = $sim
+                .links_mut()
+                .add_link(&format!("ch{i}.a"), cap, prod_clk.period());
+            let b = $sim
+                .links_mut()
+                .add_link(&format!("ch{i}.b"), cap, hop_clk.period());
+            let c = $sim
+                .links_mut()
+                .add_link(&format!("ch{i}.c"), cap, hop_clk.period());
+            $sim.add_component(
+                Box::new(Producer {
+                    out: a,
+                    budget,
+                    sent: 0,
+                }),
+                prod_clk,
+            );
+            $sim.add_component(
+                Box::new(Hop {
+                    name: format!("ch{i}.h0"),
+                    rx: a,
+                    tx: b,
+                    forwarded: 0,
+                    counter: None,
+                }),
+                hop_clk,
+            );
+            $sim.add_component(
+                Box::new(Hop {
+                    name: format!("ch{i}.h1"),
+                    rx: b,
+                    tx: c,
+                    forwarded: 0,
+                    counter: None,
+                }),
+                hop_clk,
+            );
+            $sim.add_component(
+                Box::new(Consumer {
+                    input: c,
+                    received: 0,
+                }),
+                hop_clk,
+            );
+        }
+    }};
+}
+
+/// Runs one bucketed executor to `horizon` and fingerprints everything the
+/// paper pipeline consumes: final time, checkpoint bytes, rendered stats
+/// table and trace dump.
+fn parallel_fingerprint(
+    sim: &mut Simulation<u64>,
+    horizon: Time,
+) -> (Time, Vec<u8>, String, String) {
+    sim.stats_mut().trace_mut().enable(512);
+    sim.run_until(horizon);
+    let at = sim.time();
+    let report = sim.stats().report(at).to_string();
+    let trace = sim.stats().trace().dump();
+    (at, sim.checkpoint().as_bytes().to_vec(), report, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random mixed-safety platforms, every job count in {2, 4, 8}
+    /// reproduces the serial run byte-for-byte, and the serial run agrees
+    /// with the naive full-scan oracle.
+    #[test]
+    fn parallel_matches_serial_and_naive_at_all_job_counts(
+        chains in prop::collection::vec((0usize..8, 0usize..8, 1u64..25, 1usize..4), 1..5),
+        horizon_ns in 100u64..1500,
+    ) {
+        let horizon = Time::from_ns(horizon_ns);
+
+        let mut naive: NaiveSimulation<u64> = NaiveSimulation::new();
+        build_hop_chains!(naive, chains);
+        naive.run_until(horizon);
+        let naive_report = naive.stats().report(naive.time()).to_string();
+
+        let mut serial: Simulation<u64> = Simulation::new();
+        serial.set_tick_jobs(1);
+        build_hop_chains!(serial, chains);
+        let (serial_at, serial_blob, serial_report, serial_trace) =
+            parallel_fingerprint(&mut serial, horizon);
+
+        prop_assert_eq!(naive.time(), serial_at);
+        prop_assert_eq!(&naive_report, &serial_report);
+
+        for jobs in [2usize, 4, 8] {
+            let mut par: Simulation<u64> = Simulation::new();
+            par.set_tick_jobs(jobs);
+            build_hop_chains!(par, chains);
+            let (at, blob, report, trace) = parallel_fingerprint(&mut par, horizon);
+            prop_assert_eq!(serial_at, at);
+            prop_assert_eq!(&serial_report, &report);
+            prop_assert_eq!(&serial_trace, &trace);
+            prop_assert_eq!(&serial_blob, &blob);
+        }
+    }
+
+    /// Armed fault injection forces a counted serial fallback rather than
+    /// risking divergent probe ordering: runs with any job count must stay
+    /// byte-identical to serial even while faults fire.
+    #[test]
+    fn armed_fault_runs_match_serial_at_any_job_count(
+        chains in prop::collection::vec((0usize..8, 0usize..8, 1u64..20, 1usize..4), 1..4),
+        seed in any::<u64>(),
+        rate in 0u32..5000,
+        horizon_ns in 100u64..1200,
+    ) {
+        let horizon = Time::from_ns(horizon_ns);
+        let schedule = FaultSchedule::uniform(rate, seed);
+
+        let mut serial: Simulation<u64> = Simulation::new();
+        serial.set_tick_jobs(1);
+        build_hop_chains!(serial, chains);
+        serial.faults_mut().arm(schedule);
+        let (serial_at, serial_blob, serial_report, serial_trace) =
+            parallel_fingerprint(&mut serial, horizon);
+
+        for jobs in [2usize, 4, 8] {
+            let before = mpsoc_kernel::activity::snapshot();
+            let mut par: Simulation<u64> = Simulation::new();
+            par.set_tick_jobs(jobs);
+            build_hop_chains!(par, chains);
+            par.faults_mut().arm(schedule);
+            let (at, blob, report, trace) = parallel_fingerprint(&mut par, horizon);
+            prop_assert_eq!(serial_at, at);
+            prop_assert_eq!(&serial_report, &report);
+            prop_assert_eq!(&serial_trace, &trace);
+            prop_assert_eq!(&serial_blob, &blob);
+            let delta = mpsoc_kernel::activity::snapshot().since(before);
+            prop_assert!(
+                delta.par_fallback_faults >= 1,
+                "armed faults must be counted as a serial fallback"
+            );
+        }
+    }
 }
