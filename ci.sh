@@ -18,11 +18,15 @@
 #      dense schedule (--dense escape hatch) must emit identical tables
 #   8. parallel equivalence: intra-edge parallel tick execution
 #      (--tick-jobs 4) must emit tables byte-identical to the serial run
-#   9. bench guard: scheduler throughput vs the committed perf ledger, the
-#      warm-fork/sparse/parallel speedup floors, and a live run of the
-#      idle-heavy kernel_hotpath case against the sparse floor; on hosts
-#      with at least 4 cores, also a live run of the compute-heavy case
-#      against the parallel floor
+#   9. gear equivalence: the loosely-timed gear at quantum 1
+#      (--fast-gear 1) must emit tables byte-identical to cycle-accurate
+#  10. fast-forward floor: a live --fast-warm run must clear the repro
+#      binary's warm-phase speedup floor with a byte-identical q=1 sweep
+#  11. bench guard: scheduler throughput vs the committed perf ledger, the
+#      warm-fork/sparse/parallel/fast-forward speedup floors, and a live
+#      run of the idle-heavy kernel_hotpath case against the sparse floor;
+#      on hosts with at least 4 cores, also a live run of the
+#      compute-heavy case against the parallel floor
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -113,6 +117,30 @@ if ! diff <(filter_timing "$run_dir/a.txt") <(filter_timing "$run_dir/tickjobs.t
     exit 1
 fi
 echo "parallel equivalence gate passed"
+
+echo "== gear equivalence: fig3 cycle vs --fast-gear 1, identical tables =="
+# Quantum 1 is the fast gear's degenerate window — every edge is visited in
+# order with zero occupancy slack — so it must reproduce the cycle-accurate
+# tables byte for byte. This is the end-to-end face of the kernel's
+# quantum-1 identity contract (also proptest-enforced on checkpoints).
+cargo run --release -p mpsoc-bench --bin repro -- \
+    --exp fig3 --scale 1 --fast-gear 1 --no-bench-out > "$run_dir/fastgear.txt"
+if ! diff <(filter_timing "$run_dir/a.txt") <(filter_timing "$run_dir/fastgear.txt"); then
+    echo "gear gate FAILED: --fast-gear 1 produced different tables" >&2
+    exit 1
+fi
+echo "gear equivalence gate passed"
+
+echo "== fast-forward floor: live --fast-warm speedup and q=1 identity =="
+# Runs the EXT-FAST study live (cycle-gear warm phase vs every quantum),
+# records it in a throwaway ledger and enforces the repro binary's
+# fast-forward floor on the measurement just taken: q=1 byte-identical and
+# the default quantum at least MIN_FAST_FORWARD_SPEEDUP faster.
+cargo run --release -p mpsoc-bench --bin repro -- \
+    --fast-warm --bench-out "$run_dir/fastwarm.json" \
+    --check-bench "$run_dir/fastwarm.json" > "$run_dir/fastwarm.txt"
+grep '\[check fast-forward' "$run_dir/fastwarm.txt"
+echo "fast-forward floor gate passed"
 
 echo "== bench guard: throughput vs committed ledger =="
 cargo run --release -p mpsoc-bench --bin repro -- \

@@ -387,6 +387,30 @@ impl Component<Packet> for AhbBus {
         // (grants need a deliverable request, which wakes it).
         self.active.is_some().then_some(self.busy_until)
     }
+
+    fn fast_forward_safe(&self) -> bool {
+        true
+    }
+
+    fn fast_forward(&mut self, ctx: &mut mpsoc_kernel::FastCtx<'_, Packet>) {
+        while let Some(mut tc) = ctx.next_edge() {
+            let now = tc.time;
+            self.tick(&mut tc);
+            if self.active.is_some() {
+                if now < self.busy_until {
+                    ctx.sleep_until(Some(self.busy_until));
+                } else {
+                    // Held past the data phase: every further cycle counts
+                    // an idle wait — keep ticking so the stat stays exact.
+                    continue;
+                }
+            } else {
+                // Un-held bus: a grant needs a new request (watched) or
+                // target wire space (frees only across windows).
+                ctx.sleep_until(None);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

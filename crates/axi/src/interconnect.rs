@@ -498,6 +498,33 @@ impl Component<Packet> for AxiInterconnect {
     // packet waiting out a busy channel stays queued, which keeps the wake
     // due, so the interconnect keeps ticking exactly as the dense schedule
     // would. `next_activity` stays `None`.
+
+    fn fast_forward_safe(&self) -> bool {
+        true
+    }
+
+    fn fast_forward(&mut self, ctx: &mut mpsoc_kernel::FastCtx<'_, Packet>) {
+        while let Some(mut tc) = ctx.next_edge() {
+            let now = tc.time;
+            self.tick(&mut tc);
+            // Inside a window a queued packet sees no *new* delivery, so the
+            // sleep must be bounded by the earliest channel-busy expiry;
+            // full output wires free only across windows.
+            let mut wake = u64::MAX;
+            for busy in [
+                self.ar_busy,
+                self.aw_busy,
+                self.w_busy,
+                self.r_busy,
+                self.b_busy,
+            ] {
+                if busy > now {
+                    wake = wake.min(busy.as_ps());
+                }
+            }
+            ctx.sleep_until((wake != u64::MAX).then(|| Time::from_ps(wake)));
+        }
+    }
 }
 
 #[cfg(test)]

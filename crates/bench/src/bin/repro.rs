@@ -10,6 +10,8 @@
 //! repro --tick-jobs 4        # intra-edge parallel tick execution (identical tables)
 //! repro --list               # list experiment ids with descriptions
 //! repro --exp fig4 --warm-fork          # checkpoint-forked sweep + speedup
+//! repro --fast-warm                     # loosely-timed warm phase: speedup vs error
+//! repro --exp fig3 --fast-gear 1        # run in the fast gear (q=1: identical tables)
 //! repro --exp fig4 --checkpoint-every 500 --rewind-to 2000   # time travel
 //! repro --no-bench-out       # skip writing the perf ledger
 //! repro --bench-out <path>   # refresh a committed ledger explicitly
@@ -32,13 +34,22 @@
 //!
 //! `--warm-fork` runs the fig4 sweep twice — cold and via checkpoint/fork —
 //! proves the tables byte-identical, and records the wall-clock speedup in
-//! the ledger's `"warm_fork"` section. `--checkpoint-every`/`--rewind-to`
-//! run the time-travel debug harness on a representative platform of the
-//! selected experiment instead of the experiment itself.
+//! the ledger's `"warm_fork"` section. `--fast-warm` runs the EXT-FAST
+//! study instead: the fig4 warm phase once per fast-forward quantum, each
+//! finished by cycle-accurate tails, reporting warm-phase speedup and
+//! worst per-cell error per quantum and recording the default-quantum
+//! headline in the ledger's `"fast_forward"` section (`--check-bench`
+//! then enforces the speedup floor and the quantum-1 byte identity).
+//! `--fast-gear QUANTUM` runs any experiment with every simulation in the
+//! loosely-timed gear — tables are approximate for quantum > 1 and
+//! byte-identical to cycle-accurate at quantum 1.
+//! `--checkpoint-every`/`--rewind-to` run the time-travel debug harness on
+//! a representative platform of the selected experiment instead of the
+//! experiment itself.
 
 use mpsoc_bench::{
-    ledger, measure_experiment, measure_warm_fork, timetravel, ExperimentRun, EXPERIMENTS,
-    EXPERIMENT_INFO,
+    ledger, measure_experiment, measure_fast_forward, measure_warm_fork, timetravel, ExperimentRun,
+    EXPERIMENTS, EXPERIMENT_INFO,
 };
 use mpsoc_platform::experiments::{DEFAULT_SCALE, DEFAULT_SEED};
 use serde::Serialize;
@@ -52,6 +63,8 @@ struct Args {
     tick_jobs: usize,
     list: bool,
     warm_fork: bool,
+    fast_warm: bool,
+    fast_gear: Option<u64>,
     checkpoint_every_ns: Option<u64>,
     rewind_to_ns: Option<u64>,
     bench_out: bool,
@@ -69,6 +82,8 @@ fn parse_args() -> Result<Args, String> {
         tick_jobs: 1,
         list: false,
         warm_fork: false,
+        fast_warm: false,
+        fast_gear: None,
         checkpoint_every_ns: None,
         rewind_to_ns: None,
         bench_out: true,
@@ -118,6 +133,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--list" => args.list = true,
             "--warm-fork" => args.warm_fork = true,
+            "--fast-warm" => args.fast_warm = true,
+            "--fast-gear" => {
+                let quantum: u64 = it
+                    .next()
+                    .ok_or("--fast-gear needs a quantum (edges per window)")?
+                    .parse()
+                    .map_err(|e| format!("bad quantum: {e}"))?;
+                if quantum == 0 {
+                    return Err("--fast-gear quantum must be at least 1".into());
+                }
+                args.fast_gear = Some(quantum);
+            }
             "--checkpoint-every" => {
                 args.checkpoint_every_ns = Some(
                     it.next()
@@ -145,7 +172,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "repro [--exp <id>] [--scale N] [--seed N] [--jobs N] [--tick-jobs N] [--list] \
-                     [--warm-fork] [--checkpoint-every NS --rewind-to NS] [--dense] \
+                     [--warm-fork] [--fast-warm] [--fast-gear QUANTUM] \
+                     [--checkpoint-every NS --rewind-to NS] [--dense] \
                      [--no-bench-out] [--bench-out <path>] [--check-bench <path>]\n\
                      experiments: {}",
                     EXPERIMENTS.join(", ")
@@ -161,13 +189,21 @@ fn parse_args() -> Result<Args, String> {
     if args.rewind_to_ns.is_some() && args.exp.is_none() {
         return Err("time travel needs --exp <id> to pick the platform".into());
     }
-    if args.warm_fork {
+    if args.warm_fork && args.fast_warm {
+        return Err("--warm-fork and --fast-warm are separate measurements".into());
+    }
+    if args.warm_fork || args.fast_warm {
+        let flag = if args.warm_fork {
+            "--warm-fork"
+        } else {
+            "--fast-warm"
+        };
         match args.exp.as_deref() {
             None => args.exp = Some("fig4".into()),
             Some("fig4") => {}
             Some(other) => {
                 return Err(format!(
-                    "--warm-fork only applies to the fig4 sweep, not '{other}'"
+                    "{flag} only applies to the fig4 sweep, not '{other}'"
                 ))
             }
         }
@@ -200,9 +236,25 @@ fn main() -> ExitCode {
         }
     };
     if args.list {
-        println!("{:<14} {:>9}  description", "experiment", "~scale-1");
+        // Annotate each experiment with the committed ledger's recorded
+        // sparse-skip fraction and fast-forwarded (elided) cycles, when a
+        // committed ledger exists.
+        let activity = std::fs::read_to_string(ledger::committed_path())
+            .map(|doc| ledger::experiment_activity(&doc))
+            .unwrap_or_default();
+        println!(
+            "{:<14} {:>9} {:>6} {:>10}  description",
+            "experiment", "~scale-1", "skip%", "ff-cycles"
+        );
         for (id, description, runtime) in EXPERIMENT_INFO {
-            println!("{id:<14} {runtime:>9}  {description}");
+            let (skip, ff) = match activity.iter().find(|a| &a.id == id) {
+                Some(a) => (
+                    format!("{:.0}%", a.skip_fraction() * 100.0),
+                    si_u64(a.ff_elided),
+                ),
+                None => ("-".into(), "-".into()),
+            };
+            println!("{id:<14} {runtime:>9} {skip:>6} {ff:>10}  {description}");
         }
         return ExitCode::SUCCESS;
     }
@@ -217,23 +269,37 @@ fn main() -> ExitCode {
         // serial run by the kernel's commit-phase determinism guarantee.
         mpsoc_kernel::set_tick_jobs_default(args.tick_jobs);
     }
+    if let Some(quantum) = args.fast_gear {
+        // Every simulation built from here on starts in the loosely-timed
+        // gear. Tables become approximate for quantum > 1; quantum 1 is
+        // byte-identical to cycle-accurate by the kernel's degenerate-gear
+        // identity (ci.sh asserts it).
+        mpsoc_kernel::set_fidelity_default(mpsoc_kernel::Fidelity::Fast { quantum });
+    }
     if let (Some(every), Some(target)) = (args.checkpoint_every_ns, args.rewind_to_ns) {
         return time_travel(&args, every, target);
     }
     if args.warm_fork {
         return warm_fork(&args);
     }
+    if args.fast_warm {
+        return fast_warm(&args);
+    }
     let ids: Vec<&str> = match &args.exp {
         Some(one) => vec![one.as_str()],
         None => EXPERIMENTS.to_vec(),
     };
     println!(
-        "reproducing {} experiment(s), scale {}, seed {:#x}, jobs {}, tick-jobs {}\n",
+        "reproducing {} experiment(s), scale {}, seed {:#x}, jobs {}, tick-jobs {}{}\n",
         ids.len(),
         args.scale,
         args.seed,
         args.jobs,
-        args.tick_jobs
+        args.tick_jobs,
+        match args.fast_gear {
+            Some(quantum) => format!(", fast-gear quantum {quantum}"),
+            None => String::new(),
+        }
     );
     let mut runs: Vec<ExperimentRun> = Vec::with_capacity(ids.len());
     for id in ids {
@@ -320,6 +386,40 @@ fn warm_fork(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the `--fast-warm` measurement and records its ledger section.
+fn fast_warm(args: &Args) -> ExitCode {
+    println!(
+        "fig4 fast-warm (loosely-timed warm phase), scale {}, seed {:#x}, jobs {}\n",
+        args.scale, args.seed, args.jobs
+    );
+    let run = match measure_fast_forward(args.scale, args.seed, args.jobs) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("fast-warm failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", run.table);
+    println!("{}", run.perf_line());
+    if args.bench_out {
+        let path = args
+            .bench_out_path
+            .clone()
+            .unwrap_or_else(ledger::default_path);
+        match ledger::update_section(&path, "fast_forward", &run.to_json()) {
+            Ok(()) => println!("perf ledger updated: {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(baseline) = &args.check_bench {
+        return check_fast_forward(baseline);
+    }
+    ExitCode::SUCCESS
+}
+
 /// Runs the time-travel debug harness for one experiment.
 fn time_travel(args: &Args, every_ns: u64, rewind_ns: u64) -> ExitCode {
     let id = args.exp.as_deref().expect("validated in parse_args");
@@ -360,6 +460,27 @@ const MIN_SPARSE_SPEEDUP: f64 = 1.3;
 /// than tick jobs only warns: the floor is a property of the scheduler,
 /// not of an oversubscribed host.
 const MIN_PARALLEL_SPEEDUP: f64 = 1.5;
+
+/// Minimum cycle-vs-fast warm-phase speedup the `"fast_forward"` ledger
+/// section must show for [`check_bench`] / [`check_fast_forward`] to
+/// pass: at the default quantum the loosely-timed gear has to beat
+/// cycle-accurate simulation of the same warm phase by a clear margin, or
+/// temporal decoupling has regressed into window bookkeeping. The floor is
+/// a single-threaded property (the warm phases are always timed serially).
+const MIN_FAST_FORWARD_SPEEDUP: f64 = 3.0;
+
+/// Formats a count with an SI suffix for the `--list` table.
+fn si_u64(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1}G", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
 
 /// The number of hardware threads available to this process.
 fn host_cores() -> u64 {
@@ -463,14 +584,18 @@ fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun], args: &Args) 
                     // byte-identity-checked, just not a speedup sample.
                     println!(
                         "[check parallel speedup {speedup:.2}x below {MIN_PARALLEL_SPEEDUP}x, \
-                         but recorded on {cores} core(s) for {jobs} jobs — warning only]"
+                         but recorded host_cores {cores} < requested tick_jobs {jobs} — \
+                         warning only]"
                     );
                 }
                 _ => {
                     eprintln!(
                         "parallel check failed: speedup {speedup:.2}x below the \
-                         {MIN_PARALLEL_SPEEDUP}x floor in {} (recorded host had enough cores)",
-                        baseline.display()
+                         {MIN_PARALLEL_SPEEDUP}x floor in {} (recorded host_cores {}, \
+                         requested tick_jobs {})",
+                        baseline.display(),
+                        cores.map_or_else(|| "unknown".into(), |c| c.to_string()),
+                        jobs.map_or_else(|| "unknown".into(), |j| j.to_string()),
                     );
                     regressed = true;
                 }
@@ -492,6 +617,9 @@ fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun], args: &Args) 
                  {jobs} jobs — live parallel re-measurement would not be meaningful]"
             );
         }
+    }
+    if !check_fast_forward_doc(&doc, baseline, Some(args)) {
+        regressed = true;
     }
     if regressed {
         eprintln!(
@@ -539,6 +667,100 @@ fn check_warm_fork(baseline: &std::path::Path) -> ExitCode {
                 baseline.display()
             );
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Enforces the fast-forward gear's floors against the ledger at
+/// `baseline`: its `"fast_forward"` section must exist, record a
+/// `quantum = 1` sweep byte-identical to cycle-accurate, and show at least
+/// [`MIN_FAST_FORWARD_SPEEDUP`] at the default quantum.
+fn check_fast_forward(baseline: &std::path::Path) -> ExitCode {
+    let doc = match std::fs::read_to_string(baseline) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot read bench baseline {}: {e}", baseline.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if check_fast_forward_doc(&doc, baseline, None) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Shared body of the fast-forward ledger checks; returns whether the
+/// section passes. When `args` is given, a below-floor recorded speedup is
+/// granted [`CHECK_RETRIES`] live re-measurements (the live sample must
+/// clear the same floor) before the check fails — matching the noise
+/// policy of the per-experiment throughput floors.
+fn check_fast_forward_doc(doc: &str, baseline: &std::path::Path, args: Option<&Args>) -> bool {
+    match ledger::fast_forward_q1_identical(doc) {
+        Some(true) => {}
+        Some(false) => {
+            eprintln!(
+                "fast-forward check failed: {} records a quantum-1 sweep that DIVERGED \
+                 from cycle-accurate — a correctness regression, not a perf one",
+                baseline.display()
+            );
+            return false;
+        }
+        None => {
+            eprintln!(
+                "fast-forward check failed: {} has no fast_forward section (run \
+                 `repro --fast-warm --bench-out <path>`)",
+                baseline.display()
+            );
+            return false;
+        }
+    }
+    let quantum = ledger::fast_forward_quantum(doc).unwrap_or(0);
+    match ledger::fast_forward_speedup(doc) {
+        Some(speedup) if speedup >= MIN_FAST_FORWARD_SPEEDUP => {
+            println!(
+                "[check fast-forward q={quantum} speedup {speedup:.2}x >= \
+                 {MIN_FAST_FORWARD_SPEEDUP}x, q=1 identical — ok]"
+            );
+            true
+        }
+        Some(speedup) => {
+            let mut best = speedup;
+            let mut retried = 0;
+            if let Some(args) = args {
+                while best < MIN_FAST_FORWARD_SPEEDUP && retried < CHECK_RETRIES {
+                    retried += 1;
+                    match measure_fast_forward(args.scale, args.seed, args.jobs) {
+                        Ok(again) => best = best.max(again.speedup),
+                        Err(e) => {
+                            eprintln!("re-measuring fast-forward failed: {e}");
+                            break;
+                        }
+                    }
+                }
+            }
+            if best >= MIN_FAST_FORWARD_SPEEDUP {
+                println!(
+                    "[check fast-forward q={quantum} speedup {best:.2}x >= \
+                     {MIN_FAST_FORWARD_SPEEDUP}x, q=1 identical — ok ({retried} retry)]"
+                );
+                true
+            } else {
+                eprintln!(
+                    "fast-forward check failed: warm-phase speedup {best:.2}x below the \
+                     {MIN_FAST_FORWARD_SPEEDUP}x floor in {}",
+                    baseline.display()
+                );
+                false
+            }
+        }
+        None => {
+            eprintln!(
+                "fast-forward check failed: {} has a fast_forward section without a \
+                 speedup field",
+                baseline.display()
+            );
+            false
         }
     }
 }

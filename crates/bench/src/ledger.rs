@@ -59,17 +59,20 @@ pub fn committed_path() -> PathBuf {
 /// fields (`skipped` per experiment, the idle-heavy microbench case);
 /// `v3` added the `"parallel"` section plus the `host_cores` and
 /// `tick_jobs` fields that make a recorded parallel speedup judgeable on
-/// a different machine. Readers scan by field prefix and accept any
-/// version.
-pub const SCHEMA: &str = "mpsoc-bench/kernel-v3";
+/// a different machine; `v4` added the `"fast_forward"` section (the
+/// loosely-timed gear's warm-phase speedup, error and quantum-1 identity)
+/// and the per-experiment `ff_windows`/`ff_elided` counters. Readers scan
+/// by field prefix and accept any version.
+pub const SCHEMA: &str = "mpsoc-bench/kernel-v4";
 
 /// The known top-level sections, in the order they appear in the file.
-const SECTIONS: [&str; 5] = [
+const SECTIONS: [&str; 6] = [
     "experiments",
     "warm_fork",
     "microbench",
     "sparse",
     "parallel",
+    "fast_forward",
 ];
 
 /// Replaces `section` of the ledger at `path` with `value_json`, keeping
@@ -191,6 +194,97 @@ pub fn parallel_tick_jobs(doc: &str) -> Option<u64> {
     section_u64(doc, "parallel", "tick_jobs")
 }
 
+/// Pulls the measured cycle-vs-fast warm-phase speedup out of a ledger
+/// document's `"fast_forward"` section (the loosely-timed gear at the
+/// default quantum). Returns `None` when the section is absent or
+/// malformed.
+pub fn fast_forward_speedup(doc: &str) -> Option<f64> {
+    section_speedup(doc, "fast_forward")
+}
+
+/// Pulls the quantum the `"fast_forward"` section was measured at.
+pub fn fast_forward_quantum(doc: &str) -> Option<u64> {
+    section_u64(doc, "fast_forward", "quantum")
+}
+
+/// Pulls the recorded quantum-1 identity verdict of the `"fast_forward"`
+/// section. `Some(false)` means the recording run saw the degenerate gear
+/// diverge from cycle-accurate — a correctness failure, not a perf one.
+pub fn fast_forward_q1_identical(doc: &str) -> Option<bool> {
+    let section = extract_section(doc, "fast_forward")?;
+    let pos = section.find("\"q1_identical\":")?;
+    let rest = section[pos + 15..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Per-experiment activity counters recorded in the `"experiments"`
+/// section, scanned for `repro --list` annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentActivity {
+    /// Experiment id.
+    pub id: String,
+    /// Component ticks executed.
+    pub ticks: u64,
+    /// Ticks the sparse scheduler skipped.
+    pub skipped: u64,
+    /// Component-cycles elided by fast-forward windows.
+    pub ff_elided: u64,
+}
+
+impl ExperimentActivity {
+    /// Fraction of component-edge slots the sparse scheduler skipped.
+    pub fn skip_fraction(&self) -> f64 {
+        let total = self.ticks + self.skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / total as f64
+        }
+    }
+}
+
+/// Pulls each experiment's recorded activity counters out of a ledger
+/// document's `"experiments"` section. Tolerant of absent sections and of
+/// pre-v4 ledgers without `ff_elided` (reported as 0).
+pub fn experiment_activity(doc: &str) -> Vec<ExperimentActivity> {
+    let Some(section) = extract_section(doc, "experiments") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut rest = section.as_str();
+    while let Some(pos) = rest.find("\"id\":\"") {
+        rest = &rest[pos + 6..];
+        let Some(end) = rest.find('"') else { break };
+        let id = rest[..end].to_string();
+        rest = &rest[end..];
+        let run_end = rest.find('}').unwrap_or(rest.len());
+        let run = &rest[..run_end];
+        out.push(ExperimentActivity {
+            id,
+            ticks: field_u64(run, "ticks").unwrap_or(0),
+            skipped: field_u64(run, "skipped").unwrap_or(0),
+            ff_elided: field_u64(run, "ff_elided").unwrap_or(0),
+        });
+        rest = &rest[run_end..];
+    }
+    out
+}
+
+/// Scans a flat JSON object fragment for an integer `field`.
+fn field_u64(fragment: &str, field: &str) -> Option<u64> {
+    let tag = format!("\"{field}\":");
+    let pos = fragment.find(&tag)?;
+    let rest = &fragment[pos + tag.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse::<u64>().ok()
+}
+
 /// Scans `section` of `doc` for its `"speedup"` field.
 fn section_speedup(doc: &str, name: &str) -> Option<f64> {
     let section = extract_section(doc, name)?;
@@ -226,7 +320,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         update_section(&path, "experiments", r#"{"runs":[]}"#).expect("writes");
         let doc = std::fs::read_to_string(&path).expect("readable");
-        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v3""#));
+        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v4""#));
         assert!(doc.contains(r#""experiments": {"runs":[]}"#));
         assert!(!doc.contains("microbench"));
         std::fs::remove_file(&path).expect("cleanup");
@@ -299,6 +393,45 @@ mod tests {
         assert_eq!(parallel_tick_jobs(doc), Some(4));
         assert_eq!(parallel_speedup("{}\n"), None);
         assert_eq!(parallel_host_cores("{}\n"), None);
+    }
+
+    #[test]
+    fn fast_forward_section_is_scanned() {
+        let doc = concat!(
+            "{\n\"schema\": \"x\",\n",
+            "\"fast_forward\": {\"scale\":1,\"quantum\":64,",
+            "\"warm_cycle_seconds\":0.012,\"warm_fast_seconds\":0.003,",
+            "\"speedup\":4.0,\"max_err_permille\":1399,\"q1_identical\":true}\n}\n"
+        );
+        assert_eq!(fast_forward_speedup(doc), Some(4.0));
+        assert_eq!(fast_forward_quantum(doc), Some(64));
+        assert_eq!(fast_forward_q1_identical(doc), Some(true));
+        assert_eq!(fast_forward_speedup("{}\n"), None);
+        assert_eq!(fast_forward_q1_identical("{}\n"), None);
+    }
+
+    #[test]
+    fn experiment_activity_scans_the_runs_array() {
+        let doc = concat!(
+            "{\n\"schema\": \"x\",\n",
+            "\"experiments\": {\"scale\":1,\"runs\":[",
+            "{\"id\":\"fig3\",\"wall_seconds\":0.5,\"edges\":10,",
+            "\"ticks\":20,\"skipped\":60,\"ff_windows\":5,\"ff_elided\":7,",
+            "\"edges_per_sec\":1.0,\"sim_cycles_per_sec\":2.0},",
+            "{\"id\":\"fig4\",\"wall_seconds\":0.1,\"edges\":4,",
+            "\"ticks\":8,\"edges_per_sec\":99,\"sim_cycles_per_sec\":1.0}",
+            "]}\n}\n"
+        );
+        let activity = experiment_activity(doc);
+        assert_eq!(activity.len(), 2);
+        assert_eq!(activity[0].id, "fig3");
+        assert_eq!(activity[0].ticks, 20);
+        assert_eq!(activity[0].skipped, 60);
+        assert_eq!(activity[0].ff_elided, 7);
+        assert!((activity[0].skip_fraction() - 0.75).abs() < 1e-9);
+        // Pre-v4 run without ff fields: elided reads as zero.
+        assert_eq!(activity[1].ff_elided, 0);
+        assert!(experiment_activity("{}\n").is_empty());
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "arbitration",
     "noc",
     "tlm",
+    "fidelity",
     "dual-channel",
     "robustness",
 ];
@@ -111,6 +112,11 @@ pub const EXPERIMENT_INFO: &[(&str, &str, &str)] = &[
         "~0.1 s",
     ),
     (
+        "fidelity",
+        "loosely-timed fast-forward gear: fig4 warm-phase speedup vs error per quantum",
+        "~0.3 s",
+    ),
+    (
         "dual-channel",
         "unified memory split across two LMI channels: exec time and FIFO pressure",
         "~0.2 s",
@@ -156,6 +162,7 @@ pub fn run_experiment_with_jobs(id: &str, scale: u64, seed: u64, jobs: usize) ->
         "arbitration" => experiments::arbitration_study(scale, seed)?.to_string(),
         "noc" => experiments::noc_outlook(scale, seed)?.to_string(),
         "tlm" => experiments::fidelity_study(scale, seed)?.to_string(),
+        "fidelity" => experiments::fast_forward_study(scale, seed, jobs)?.to_string(),
         "dual-channel" => experiments::dual_channel_study(scale, seed)?.to_string(),
         "robustness" => experiments::robustness_with_jobs(scale, seed, jobs)?.to_string(),
         other => {
@@ -194,6 +201,12 @@ pub struct ExperimentRun {
     /// slots with no due deadline and no pending input). Zero when running
     /// dense.
     pub skipped: u64,
+    /// Fast-forward windows handed to components (zero outside the
+    /// loosely-timed gear).
+    pub ff_windows: u64,
+    /// Component-cycles elided inside fast-forward windows (slept over by
+    /// the components' own `sleep_until` declarations).
+    pub ff_elided: u64,
     /// Host-side scheduler throughput: `edges / wall_seconds`.
     pub edges_per_sec: f64,
     /// Simulated component-cycles per host second: `ticks / wall_seconds`.
@@ -261,6 +274,8 @@ pub fn measure_experiment(
         edges: delta.edges,
         ticks: delta.ticks,
         skipped: delta.skipped,
+        ff_windows: delta.ff_windows,
+        ff_elided: delta.ff_elided,
         edges_per_sec: delta.edges as f64 / wall_seconds,
         sim_cycles_per_sec: delta.ticks as f64 / wall_seconds,
     })
@@ -335,6 +350,103 @@ pub fn measure_warm_fork(scale: u64, seed: u64, jobs: usize) -> SimResult<WarmFo
         cold_seconds,
         fork_seconds,
         speedup: cold_seconds / fork_seconds,
+    })
+}
+
+/// The `repro --fast-warm` measurement: the fig4 warm phase run in the
+/// `Cycle` gear and in `Fast` gear at every quantum of the
+/// [`experiments::FAST_FORWARD_QUANTA`] sweep, each finished by
+/// cycle-accurate tails.
+///
+/// Produced by [`measure_fast_forward`], which also *proves* the
+/// `quantum = 1` table byte-identical to the cycle-gear one before
+/// reporting any timing; the reported speedup and error are the default
+/// quantum's.
+#[derive(Debug, Clone, Serialize)]
+pub struct FastForwardRun {
+    /// Workload multiplier the sweep ran at.
+    pub scale: u64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Worker threads used by the cycle-accurate tails (the timed warm
+    /// phases are always serial).
+    pub jobs: u64,
+    /// The quantum the headline speedup/error were measured at
+    /// ([`mpsoc_kernel::Fidelity::DEFAULT_QUANTUM`]).
+    pub quantum: u64,
+    /// The rendered speedup-vs-error curve (what `repro` prints).
+    #[serde(skip)]
+    pub table: String,
+    /// Wall-clock seconds of the cycle-gear warm phase.
+    pub warm_cycle_seconds: f64,
+    /// Wall-clock seconds of the `Fast { quantum }` warm phase.
+    pub warm_fast_seconds: f64,
+    /// `warm_cycle_seconds / warm_fast_seconds` at the default quantum.
+    pub speedup: f64,
+    /// Worst per-cell error of the default-quantum sweep, in permille.
+    pub max_err_permille: u64,
+    /// Whether the `quantum = 1` sweep was byte-identical to the
+    /// cycle-gear one (always `true` — a mismatch is an error instead).
+    pub q1_identical: bool,
+    /// Fast-forward windows handed to components across the measurement.
+    pub ff_windows: u64,
+    /// Component-cycles elided inside those windows.
+    pub ff_elided: u64,
+}
+
+impl FastForwardRun {
+    /// One-line human-readable summary.
+    pub fn perf_line(&self) -> String {
+        format!(
+            "[fast-forward q=1 identical: yes — warm cycle {:.2}s, fast(q={}) {:.2}s, \
+             speedup {:.2}x, max err {}\u{2030}, {} windows / {} cycles elided]",
+            self.warm_cycle_seconds,
+            self.quantum,
+            self.warm_fast_seconds,
+            self.speedup,
+            self.max_err_permille,
+            self.ff_windows,
+            self.ff_elided,
+        )
+    }
+}
+
+/// Runs the loosely-timed fast-forward study, verifies the `quantum = 1`
+/// identity, and returns the default-quantum headline numbers.
+///
+/// # Errors
+///
+/// Fails if a sweep stalls, or — the self-check — if the `quantum = 1`
+/// table differs from the cycle-gear one in any byte, which would mean the
+/// degenerate gear is not an identity.
+pub fn measure_fast_forward(scale: u64, seed: u64, jobs: usize) -> SimResult<FastForwardRun> {
+    let before = activity::snapshot();
+    let study = experiments::fast_forward_study(scale, seed, jobs)?;
+    let delta = activity::snapshot().since(before);
+    let q1 = study.q1_row();
+    if !q1.identical {
+        return Err(SimError::InvalidConfig {
+            reason: format!(
+                "fast-forward self-check failed: the Fast {{ quantum: 1 }} fig4 table \
+                 differs from the cycle-gear one (max err {}\u{2030})",
+                q1.max_err_permille
+            ),
+        });
+    }
+    let headline = study.default_quantum_row();
+    Ok(FastForwardRun {
+        scale,
+        seed,
+        jobs: jobs as u64,
+        quantum: headline.quantum,
+        warm_cycle_seconds: study.cycle_warm_seconds,
+        warm_fast_seconds: headline.warm_seconds,
+        speedup: headline.speedup,
+        max_err_permille: headline.max_err_permille,
+        q1_identical: q1.identical,
+        ff_windows: delta.ff_windows,
+        ff_elided: delta.ff_elided,
+        table: study.to_string(),
     })
 }
 

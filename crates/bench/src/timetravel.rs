@@ -48,7 +48,9 @@ pub fn representative_spec(id: &str, scale: u64, seed: u64) -> Option<PlatformSp
             ..base
         },
         "fig3" | "noc" => base,
-        "fig4" => PlatformSpec {
+        // The fast-forward gear study sweeps the same fig4 platform, so it
+        // shares fig4's representative point.
+        "fig4" | "fidelity" => PlatformSpec {
             workload: Workload::BurstyPosted,
             memory: MemorySystem::OnChip { wait_states: 8 },
             ..base

@@ -527,6 +527,30 @@ impl Component<Packet> for BridgeTargetSide {
         }
         self.retries.iter().map(|entry| entry.deadline).min()
     }
+
+    fn fast_forward_safe(&self) -> bool {
+        true
+    }
+
+    fn fast_forward(&mut self, ctx: &mut mpsoc_kernel::FastCtx<'_, Packet>) {
+        while let Some(mut tc) = ctx.next_edge() {
+            self.tick(&mut tc);
+            if !self.dead_letters.is_empty()
+                || ctx.has_deliverable(self.req_in)
+                || ctx.has_deliverable(self.resp_fifo)
+            {
+                // Dead letters poll for channel space; queued backlog
+                // (accepts, response returns) processes one head per cycle.
+                continue;
+            }
+            let wake = self
+                .retries
+                .iter()
+                .map(|entry| entry.deadline.as_ps())
+                .min();
+            ctx.sleep_until(wake.map(Time::from_ps));
+        }
+    }
 }
 
 /// The bridge half that appears as an *initiator* on the destination bus.
@@ -578,6 +602,23 @@ impl Component<Packet> for BridgeInitiatorSide {
     // Purely reactive FIFO shuttling: a payload blocked by a full
     // destination stays queued on the watched link, which keeps the wake
     // due until it crosses. `next_activity` stays `None`.
+
+    fn fast_forward_safe(&self) -> bool {
+        true
+    }
+
+    fn fast_forward(&mut self, ctx: &mut mpsoc_kernel::FastCtx<'_, Packet>) {
+        while let Some(mut tc) = ctx.next_edge() {
+            self.tick(&mut tc);
+            if ctx.has_deliverable(self.req_fifo) || ctx.has_deliverable(self.resp_in) {
+                // One payload shuttles per direction per cycle: backlog
+                // (including heads blocked on a full destination) retries
+                // every edge, as the cycle gear does.
+                continue;
+            }
+            ctx.sleep_until(None);
+        }
+    }
 }
 
 #[cfg(test)]

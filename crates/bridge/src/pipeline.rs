@@ -79,6 +79,31 @@ impl Component<Packet> for PipelineStage {
     fn parallel_safe(&self) -> bool {
         true
     }
+
+    fn fast_forward_safe(&self) -> bool {
+        true
+    }
+
+    fn fast_forward(&mut self, ctx: &mut mpsoc_kernel::FastCtx<'_, Packet>) {
+        while let Some(mut tc) = ctx.next_edge() {
+            let now = tc.time;
+            self.tick(&mut tc);
+            // The stage has no watched links (a full output wire frees
+            // without any delivery), so it bounds its own sleep: backlog
+            // retries every edge, a future head sets the wake, empty queues
+            // sleep to the window boundary.
+            let mut wake = u64::MAX;
+            for id in [self.req_in, self.resp_in] {
+                if let Some(head) = ctx.next_delivery(id) {
+                    wake = wake.min(head.as_ps().max(now.as_ps()));
+                }
+            }
+            if wake <= now.as_ps() {
+                continue;
+            }
+            ctx.sleep_until((wake != u64::MAX).then(|| mpsoc_kernel::Time::from_ps(wake)));
+        }
+    }
 }
 
 #[cfg(test)]

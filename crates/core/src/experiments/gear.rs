@@ -1,0 +1,181 @@
+//! EXT-FAST — the loosely-timed fast-forward gear, quantified.
+//!
+//! The kernel's `Fidelity::Fast { quantum }` gear advances components in
+//! multi-cycle windows with approximate (occupancy-slack) contention
+//! instead of per-edge arbitration. This experiment publishes the
+//! speedup-versus-error curve of that gear on the workload it was built
+//! for: fig4's shared warm-up phase, which every sweep point replays
+//! before diverging.
+//!
+//! For each quantum the fig4 warm phase (probe + prefix + checkpoint) runs
+//! once in `Fast { quantum }` and the sweep is finished by cycle-accurate
+//! tails forked from the warm checkpoint; the row reports the warm-phase
+//! wall-clock speedup over the `Cycle` gear and the worst per-cell error
+//! of the resulting table against the cycle-accurate reference. The
+//! `quantum = 1` row must be byte-identical to the reference — the
+//! kernel's degenerate-gear identity — and is flagged as such.
+
+use super::fig4::{fig4_finish, fig4_warm_state, Fig4};
+use mpsoc_kernel::{Fidelity, SimResult};
+use std::fmt;
+
+/// The quanta swept by [`fast_forward_study`]: the identity gear, two
+/// intermediate points and the kernel's default quantum.
+pub const FAST_FORWARD_QUANTA: [u64; 4] = [1, 4, 16, Fidelity::DEFAULT_QUANTUM];
+
+/// One quantum's measurement.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct FastForwardRow {
+    /// The window length, in edges of each component's own clock.
+    pub quantum: u64,
+    /// Wall-clock seconds of the loosely-timed warm phase.
+    pub warm_seconds: f64,
+    /// Cycle-gear warm seconds over this row's warm seconds.
+    pub speedup: f64,
+    /// Worst per-cell relative error of the finished sweep against the
+    /// cycle-accurate reference, in permille.
+    pub max_err_permille: u64,
+    /// Whether the finished table is byte-identical to the reference
+    /// (required at `quantum = 1`).
+    pub identical: bool,
+}
+
+/// The EXT-FAST speedup-versus-error curve.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct FastForwardStudy {
+    /// Wall-clock seconds of the cycle-gear warm phase (the reference).
+    pub cycle_warm_seconds: f64,
+    /// One row per entry of [`FAST_FORWARD_QUANTA`].
+    pub rows: Vec<FastForwardRow>,
+}
+
+impl FastForwardStudy {
+    /// The row measured at the kernel's default quantum.
+    pub fn default_quantum_row(&self) -> &FastForwardRow {
+        self.rows
+            .iter()
+            .find(|r| r.quantum == Fidelity::DEFAULT_QUANTUM)
+            .expect("the default quantum is part of the sweep")
+    }
+
+    /// The `quantum = 1` identity row.
+    pub fn q1_row(&self) -> &FastForwardRow {
+        self.rows
+            .iter()
+            .find(|r| r.quantum == 1)
+            .expect("quantum 1 is part of the sweep")
+    }
+}
+
+impl fmt::Display for FastForwardStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "EXT-FAST loosely-timed fast-forward: fig4 warm phase, speedup vs error"
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>10} {:>9} {:>14} {:>10}",
+            "quantum", "warm ms", "speedup", "max err (\u{2030})", "table"
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>10.2} {:>8.2}x {:>14} {:>10}",
+            "cycle",
+            self.cycle_warm_seconds * 1e3,
+            1.0,
+            "-",
+            "reference"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>8} {:>10.2} {:>8.2}x {:>14} {:>10}",
+                r.quantum,
+                r.warm_seconds * 1e3,
+                r.speedup,
+                r.max_err_permille,
+                if r.identical { "identical" } else { "approx" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Worst per-cell relative error of `fast` against `reference`, permille.
+fn max_err_permille(reference: &Fig4, fast: &Fig4) -> u64 {
+    let mut worst = 0.0f64;
+    for (c, f) in reference.points.iter().zip(&fast.points) {
+        for (a, b) in [
+            (c.collapsed_cycles, f.collapsed_cycles),
+            (c.distributed_cycles, f.distributed_cycles),
+        ] {
+            worst = worst.max(a.abs_diff(b) as f64 / a.max(1) as f64);
+        }
+    }
+    (worst * 1000.0).round() as u64
+}
+
+/// Runs EXT-FAST: the fig4 warm phase once per gear, each finished by
+/// cycle-accurate tails (`jobs` worker threads).
+///
+/// Only the warm phases are timed — the tails are identical work in every
+/// row, and the gear only ever runs the warm region.
+///
+/// # Errors
+///
+/// Fails if a platform instance stalls.
+pub fn fast_forward_study(scale: u64, seed: u64, jobs: usize) -> SimResult<FastForwardStudy> {
+    let started = std::time::Instant::now();
+    let cycle_state = fig4_warm_state(scale, seed, Fidelity::Cycle)?;
+    let cycle_warm_seconds = started.elapsed().as_secs_f64().max(1e-9);
+    let reference = fig4_finish(&cycle_state, scale, seed, jobs)?;
+    let reference_table = reference.to_string();
+
+    let mut rows = Vec::with_capacity(FAST_FORWARD_QUANTA.len());
+    for quantum in FAST_FORWARD_QUANTA {
+        let started = std::time::Instant::now();
+        let state = fig4_warm_state(scale, seed, Fidelity::Fast { quantum })?;
+        let warm_seconds = started.elapsed().as_secs_f64().max(1e-9);
+        let fast = fig4_finish(&state, scale, seed, jobs)?;
+        rows.push(FastForwardRow {
+            quantum,
+            warm_seconds,
+            speedup: cycle_warm_seconds / warm_seconds,
+            max_err_permille: max_err_permille(&reference, &fast),
+            identical: fast.to_string() == reference_table,
+        });
+    }
+    Ok(FastForwardStudy {
+        cycle_warm_seconds,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantum_one_is_identical_and_error_grows_with_quantum() {
+        let study = fast_forward_study(1, 0x0dab, 1).expect("runs");
+        assert_eq!(study.rows.len(), FAST_FORWARD_QUANTA.len());
+        let q1 = study.q1_row();
+        assert!(q1.identical, "quantum 1 must reproduce the cycle table");
+        assert_eq!(q1.max_err_permille, 0);
+        // Temporal decoupling trades accuracy for speed: the documented
+        // curve is monotone in error from the identity gear to the
+        // default quantum.
+        let errs: Vec<u64> = study.rows.iter().map(|r| r.max_err_permille).collect();
+        assert!(
+            errs.windows(2).all(|w| w[0] <= w[1]),
+            "error should grow with the quantum: {errs:?}"
+        );
+        assert!(
+            !study.default_quantum_row().identical,
+            "the default quantum is an approximation"
+        );
+    }
+}

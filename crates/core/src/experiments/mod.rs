@@ -18,6 +18,7 @@ mod fig3;
 mod fig4;
 mod fig5;
 mod fig6;
+mod gear;
 mod many_to_many;
 mod many_to_one;
 mod noc_outlook;
@@ -31,9 +32,13 @@ pub use ablations::{
 pub use dual_channel::{dual_channel_study, DualChannelStudy};
 pub use fidelity::{fidelity_study, FidelityRow, FidelityStudy};
 pub use fig3::{fig3, Fig3, Fig3Bar};
-pub use fig4::{fig4, fig4_warm_fork_with_jobs, fig4_with_jobs, Fig4, Fig4Point};
+pub use fig4::{
+    fig4, fig4_fast_warm_with_jobs, fig4_finish, fig4_warm_fork_with_jobs, fig4_warm_state,
+    fig4_with_jobs, Fig4, Fig4Point, Fig4WarmState,
+};
 pub use fig5::{fig5, Fig5, Fig5Bar};
 pub use fig6::{fig6, Fig6, Fig6Phase};
+pub use gear::{fast_forward_study, FastForwardRow, FastForwardStudy, FAST_FORWARD_QUANTA};
 pub use many_to_many::{many_to_many, many_to_many_with_jobs, ManyToMany, ManyToManyRow};
 pub use many_to_one::{many_to_one, ManyToOne, ManyToOneRow};
 pub use noc_outlook::{noc_outlook, NocOutlook, NocOutlookRow};

@@ -35,6 +35,8 @@ static PAR_RETICKED: AtomicU64 = AtomicU64::new(0);
 static PAR_FALLBACK_FAULTS: AtomicU64 = AtomicU64::new(0);
 static PAR_FALLBACK_AUDIT: AtomicU64 = AtomicU64::new(0);
 static PAR_FALLBACK_SMALL: AtomicU64 = AtomicU64::new(0);
+static FF_WINDOWS: AtomicU64 = AtomicU64::new(0);
+static FF_ELIDED: AtomicU64 = AtomicU64::new(0);
 
 /// Why a parallel-enabled edge ran the serial path instead. Fallbacks are
 /// never silent: each increments its own counter, visible in snapshots.
@@ -76,6 +78,13 @@ pub struct ActivitySnapshot {
     pub par_fallback_audit: u64,
     /// Parallel-enabled edges that fell back for lack of eligible work.
     pub par_fallback_small: u64,
+    /// Fast-forward windows processed in the loosely-timed gear (one per
+    /// component per scheduling batch that was not skipped whole).
+    pub ff_windows: u64,
+    /// Component cycles covered by fast-forward windows but *not* executed:
+    /// elided by `FastCtx::sleep_until` or the fallback's runnability seeks.
+    /// The loosely-timed gear's saving, in ticks.
+    pub ff_elided: u64,
 }
 
 impl ActivitySnapshot {
@@ -97,6 +106,8 @@ impl ActivitySnapshot {
             par_fallback_small: self
                 .par_fallback_small
                 .wrapping_sub(earlier.par_fallback_small),
+            ff_windows: self.ff_windows.wrapping_sub(earlier.ff_windows),
+            ff_elided: self.ff_elided.wrapping_sub(earlier.ff_elided),
         }
     }
 }
@@ -113,6 +124,8 @@ pub fn snapshot() -> ActivitySnapshot {
         par_fallback_faults: PAR_FALLBACK_FAULTS.load(Ordering::Relaxed),
         par_fallback_audit: PAR_FALLBACK_AUDIT.load(Ordering::Relaxed),
         par_fallback_small: PAR_FALLBACK_SMALL.load(Ordering::Relaxed),
+        ff_windows: FF_WINDOWS.load(Ordering::Relaxed),
+        ff_elided: FF_ELIDED.load(Ordering::Relaxed),
     }
 }
 
@@ -136,6 +149,19 @@ pub(crate) fn record_parallel_edge(computed: u64, reticked: u64) {
     PAR_COMPUTED.fetch_add(computed, Ordering::Relaxed);
     if reticked != 0 {
         PAR_RETICKED.fetch_add(reticked, Ordering::Relaxed);
+    }
+}
+
+/// Records one fast-gear scheduling batch: `windows` component windows
+/// processed, of which `elided` covered cycles were slept or seeked over
+/// instead of executed.
+#[inline]
+pub(crate) fn record_fast(windows: u64, elided: u64) {
+    if windows != 0 {
+        FF_WINDOWS.fetch_add(windows, Ordering::Relaxed);
+    }
+    if elided != 0 {
+        FF_ELIDED.fetch_add(elided, Ordering::Relaxed);
     }
 }
 

@@ -51,6 +51,7 @@ pub mod activity;
 mod clock;
 mod component;
 mod error;
+mod fast;
 pub mod fault;
 mod link;
 mod parallel;
@@ -67,12 +68,13 @@ pub use activity::{ActivitySnapshot, ParFallback};
 pub use clock::ClockDomain;
 pub use component::{Component, ComponentId, TickContext};
 pub use error::{SimError, SimResult};
+pub use fast::FastCtx;
 pub use fault::{FaultAccess, FaultCounts, FaultEngine, FaultKind, FaultSchedule};
 pub use link::{Link, LinkAccess, LinkId, LinkPool};
 pub use rng::{RngAccess, SplitMix64};
 pub use sim::{
-    dense_default, set_dense_default, set_tick_jobs_default, tick_jobs_default, RunOutcome,
-    Simulation,
+    dense_default, fidelity_default, set_dense_default, set_fidelity_default,
+    set_tick_jobs_default, tick_jobs_default, Fidelity, RunOutcome, Simulation,
 };
 pub use snapshot::{
     Snapshot, SnapshotBlob, SnapshotError, SnapshotPayload, StateReader, StateWriter,

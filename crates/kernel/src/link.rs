@@ -142,6 +142,17 @@ pub struct LinkPool<T> {
     /// Maintained count of payloads queued across all links, so quiescence
     /// checks are O(1) instead of a scan (updated on every push and pop).
     queued: usize,
+    /// Extra admission slots granted on every link beyond its physical
+    /// capacity — the loosely-timed gear's bandwidth-based contention
+    /// approximation. Within a fast window only one component runs at a
+    /// time, so a consumer that would have drained the wire concurrently
+    /// cannot; the slack (quantum − 1, i.e. the payloads a one-per-cycle
+    /// consumer could have accepted during the window) keeps producers from
+    /// being throttled to `capacity` payloads per window. Zero in
+    /// [`Fidelity::Cycle`](crate::Fidelity) gear and at `quantum = 1`, so
+    /// the cycle-accurate contract is exact. Derived from the gear — never
+    /// serialized, untouched by restore.
+    slack: usize,
     /// `watchers[link] = slots to wake when a payload is pushed onto it`
     /// (sparse-ticking wake-on-delivery). Indexed lazily: links registered
     /// after the last `watch` call simply have no watchers yet.
@@ -160,7 +171,18 @@ impl<T> LinkPool<T> {
             queued: 0,
             watchers: Vec::new(),
             wakes: Vec::new(),
+            slack: 0,
         }
+    }
+
+    /// Sets the admission slack applied on top of every link's capacity
+    /// (the fast gear's occupancy-based contention approximation). The
+    /// executor keeps this equal to `quantum − 1` while the fast gear is
+    /// engaged and resets it to zero on a shift to cycle gear; queues left
+    /// over-full by a downshift simply refuse further pushes until they
+    /// drain below their physical capacity.
+    pub(crate) fn set_slack(&mut self, slack: usize) {
+        self.slack = slack;
     }
 
     /// Registers a new link and returns its id.
@@ -197,7 +219,8 @@ impl<T> LinkPool<T> {
 
     /// Whether a push would currently succeed.
     pub fn can_push(&self, id: LinkId) -> bool {
-        !self.links[id.index()].is_full()
+        let link = &self.links[id.index()];
+        link.queue.len() < link.capacity.saturating_add(self.slack)
     }
 
     /// Pushes a payload, to be delivered at `now + latency`.
@@ -222,8 +245,9 @@ impl<T> LinkPool<T> {
     ///
     /// Returns [`SimError::LinkFull`] if no slot is free.
     pub fn push_after(&mut self, id: LinkId, now: Time, extra: Time, payload: T) -> SimResult<()> {
+        let slack = self.slack;
         let link = &mut self.links[id.index()];
-        if link.is_full() {
+        if link.queue.len() >= link.capacity.saturating_add(slack) {
             return Err(SimError::LinkFull { link: id });
         }
         link.integrate(now);
@@ -297,6 +321,40 @@ impl<T> LinkPool<T> {
             self.wakes.resize(slot as usize + 1, u64::MAX);
         }
         self.wakes[slot as usize] = wake;
+    }
+
+    /// Earliest queued delivery (ps) across `watched` links, or `u64::MAX`
+    /// if all queues are empty. Same derivation as
+    /// [`recompute_wake`](Self::recompute_wake), without storing it — used
+    /// by the fast-forward window executor, whose in-window wake state is
+    /// transient.
+    #[inline]
+    pub(crate) fn earliest_head(&self, watched: &[LinkId]) -> u64 {
+        let mut wake = u64::MAX;
+        for id in watched {
+            if let Some((at, _)) = self.links[id.index()].queue.front() {
+                wake = wake.min(at.as_ps());
+            }
+        }
+        wake
+    }
+
+    /// Earliest queued delivery (ps) across `watched` links that lands
+    /// *strictly after* `t_ps`, or `u64::MAX` if none. Queues are ordered by
+    /// delivery time, so each link is a binary search. This is the
+    /// "new-input" wake used by [`FastCtx::sleep_until`](crate::FastCtx):
+    /// payloads already deliverable at `t_ps` were visible to the component
+    /// when it chose to sleep and must not rouse it again.
+    pub(crate) fn earliest_head_after(&self, watched: &[LinkId], t_ps: u64) -> u64 {
+        let mut wake = u64::MAX;
+        for id in watched {
+            let queue = &self.links[id.index()].queue;
+            let pos = queue.partition_point(|(at, _)| at.as_ps() <= t_ps);
+            if let Some((at, _)) = queue.get(pos) {
+                wake = wake.min(at.as_ps());
+            }
+        }
+        wake
     }
 
     /// Peeks the head payload if it has been delivered by `now`.

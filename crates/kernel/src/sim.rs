@@ -36,6 +36,7 @@
 use crate::clock::ClockDomain;
 use crate::component::{Component, ComponentId, TickContext};
 use crate::error::{SimError, SimResult};
+use crate::fast::FastCtx;
 use crate::fault::{apply_fault_ops, FaultCounts, FaultEngine, FaultSchedule};
 use crate::link::{apply_link_ops, validate_link_ops, LinkId, LinkPool};
 use crate::parallel::{Done, EdgeCtx, Job, Unit, WorkerPool};
@@ -44,7 +45,7 @@ use crate::stats::{apply_stat_ops, StatsRegistry};
 use crate::time::{Cycles, Time};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Process-wide default for newly constructed simulations: `true` forces the
@@ -79,6 +80,82 @@ pub fn tick_jobs_default() -> usize {
     TICK_JOBS_DEFAULT.load(Ordering::Relaxed)
 }
 
+/// Execution fidelity of a [`Simulation`]: the gear it runs in.
+///
+/// `Cycle` is the classic cycle-accurate schedule. `Fast { quantum }` is the
+/// loosely-timed gear: each scheduling batch hands every fired component a
+/// *window* of up to `quantum` consecutive edges of its clock domain and
+/// advances it through the whole window at once (see
+/// [`FastCtx`](crate::FastCtx)). Windows are aligned to absolute edge-index
+/// multiples of the quantum and clamped to the run horizon, so window
+/// boundaries — and therefore gear-shift points — are deterministic and
+/// land on checkpointable edges regardless of how a run was chunked,
+/// restored or resumed.
+///
+/// The gear is an execution *strategy*, not simulation state: it is not part
+/// of snapshots (like the dense/sparse choice and the tick-job count), and
+/// `Fast { quantum: 1 }` is byte-identical to `Cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Cycle-accurate: one edge per scheduling step, per-edge arbitration.
+    #[default]
+    Cycle,
+    /// Loosely-timed: windows of up to `quantum` edges with window-granular
+    /// cross-component visibility (temporal decoupling). Per-hop timing
+    /// error is bounded by roughly one quantum of the producer's clock;
+    /// `quantum` 0 is treated as 1.
+    Fast {
+        /// Window length in edges of each component's own clock domain.
+        quantum: u64,
+    },
+}
+
+impl Fidelity {
+    /// Default window length of the fast gear — the published
+    /// speedup-vs-error trade-off point.
+    pub const DEFAULT_QUANTUM: u64 = 64;
+
+    /// The fast gear at the default quantum.
+    pub fn fast() -> Self {
+        Fidelity::Fast {
+            quantum: Self::DEFAULT_QUANTUM,
+        }
+    }
+
+    /// The effective window length (1 for `Cycle`).
+    pub fn quantum(self) -> u64 {
+        match self {
+            Fidelity::Cycle => 1,
+            Fidelity::Fast { quantum } => quantum.max(1),
+        }
+    }
+}
+
+/// Process-wide default fidelity for simulations constructed afterwards,
+/// encoded as a quantum (0 = `Cycle`). Mirrors `DENSE_DEFAULT`: harness
+/// flags (`repro --fast-gear N`) set it once and every platform built later
+/// picks it up in [`Simulation::with_seed`].
+static FIDELITY_DEFAULT_QUANTUM: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the process-wide default execution fidelity (the `--fast-gear N`
+/// knob). Existing simulations are unaffected; see
+/// [`Simulation::set_fidelity`].
+pub fn set_fidelity_default(fidelity: Fidelity) {
+    let quantum = match fidelity {
+        Fidelity::Cycle => 0,
+        Fidelity::Fast { quantum } => quantum.max(1),
+    };
+    FIDELITY_DEFAULT_QUANTUM.store(quantum, Ordering::Relaxed);
+}
+
+/// Reads the process-wide default execution fidelity.
+pub fn fidelity_default() -> Fidelity {
+    match FIDELITY_DEFAULT_QUANTUM.load(Ordering::Relaxed) {
+        0 => Fidelity::Cycle,
+        quantum => Fidelity::Fast { quantum },
+    }
+}
+
 struct Slot<T> {
     /// The component itself. `None` only transiently, while the component is
     /// checked out to a compute worker during a parallel edge.
@@ -104,6 +181,8 @@ struct Slot<T> {
     edge_base: u64,
     /// Cached [`Component::parallel_safe`] (read once at registration).
     par_ok: bool,
+    /// Cached [`Component::fast_forward_safe`] (read once at registration).
+    ff_ok: bool,
 }
 
 impl<T> Slot<T> {
@@ -146,6 +225,9 @@ struct DomainBucket {
     /// Registration indices, ascending (members are appended in
     /// registration order and never reordered).
     members: Vec<u32>,
+    /// Scratch: window length (edges) of the current fast-gear batch.
+    /// Recomputed per batch; never serialized.
+    fast_win: u64,
 }
 
 /// Why a bounded run returned.
@@ -209,6 +291,9 @@ pub struct Simulation<T> {
     total_ticks: u64,
     /// `true` disables sparse ticking for this simulation.
     dense: bool,
+    /// Execution gear: cycle-accurate or loosely-timed windows. See
+    /// [`Simulation::set_fidelity`].
+    fidelity: Fidelity,
     /// When set (see [`Simulation::enable_skip_audit`]), would-be-skipped
     /// ticks are executed anyway and byte-compared against the idle
     /// contract. Stored as a function pointer so the `SnapshotPayload`
@@ -247,7 +332,7 @@ impl<T> Simulation<T> {
 
     /// Creates an empty simulation whose RNG is seeded with `seed`.
     pub fn with_seed(seed: u64) -> Self {
-        Simulation {
+        let mut sim = Simulation {
             time: Time::ZERO,
             slots: Vec::new(),
             buckets: Vec::new(),
@@ -258,6 +343,7 @@ impl<T> Simulation<T> {
             edges: 0,
             total_ticks: 0,
             dense: dense_default(),
+            fidelity: fidelity_default(),
             audit: None,
             tick_jobs: 1,
             par_exec: None,
@@ -269,7 +355,12 @@ impl<T> Simulation<T> {
             stats: StatsRegistry::new(),
             rng: SplitMix64::new(seed),
             faults: FaultEngine::new(),
-        }
+        };
+        // Re-apply the gear so the link pool's admission slack matches a
+        // process-wide fast default (`set_fidelity_default`).
+        let fidelity = sim.fidelity;
+        sim.set_fidelity(fidelity);
+        sim
     }
 
     /// Arms the fault engine with `schedule` for this simulation's run.
@@ -315,6 +406,7 @@ impl<T> Simulation<T> {
             }
         }
         let par_ok = component.parallel_safe();
+        let ff_ok = component.fast_forward_safe();
         // Join the bucket with the same domain and the same pending edge;
         // otherwise open a new one (and give it a heap entry).
         let bucket;
@@ -336,6 +428,7 @@ impl<T> Simulation<T> {
                 next_edge: next_tick,
                 edge_index: 0,
                 members: vec![index],
+                fast_win: 0,
             });
             self.heap.push(Reverse((next_tick, bucket)));
         }
@@ -351,6 +444,7 @@ impl<T> Simulation<T> {
             bucket,
             edge_base,
             par_ok,
+            ff_ok,
         });
         self.merge_cache.clear();
         id
@@ -434,6 +528,51 @@ impl<T> Simulation<T> {
         self.dense
     }
 
+    /// Selects the execution gear: [`Fidelity::Cycle`] (the default) or the
+    /// loosely-timed [`Fidelity::Fast`] windows.
+    ///
+    /// The gear may be shifted at any scheduling boundary — in particular,
+    /// after a bounded run ([`run_until`](Simulation::run_until) /
+    /// [`run_to_quiescence`](Simulation::run_to_quiescence)) every clock
+    /// domain's next edge lies strictly past the horizon exactly as it would
+    /// under `Cycle`, so a fast-forwarded prefix lands on a checkpointable
+    /// boundary with an unchanged
+    /// [`structural_fingerprint`](Simulation::structural_fingerprint), and
+    /// shifting down to `Cycle` there is deterministic.
+    ///
+    /// `Fast { quantum: 1 }` is byte-identical to `Cycle` (windows degenerate
+    /// to single edges and [`FastCtx::sleep_until`](crate::FastCtx) becomes
+    /// a no-op). Composition: skip-audit mode forces the cycle-accurate path
+    /// (its byte-comparisons are per-edge by definition), and fast windows
+    /// always run serially — a `set_tick_jobs` request stays dormant while
+    /// the fast gear is engaged (parallel commit is bit-identical to serial,
+    /// so results are unaffected).
+    pub fn set_fidelity(&mut self, fidelity: Fidelity) {
+        self.fidelity = match fidelity {
+            Fidelity::Fast { quantum } => Fidelity::Fast {
+                quantum: quantum.max(1),
+            },
+            Fidelity::Cycle => Fidelity::Cycle,
+        };
+        // Bandwidth-based approximate contention: while fast-forwarding,
+        // every link admits `quantum − 1` payloads beyond its physical
+        // capacity — the number a one-per-cycle consumer could have drained
+        // concurrently during the window it cannot run in. Without the
+        // slack, cross-window back-pressure throttles every producer to
+        // `capacity` payloads per window and the loosely-timed run's
+        // simulated length inflates instead of its wall-clock shrinking.
+        // Zero at `quantum = 1`, so the byte-identity contract is untouched.
+        self.links.set_slack(match self.fidelity {
+            Fidelity::Fast { quantum } => usize::try_from(quantum - 1).unwrap_or(usize::MAX),
+            Fidelity::Cycle => 0,
+        });
+    }
+
+    /// The current execution gear.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
     /// Whether `slot` would tick on an edge at `now_ps` under the sparse
     /// rule: opted-in components sleep unless a watched link has a pending
     /// delivery at or before the edge, or their declared deadline is due.
@@ -448,12 +587,32 @@ impl<T> Simulation<T> {
 
     /// Advances to the next edge and ticks every component scheduled there
     /// (every *runnable* component under sparse ticking; edges themselves
-    /// are never skipped).
+    /// are never skipped). In [`Fidelity::Fast`] gear one step processes a
+    /// whole quantum-aligned *window* of edges per fired clock domain.
     ///
-    /// Returns the edge time, or `None` when no components exist.
+    /// Returns the (first) edge time, or `None` when no components exist.
     pub fn step(&mut self) -> Option<Time> {
+        self.step_bounded(None)
+    }
+
+    /// One scheduling batch, with fast-gear windows clamped so no edge past
+    /// `limit` is processed (the bounded-run entry point; `None` leaves
+    /// windows at their quantum alignment). Skip-audit mode forces the
+    /// cycle-accurate path — its byte-comparisons are per-edge by
+    /// definition.
+    fn step_bounded(&mut self, limit: Option<Time>) -> Option<Time> {
+        match self.fidelity {
+            Fidelity::Fast { quantum } if self.audit.is_none() => {
+                self.step_fast(limit, quantum.max(1))
+            }
+            _ => self.step_cycle(),
+        }
+    }
+
+    /// Pops the earliest pending edge plus every bucket coincident with it
+    /// into `self.fired`. Returns the edge time.
+    fn pop_fired(&mut self) -> Option<Time> {
         let Reverse((edge, first)) = self.heap.pop()?;
-        self.time = edge;
         self.fired.clear();
         self.fired.push(first);
         while let Some(&Reverse((t, b))) = self.heap.peek() {
@@ -463,11 +622,16 @@ impl<T> Simulation<T> {
             self.heap.pop();
             self.fired.push(b);
         }
-        // Borrow the edge's tick order by value (returned below) so the
-        // tick pass — serial or parallel — can take `&mut self` freely. No
-        // copies: a single-bucket edge lends its member list, a coincident
-        // edge lends the cached merged order.
-        let (order, src) = if self.fired.len() == 1 {
+        Some(edge)
+    }
+
+    /// Borrows the fired edge's tick order by value (returned via
+    /// [`return_order`](Self::return_order)) so the tick pass — serial,
+    /// parallel or fast — can take `&mut self` freely. No copies: a
+    /// single-bucket edge lends its member list, a coincident edge lends the
+    /// cached merged order.
+    fn borrow_order(&mut self) -> (Vec<u32>, OrderSrc) {
+        if self.fired.len() == 1 {
             // Hot path: a single domain fires; its member list is already
             // in registration order.
             let b = self.fired[0] as usize;
@@ -508,15 +672,26 @@ impl<T> Simulation<T> {
                 std::mem::take(&mut self.merge_cache[pos].1),
                 OrderSrc::Cache(pos),
             )
-        };
-        let (ticked, skipped) = match self.par_exec {
-            Some(par) => par(self, &order, edge),
-            None => self.serial_pass(&order, edge),
-        };
+        }
+    }
+
+    fn return_order(&mut self, order: Vec<u32>, src: OrderSrc) {
         match src {
             OrderSrc::Bucket(b) => self.buckets[b].members = order,
             OrderSrc::Cache(pos) => self.merge_cache[pos].1 = order,
         }
+    }
+
+    /// The cycle-accurate scheduling step (one edge instant).
+    fn step_cycle(&mut self) -> Option<Time> {
+        let edge = self.pop_fired()?;
+        self.time = edge;
+        let (order, src) = self.borrow_order();
+        let (ticked, skipped) = match self.par_exec {
+            Some(par) => par(self, &order, edge),
+            None => self.serial_pass(&order, edge),
+        };
+        self.return_order(order, src);
         for f in 0..self.fired.len() {
             let b = self.fired[f] as usize;
             let next = edge + self.buckets[b].clock.period();
@@ -528,6 +703,186 @@ impl<T> Simulation<T> {
         self.total_ticks += ticked;
         crate::activity::record_edge(ticked, skipped);
         Some(edge)
+    }
+
+    /// The loosely-timed scheduling step: every fired bucket processes a
+    /// *window* of consecutive edges instead of one.
+    ///
+    /// Window lengths are `quantum - (edge_index % quantum)` — i.e. windows
+    /// end on absolute edge-index multiples of the quantum, so boundaries do
+    /// not depend on where a run was chunked, checkpointed or gear-shifted —
+    /// additionally clamped so the window never crosses `limit`. After the
+    /// batch every bucket's `next_edge`/`edge_index` are exactly what a
+    /// cycle run would hold after the same edges, which is what makes any
+    /// bounded-run horizon a deterministic gear-shift point.
+    fn step_fast(&mut self, limit: Option<Time>, quantum: u64) -> Option<Time> {
+        let edge = self.pop_fired()?;
+        self.time = edge;
+        let mut batch_edges = 0u64;
+        let mut last_ps = edge.as_ps();
+        for f in 0..self.fired.len() {
+            let b = self.fired[f] as usize;
+            let bucket = &mut self.buckets[b];
+            let mut n = quantum - (bucket.edge_index % quantum);
+            if let Some(h) = limit {
+                // Edges at edge, edge+P, ..., up to and including `h`:
+                // caller guarantees edge <= h.
+                let span = (h.as_ps() - edge.as_ps()) / bucket.clock.period().as_ps();
+                n = n.min(span + 1);
+            }
+            bucket.fast_win = n;
+            batch_edges = batch_edges.max(n);
+            last_ps = last_ps.max(edge.as_ps() + bucket.clock.period().as_ps() * (n - 1));
+        }
+        let (order, src) = self.borrow_order();
+        let (ticked, skipped, windows, elided) = self.fast_pass(&order, edge);
+        self.return_order(order, src);
+        for f in 0..self.fired.len() {
+            let b = self.fired[f] as usize;
+            let n = self.buckets[b].fast_win;
+            let next = Time::from_ps(edge.as_ps() + self.buckets[b].clock.period().as_ps() * n);
+            self.buckets[b].next_edge = next;
+            self.buckets[b].edge_index += n;
+            self.heap.push(Reverse((next, self.fired[f])));
+        }
+        // Batches of different buckets may interleave in time (windows of a
+        // slower clock outlast the next edge of a faster one) — inherent to
+        // temporal decoupling. `time` reports the last edge processed so
+        // quiescence observed mid-batch is stamped where it was drained.
+        self.time = Time::from_ps(last_ps);
+        self.edges += batch_edges;
+        self.total_ticks += ticked;
+        crate::activity::record_edge(ticked, skipped);
+        crate::activity::record_fast(windows, elided);
+        Some(edge)
+    }
+
+    /// Advances every component of `order` through its bucket's window, in
+    /// order. Returns `(ticked, skipped, windows, elided)`: executed ticks,
+    /// window-cycles skipped whole by the sparse wake check, windows
+    /// processed, and in-window cycles elided by fast-forward sleeps and the
+    /// fallback's runnability seeks.
+    fn fast_pass(&mut self, order: &[u32], edge: Time) -> (u64, u64, u64, u64) {
+        let start_ps = edge.as_ps();
+        let dense = self.dense;
+        let mut ticked = 0u64;
+        let mut skipped = 0u64;
+        let mut windows = 0u64;
+        let mut elided = 0u64;
+        for &raw in order {
+            let i = raw as usize;
+            let b = self.slots[i].bucket as usize;
+            let n = self.buckets[b].fast_win;
+            let end_ps = start_ps + self.buckets[b].clock.period().as_ps() * (n - 1);
+            let slot = &self.slots[i];
+            // Whole-window sparse skip: no due deadline and no watched
+            // delivery anywhere in the window. At quantum 1 this is exactly
+            // `!slot_runnable`.
+            if !dense
+                && slot.watched.is_some()
+                && slot.timer > end_ps
+                && self.links.wake_of(raw) > end_ps
+            {
+                skipped += n;
+                continue;
+            }
+            let executed = self.fast_slot(i, edge, n);
+            ticked += executed;
+            windows += 1;
+            elided += n - executed;
+        }
+        (ticked, skipped, windows, elided)
+    }
+
+    /// Runs one component's fast-forward window of `n` edges starting at
+    /// `start`. Opted-in components get the whole window through their
+    /// [`Component::fast_forward`] hook; everything else is advanced by the
+    /// conservative kernel fallback — an exact per-edge replay of
+    /// [`Component::tick`] honouring the sparse wake conditions within the
+    /// window. Returns the number of ticks executed.
+    fn fast_slot(&mut self, index: usize, start: Time, n: u64) -> u64 {
+        let cycle = self.cycle_of(index);
+        let period = self.buckets[self.slots[index].bucket as usize]
+            .clock
+            .period();
+        let dense = self.dense;
+        let Simulation {
+            slots,
+            links,
+            stats,
+            rng,
+            faults,
+            busy,
+            ..
+        } = self;
+        let slot = &mut slots[index];
+        let initial_timer = slot.timer;
+        let ff_ok = slot.ff_ok;
+        let watched = slot.watched.as_deref();
+        let comp = slot
+            .component
+            .as_deref_mut()
+            .expect("component checked out to a compute worker");
+        let mut ctx = FastCtx::new(
+            start,
+            period,
+            Cycles::new(cycle),
+            n,
+            watched,
+            links,
+            stats,
+            rng,
+            faults,
+        );
+        if ff_ok {
+            comp.fast_forward(&mut ctx);
+        } else if watched.is_none() || dense {
+            // Dense semantics: every edge of the window ticks.
+            while let Some(mut tc) = ctx.next_edge() {
+                comp.tick(&mut tc);
+            }
+        } else {
+            // Sparse semantics, window-local: seek to the next edge where
+            // the component's deadline is due or a watched payload is
+            // pending, exactly as the cycle-accurate sparse schedule would
+            // decide given the window-frozen link state. The first
+            // evaluation uses the slot's cached timer (which starts at 0 to
+            // force a component's very first tick).
+            let mut timer = initial_timer;
+            loop {
+                let due = timer.min(ctx.earliest_watched_head());
+                if !ctx.seek(due) {
+                    break;
+                }
+                let Some(mut tc) = ctx.next_edge() else { break };
+                comp.tick(&mut tc);
+                timer = comp.next_activity().map_or(u64::MAX, Time::as_ps);
+            }
+        }
+        let executed = ctx.executed();
+        // `ctx`'s borrows end here; post-window bookkeeping (the
+        // window-granular `post_tick`) follows.
+        if executed > 0 {
+            slot.ticks += executed;
+            let comp = slot
+                .component
+                .as_deref()
+                .expect("component checked out to a compute worker");
+            let idle = comp.is_idle();
+            if idle != slot.idle {
+                slot.idle = idle;
+                if idle {
+                    *busy -= 1;
+                } else {
+                    *busy += 1;
+                }
+            }
+            if let Some(watched) = &slot.watched {
+                slot.timer = comp.next_activity().map_or(u64::MAX, Time::as_ps);
+                links.recompute_wake(index as u32, watched);
+            }
+        }
+        executed
     }
 
     /// Ticks every runnable component of `order`, in order — the serial
@@ -605,12 +960,17 @@ impl<T> Simulation<T> {
     }
 
     /// Runs all edges up to and including `horizon`.
+    ///
+    /// In [`Fidelity::Fast`] gear windows are clamped at the horizon, so the
+    /// run ends with every clock domain's schedule (next edge, edge index)
+    /// exactly where a cycle-accurate run would leave it — `horizon` is a
+    /// deterministic gear-shift and checkpoint boundary.
     pub fn run_until(&mut self, horizon: Time) {
         while let Some(next) = self.next_edge() {
             if next > horizon {
                 break;
             }
-            self.step();
+            self.step_bounded(Some(horizon));
         }
     }
 
@@ -640,7 +1000,7 @@ impl<T> Simulation<T> {
             }
             match self.next_edge() {
                 Some(next) if next <= horizon => {
-                    self.step();
+                    self.step_bounded(Some(horizon));
                 }
                 _ => return RunOutcome::HorizonReached { at: self.time },
             }
@@ -2116,5 +2476,164 @@ mod tests {
             delta.par_reticked >= 1,
             "the registration edge must re-run serially"
         );
+    }
+
+    /// Fast-forward opt-in echo: pops one payload per cycle and answers on
+    /// its output; sleeps windows via its think deadline when drained.
+    struct FfEcho {
+        input: LinkId,
+        out: LinkId,
+        echoed: u64,
+    }
+    impl crate::snapshot::Snapshot for FfEcho {
+        fn save(&self, w: &mut crate::snapshot::StateWriter) {
+            w.write_u64(self.echoed);
+        }
+        fn restore(&mut self, r: &mut crate::snapshot::StateReader<'_>) {
+            self.echoed = r.read_u64();
+        }
+    }
+    impl Component<u64> for FfEcho {
+        fn name(&self) -> &str {
+            "ffecho"
+        }
+        fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+            if ctx.links.can_push(self.out) {
+                if let Some(v) = ctx.links.pop(self.input, ctx.time) {
+                    ctx.links.push(self.out, ctx.time, v).unwrap();
+                    self.echoed += 1;
+                }
+            }
+        }
+        fn watched_links(&self) -> Option<Vec<LinkId>> {
+            Some(vec![self.input])
+        }
+        fn fast_forward_safe(&self) -> bool {
+            true
+        }
+        fn fast_forward(&mut self, ctx: &mut crate::FastCtx<'_, u64>) {
+            while let Some(mut tc) = ctx.next_edge() {
+                self.tick(&mut tc);
+                if !ctx.has_deliverable(self.input) || !ctx.can_push(self.out) {
+                    // Drained (or output-blocked): only new input — or a
+                    // cross-window capacity release — can make the next
+                    // tick do work.
+                    ctx.sleep_until(None);
+                }
+            }
+        }
+    }
+
+    fn gear_pipeline_sim(fidelity: Fidelity) -> Simulation<u64> {
+        let mut sim: Simulation<u64> = Simulation::with_seed(11);
+        sim.set_fidelity(fidelity);
+        let clk_a = ClockDomain::from_mhz(100);
+        let clk_b = ClockDomain::from_mhz(133);
+        let ab = sim.links_mut().add_link("ab", 16, clk_a.period());
+        let bc = sim.links_mut().add_link("bc", 16, clk_b.period());
+        sim.add_component(
+            Box::new(SparseProducer {
+                out: ab,
+                budget: 16,
+                sent: 0,
+                gap: Time::from_ns(35),
+                next_at: Time::ZERO,
+            }),
+            clk_a,
+        );
+        sim.add_component(
+            Box::new(FfEcho {
+                input: ab,
+                out: bc,
+                echoed: 0,
+            }),
+            clk_b,
+        );
+        sim.add_component(
+            Box::new(SparseConsumer {
+                input: bc,
+                received: Vec::new(),
+            }),
+            clk_a,
+        );
+        sim
+    }
+
+    #[test]
+    fn fast_quantum_one_is_byte_identical_to_cycle() {
+        let mut cycle = gear_pipeline_sim(Fidelity::Cycle);
+        let mut fast = gear_pipeline_sim(Fidelity::Fast { quantum: 1 });
+        let horizon = Time::from_us(10);
+        let tc = cycle.run_to_quiescence_strict(horizon).unwrap();
+        let tf = fast.run_to_quiescence_strict(horizon).unwrap();
+        assert_eq!(tc, tf);
+        assert_eq!(cycle.edges_processed(), fast.edges_processed());
+        assert_eq!(received_log(&mut cycle), received_log(&mut fast));
+        assert_eq!(
+            cycle.checkpoint().as_bytes(),
+            fast.checkpoint().as_bytes(),
+            "quantum 1 must be byte-identical to the cycle gear"
+        );
+    }
+
+    #[test]
+    fn fast_gear_drains_the_pipeline_and_elides_ticks() {
+        let before = crate::activity::snapshot();
+        let mut fast = gear_pipeline_sim(Fidelity::fast());
+        fast.run_to_quiescence_strict(Time::from_us(10))
+            .expect("fast gear must preserve drainage");
+        let delta = crate::activity::snapshot().since(before);
+        let mut cycle = gear_pipeline_sim(Fidelity::Cycle);
+        cycle.run_to_quiescence_strict(Time::from_us(10)).unwrap();
+        // Same payloads in the same order; delivery instants may be
+        // window-quantized.
+        let got: Vec<u64> = received_log(&mut fast).iter().map(|(_, v)| *v).collect();
+        let want: Vec<u64> = received_log(&mut cycle).iter().map(|(_, v)| *v).collect();
+        assert_eq!(got, want);
+        assert!(delta.ff_windows > 0, "windows must have been processed");
+        assert!(
+            delta.ff_elided > 0,
+            "sleeps and seeks must elide in-window cycles"
+        );
+    }
+
+    #[test]
+    fn fast_windows_clamp_at_the_horizon() {
+        let mut fast = gear_pipeline_sim(Fidelity::Fast { quantum: 64 });
+        let mut cycle = gear_pipeline_sim(Fidelity::Cycle);
+        let horizon = Time::from_ns(333);
+        fast.run_until(horizon);
+        cycle.run_until(horizon);
+        assert!(fast.time() <= horizon, "no edge past the horizon");
+        // The *schedule* (which is state-independent) must land exactly
+        // where the cycle gear leaves it: same pending edge per domain,
+        // same last processed edge. (`edges_processed` counts scheduling
+        // batches covering windows, so it is smaller at quantum > 1.)
+        assert_eq!(fast.next_edge(), cycle.next_edge());
+        assert_eq!(fast.time(), cycle.time());
+        assert!(fast.edges_processed() <= cycle.edges_processed());
+    }
+
+    #[test]
+    fn gear_shift_restores_to_a_bit_identical_checkpoint() {
+        // A fast warm prefix checkpointed at the horizon, restored onto a
+        // fresh cycle-gear twin, must resume deterministically: doing it
+        // twice yields byte-identical final checkpoints.
+        let run = || {
+            let mut warm = gear_pipeline_sim(Fidelity::Fast { quantum: 32 });
+            warm.run_until(Time::from_ns(250));
+            warm.set_fidelity(Fidelity::Cycle);
+            let blob = warm.checkpoint();
+            let mut tail = gear_pipeline_sim(Fidelity::Cycle);
+            tail.restore(&blob).expect("structural twin");
+            assert_eq!(
+                tail.checkpoint().as_bytes(),
+                blob.as_bytes(),
+                "restore must reproduce the gear-shift checkpoint bit-identically"
+            );
+            tail.run_to_quiescence_strict(Time::from_us(10)).unwrap();
+            tail.checkpoint()
+        };
+        assert_eq!(run().as_bytes(), run().as_bytes());
     }
 }

@@ -531,6 +531,25 @@ impl Component<Packet> for LmiController {
         // until the refresh actually fires, matching the dense schedule.
         Some(self.cycle_to_time(self.next_refresh_cycle))
     }
+
+    fn fast_forward_safe(&self) -> bool {
+        true
+    }
+
+    fn fast_forward(&mut self, ctx: &mut mpsoc_kernel::FastCtx<'_, Packet>) {
+        while let Some(mut tc) = ctx.next_edge() {
+            self.tick(&mut tc);
+            if !self.settled || !self.in_fifo.is_empty() || !self.pending.is_empty() {
+                // Busy controller ticks every edge, exactly like the cycle
+                // gear: drain ordering, engine pacing and fault probes all
+                // key off the per-edge cycle count.
+                continue;
+            }
+            // Idle: wake for the periodic auto-refresh (conservative-early,
+            // like `next_activity`); a new request is a watched delivery.
+            ctx.sleep_until(Some(self.cycle_to_time(self.next_refresh_cycle)));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -239,6 +239,27 @@ impl Component<Packet> for Router {
     // wake-on-delivery is the complete wake condition (an input blocked on a
     // busy or full output keeps its payload queued, which keeps the wake
     // due). `next_activity` stays `None`.
+
+    fn fast_forward_safe(&self) -> bool {
+        true
+    }
+
+    fn fast_forward(&mut self, ctx: &mut mpsoc_kernel::FastCtx<'_, Packet>) {
+        while let Some(mut tc) = ctx.next_edge() {
+            let now = tc.time;
+            self.tick(&mut tc);
+            // Queued input packets see no *new* delivery inside the window:
+            // bound the sleep by the earliest output-channel busy expiry.
+            // Full downstream wires free only across windows.
+            let mut wake = u64::MAX;
+            for &busy in &self.busy {
+                if busy > now {
+                    wake = wake.min(busy.as_ps());
+                }
+            }
+            ctx.sleep_until((wake != u64::MAX).then(|| Time::from_ps(wake)));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -779,6 +779,38 @@ impl Component<Packet> for StbusNode {
         }
         self.replays.iter().map(|e| e.deadline).min()
     }
+
+    fn fast_forward_safe(&self) -> bool {
+        true
+    }
+
+    fn fast_forward(&mut self, ctx: &mut mpsoc_kernel::FastCtx<'_, Packet>) {
+        while let Some(mut tc) = ctx.next_edge() {
+            let now = tc.time;
+            self.tick(&mut tc);
+            if !self.dead_letters.is_empty() {
+                // Dead letters wait on channel conditions that can free
+                // without a delivery: poll every edge, as the cycle gear
+                // does.
+                continue;
+            }
+            // A head-of-line request blocked on a busy channel sees no *new*
+            // delivery, so the sleep must be bounded by the earliest
+            // busy-until expiry; replay deadlines behave like
+            // `next_activity`. Requests blocked on a full output wire can
+            // only unblock across windows and need no deadline.
+            let mut wake = u64::MAX;
+            for &busy in self.req_busy.iter().chain(self.resp_busy.iter()) {
+                if busy > now {
+                    wake = wake.min(busy.as_ps());
+                }
+            }
+            for entry in &self.replays {
+                wake = wake.min(entry.deadline.as_ps());
+            }
+            ctx.sleep_until((wake != u64::MAX).then(|| Time::from_ps(wake)));
+        }
+    }
 }
 
 #[cfg(test)]

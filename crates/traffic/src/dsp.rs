@@ -448,6 +448,52 @@ impl Component<Packet> for DspCore {
             Some(Time::ZERO)
         }
     }
+
+    fn fast_forward_safe(&self) -> bool {
+        true
+    }
+
+    fn fast_forward(&mut self, ctx: &mut mpsoc_kernel::FastCtx<'_, Packet>) {
+        while let Some(mut tc) = ctx.next_edge() {
+            self.tick(&mut tc);
+            match self.state {
+                // A running core executes every edge: nothing to elide.
+                CoreState::Running => {}
+                CoreState::Stalled(_) => {
+                    // Execution halts until the matching response arrives on
+                    // the watched link (or, for a blocked write-back flush,
+                    // until wire space frees — which only happens across
+                    // windows). Elide the wait, bulk-crediting the stall
+                    // counter for the edges a stalled tick would have
+                    // counted; a blocked flush returns before the stall
+                    // count, so it credits nothing. Backlog already
+                    // deliverable drains one pop per edge, as in cycle gear.
+                    if ctx.has_deliverable(self.resp_in) {
+                        continue;
+                    }
+                    let credit = self.pending_writeback.is_none();
+                    let elided = ctx.sleep_until(None);
+                    if credit && elided > 0 {
+                        let name = &self.name;
+                        let stalls = *self.stall_ctr.get_or_insert_with(|| {
+                            ctx.stats_mut().counter(&format!("{name}.stall_cycles"))
+                        });
+                        ctx.stats_mut().inc(stalls, elided);
+                    }
+                }
+                CoreState::Finished => {
+                    if self.pending_writeback.is_some() && ctx.can_push(self.req_out) {
+                        // Dirty line evicted by the finishing access: flush
+                        // it next edge.
+                        continue;
+                    }
+                    // Waiting on write acks (watched) or wire space
+                    // (frees only across windows).
+                    ctx.sleep_until(None);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -677,6 +677,30 @@ impl Component<Packet> for IpTrafficGenerator {
         }
         earliest
     }
+
+    fn fast_forward_safe(&self) -> bool {
+        // Same constraint as `parallel_safe`: a capture recorder must see
+        // issues in global tick order, which window batching reorders.
+        self.issue_recorder.is_none()
+    }
+
+    fn fast_forward(&mut self, ctx: &mut mpsoc_kernel::FastCtx<'_, Packet>) {
+        while let Some(mut tc) = ctx.next_edge() {
+            self.tick(&mut tc);
+            if ctx.has_deliverable(self.resp_in) {
+                // Responses drain one per cycle: backlog keeps the
+                // generator ticking.
+                continue;
+            }
+            if ctx.can_push(self.req_out) {
+                ctx.sleep_until(self.next_activity());
+            } else {
+                // Blocked on a full request wire: space frees only across
+                // windows; a new response still bounds the sleep.
+                ctx.sleep_until(None);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

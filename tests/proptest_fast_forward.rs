@@ -1,0 +1,132 @@
+//! Differential gear oracle: across randomized platform shapes and seeds,
+//! the loosely-timed gear at `quantum = 1` must be **bit-identical** to the
+//! cycle-accurate gear — the degenerate window visits every edge in order,
+//! so temporal decoupling has nowhere to diverge — and a mid-run gear-shift
+//! back to `Cycle` must land on a state that checkpoints and restores
+//! bit-identically.
+//!
+//! The first property is the kernel's strongest regression guard for the
+//! fast gear: any approximation that leaks into the degenerate window
+//! (slack applied at `quantum = 1`, a reordered wake, a bulk-credited
+//! counter created at the wrong instant) shows up as a byte diff in the
+//! final checkpoint, not as a subtle table drift.
+
+use mpsoc_kernel::{Fidelity, Time};
+use mpsoc_memory::LmiConfig;
+use mpsoc_platform::{build_platform, MemorySystem, PlatformSpec, Topology, Workload};
+use mpsoc_protocol::ProtocolKind;
+use proptest::prelude::*;
+
+const HORIZON: Time = Time::from_ms(60);
+
+fn spec_from(
+    proto_idx: usize,
+    topo_idx: usize,
+    mem_idx: usize,
+    workload_idx: usize,
+    seed: u64,
+) -> PlatformSpec {
+    let protocol = [ProtocolKind::StbusT3, ProtocolKind::Ahb, ProtocolKind::Axi][proto_idx];
+    let topology = [
+        Topology::SingleLayer,
+        Topology::Collapsed,
+        Topology::Distributed,
+    ][topo_idx];
+    let memory = match mem_idx {
+        0 => MemorySystem::OnChip { wait_states: 1 },
+        1 => MemorySystem::OnChip { wait_states: 4 },
+        _ => MemorySystem::Lmi(LmiConfig::default()),
+    };
+    let workload = [Workload::Standard, Workload::BurstyPosted][workload_idx];
+    PlatformSpec {
+        protocol,
+        topology,
+        memory,
+        workload,
+        scale: 1,
+        seed,
+        ..PlatformSpec::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `Fast { quantum: 1 }` is the identity gear: same end instant, same
+    /// final checkpoint bytes, same rendered report as `Cycle`.
+    #[test]
+    fn quantum_one_is_byte_identical_to_cycle(
+        proto_idx in 0usize..3,
+        topo_idx in 0usize..3,
+        mem_idx in 0usize..3,
+        workload_idx in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        let spec = spec_from(proto_idx, topo_idx, mem_idx, workload_idx, seed);
+
+        let mut cycle = build_platform(&spec).expect("platform builds");
+        cycle.sim_mut().set_fidelity(Fidelity::Cycle);
+        let end = cycle
+            .sim_mut()
+            .run_to_quiescence_strict(HORIZON)
+            .expect("cycle run drains");
+        let cycle_blob = cycle.checkpoint();
+        let cycle_report = cycle.report_at(end).to_string();
+
+        let mut fast = build_platform(&spec).expect("platform builds");
+        fast.sim_mut().set_fidelity(Fidelity::Fast { quantum: 1 });
+        let end_fast = fast
+            .sim_mut()
+            .run_to_quiescence_strict(HORIZON)
+            .expect("fast run drains");
+
+        prop_assert_eq!(end_fast, end);
+        // The gear itself is runtime strategy, not state: shift back to
+        // Cycle so the checkpoints compare the simulated state alone.
+        fast.sim_mut().set_fidelity(Fidelity::Cycle);
+        let fast_blob = fast.checkpoint();
+        prop_assert_eq!(fast_blob.as_bytes(), cycle_blob.as_bytes());
+        prop_assert_eq!(fast.report_at(end_fast).to_string(), cycle_report);
+    }
+
+    /// A mid-run downshift is a clean seam: run loosely-timed to some
+    /// instant, shift to `Cycle`, checkpoint — restoring that blob into a
+    /// fresh cycle-gear platform and finishing the run must reproduce the
+    /// donor's own finish byte for byte.
+    #[test]
+    fn mid_run_gear_shift_restores_bit_identically(
+        proto_idx in 0usize..3,
+        topo_idx in 0usize..3,
+        mem_idx in 0usize..3,
+        workload_idx in 0usize..2,
+        seed in 0u64..10_000,
+        quantum in 1u64..128,
+        cut_us in 1u64..40,
+    ) {
+        let spec = spec_from(proto_idx, topo_idx, mem_idx, workload_idx, seed);
+
+        // Donor: loosely-timed prefix, downshift at the cut, checkpoint.
+        let mut donor = build_platform(&spec).expect("platform builds");
+        donor.sim_mut().set_fidelity(Fidelity::Fast { quantum });
+        donor.sim_mut().run_until(Time::from_us(cut_us));
+        donor.sim_mut().set_fidelity(Fidelity::Cycle);
+        let seam = donor.checkpoint();
+        let end = donor
+            .sim_mut()
+            .run_to_quiescence_strict(HORIZON)
+            .expect("donor run drains");
+        let donor_blob = donor.checkpoint();
+
+        // Restored: fresh cycle-gear platform, fed the seam blob.
+        let mut restored = build_platform(&spec).expect("platform builds");
+        restored.restore(&seam).expect("restore accepts the blob");
+        let end2 = restored
+            .sim_mut()
+            .run_to_quiescence_strict(HORIZON)
+            .expect("restored run drains");
+
+        prop_assert_eq!(end2, end);
+        let restored_blob = restored.checkpoint();
+        prop_assert_eq!(restored_blob.as_bytes(), donor_blob.as_bytes());
+    }
+}
