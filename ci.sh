@@ -1,162 +1,277 @@
 #!/usr/bin/env bash
 # Continuous-integration gate for the workspace.
 #
-#   ./ci.sh
+#   ./ci.sh            # every stage, in order
+#   ./ci.sh lint       # rustfmt, clippy (warnings are errors), rustdoc
+#   ./ci.sh test       # tier-1 release build + workspace tests + smoke runs
+#   ./ci.sh gates      # the equivalence/determinism gates + the server gate
+#   ./ci.sh bench      # bench guard vs the committed perf ledger
 #
-# Runs, in order:
-#   1. tier-1: release build + full test suite
-#   2. lint: rustfmt, clippy (warnings are errors), rustdoc
-#   3. smoke: one small end-to-end reproduction through the repro binary
-#   4. example smoke: build every example, run the quickstart and the
-#      trace-replay walkthroughs end to end
-#   5. determinism: the same experiment twice with one seed must emit
-#      byte-identical tables
-#   6. snapshot round trip: the checkpoint-forked fig4 sweep must emit the
-#      same table as the cold sweep, and the measured warm-fork speedup
-#      must clear the repro binary's floor
-#   7. sparse equivalence: the sparse active-set schedule (default) and the
-#      dense schedule (--dense escape hatch) must emit identical tables
-#   8. parallel equivalence: intra-edge parallel tick execution
-#      (--tick-jobs 4) must emit tables byte-identical to the serial run
-#   9. gear equivalence: the loosely-timed gear at quantum 1
-#      (--fast-gear 1) must emit tables byte-identical to cycle-accurate
-#  10. fast-forward floor: a live --fast-warm run must clear the repro
-#      binary's warm-phase speedup floor with a byte-identical q=1 sweep
-#  11. bench guard: scheduler throughput vs the committed perf ledger, the
-#      warm-fork/sparse/parallel/fast-forward speedup floors, and a live
-#      run of the idle-heavy kernel_hotpath case against the sparse floor;
-#      on hosts with at least 4 cores, also a live run of the
-#      compute-heavy case against the parallel floor
+# The four stages are independent — .github/workflows/ci.yml runs them as
+# parallel jobs — and every gate inside `gates` produces its own reference
+# output, so any single stage can be run standalone on a fresh checkout.
+#
+# Stage contents:
+#   lint   rustfmt --check, clippy -D warnings, rustdoc -D warnings
+#   test   release build of the workspace, the full test suite, one small
+#          end-to-end reproduction through the repro binary, and the
+#          example walkthroughs (quickstart, trace replay)
+#   gates  determinism: the same experiment twice with one seed must emit
+#            byte-identical tables
+#          snapshot round trip: the checkpoint-forked fig4 sweep must emit
+#            the same table as the cold sweep, and the measured warm-fork
+#            speedup must clear the repro binary's floor
+#          sparse equivalence: the sparse active-set schedule (default) and
+#            the dense schedule (--dense escape hatch) emit identical tables
+#          parallel equivalence: intra-edge parallel tick execution
+#            (--tick-jobs 4) emits tables byte-identical to the serial run
+#          gear equivalence: the loosely-timed gear at quantum 1
+#            (--fast-gear 1) emits tables byte-identical to cycle-accurate
+#          fast-forward floor: a live --fast-warm run must clear the repro
+#            binary's warm-phase speedup floor with an identical q=1 sweep
+#          server: simserved + a duplicate-heavy loadgen mix must see warm-
+#            cache hits and serve a FIG-4 table byte-identical to the
+#            one-shot `repro --exp fig4` run
+#   bench  scheduler throughput vs the committed perf ledger, the
+#          warm-fork/sparse/parallel/fast-forward/server ledger floors, and
+#          a live run of the idle-heavy kernel_hotpath case against the
+#          sparse floor; on hosts with at least 4 cores, also a live run of
+#          the compute-heavy case against the parallel floor
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== tier-1: build =="
-# --workspace matters: the root manifest is both a workspace and the
-# mpsoc-suite package, so a bare `cargo build` would skip mpsoc-bench.
-cargo build --release --workspace
+run_dir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ]; then
+        kill "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$run_dir"
+}
+trap cleanup EXIT
 
-echo "== tier-1: tests =="
-cargo test -q
-
-echo "== workspace tests =="
-cargo test --workspace -q
-
-echo "== rustfmt (--check) =="
-cargo fmt --all -- --check
-
-echo "== clippy (workspace, all targets, -D warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "== rustdoc (workspace, no deps) =="
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
-
-echo "== smoke: repro --exp robustness --scale 1 =="
-cargo run --release -p mpsoc-bench --bin repro -- --exp robustness --scale 1 --no-bench-out
-
-echo "== example smoke: build all, run quickstart + trace_replay =="
-cargo build --release --examples
-cargo run --release --example quickstart
-cargo run --release --example trace_replay
-
-echo "== determinism: fig3 twice, same seed, identical tables =="
 # Strip host-timing lines (the bracketed perf summaries and the totals)
 # before comparing: wall-clock numbers legitimately differ between runs.
 # The "reproducing ..." header is also stripped: it echoes run options
 # (e.g. --tick-jobs) that legitimately differ between equivalent runs.
 filter_timing() { grep -v -e '^\[' -e '^total:' -e '^perf ledger' -e '^reproducing' "$1"; }
-run_dir="$(mktemp -d)"
-trap 'rm -rf "$run_dir"' EXIT
-cargo run --release -p mpsoc-bench --bin repro -- \
-    --exp fig3 --scale 1 --no-bench-out > "$run_dir/a.txt"
-cargo run --release -p mpsoc-bench --bin repro -- \
-    --exp fig3 --scale 1 --no-bench-out > "$run_dir/b.txt"
-if ! diff <(filter_timing "$run_dir/a.txt") <(filter_timing "$run_dir/b.txt"); then
-    echo "determinism gate FAILED: identical seeds produced different tables" >&2
-    exit 1
-fi
-echo "determinism gate passed"
 
-echo "== snapshot round trip: fig4 cold vs --warm-fork =="
-# The cold sweep and the checkpoint-forked sweep must print the same
-# table (restore is exact); only the table lines are compared — headers
-# and timing lines legitimately differ. The --check-bench pass then
-# enforces the speedup floor on the speedup measured by *this* run,
-# recorded in a throwaway ledger.
+# Just the FIG-4 table: the header line and the right-aligned data rows.
 table_only() { grep -E '^(FIG-4| )' "$1"; }
-cargo run --release -p mpsoc-bench --bin repro -- \
-    --exp fig4 --no-bench-out > "$run_dir/cold.txt"
-cargo run --release -p mpsoc-bench --bin repro -- \
-    --warm-fork --bench-out "$run_dir/warmfork.json" \
-    --check-bench "$run_dir/warmfork.json" > "$run_dir/fork.txt"
-grep '\[check warm-fork' "$run_dir/fork.txt"
-if ! diff <(table_only "$run_dir/cold.txt") <(table_only "$run_dir/fork.txt"); then
-    echo "snapshot gate FAILED: warm-fork table differs from the cold sweep" >&2
-    exit 1
-fi
-echo "snapshot round-trip gate passed"
 
-echo "== sparse equivalence: fig3 sparse vs --dense, identical tables =="
-# The dense schedule is the reference semantics; sparse ticking is only an
-# optimization and must never change a table.
-cargo run --release -p mpsoc-bench --bin repro -- \
-    --exp fig3 --scale 1 --dense --no-bench-out > "$run_dir/dense.txt"
-if ! diff <(filter_timing "$run_dir/a.txt") <(filter_timing "$run_dir/dense.txt"); then
-    echo "sparse gate FAILED: sparse and dense schedules produced different tables" >&2
-    exit 1
-fi
-echo "sparse equivalence gate passed"
+# The serial cycle-accurate fig3 run every equivalence gate compares
+# against. Each gate calls this, so each gate is standalone; when several
+# gates run in one invocation the reference is produced only once.
+fig3_reference() {
+    if [ ! -s "$run_dir/fig3_ref.txt" ]; then
+        cargo run --release -p mpsoc-bench --bin repro -- \
+            --exp fig3 --scale 1 --no-bench-out > "$run_dir/fig3_ref.txt"
+    fi
+}
 
-echo "== parallel equivalence: fig3 serial vs --tick-jobs 4, identical tables =="
-# The compute/commit split buffers every side effect of a worker-computed
-# tick and replays it in registration order, so any --tick-jobs value must
-# reproduce the serial tables byte for byte.
-cargo run --release -p mpsoc-bench --bin repro -- \
-    --exp fig3 --scale 1 --tick-jobs 4 --no-bench-out > "$run_dir/tickjobs.txt"
-if ! diff <(filter_timing "$run_dir/a.txt") <(filter_timing "$run_dir/tickjobs.txt"); then
-    echo "parallel gate FAILED: --tick-jobs 4 produced different tables" >&2
-    exit 1
-fi
-echo "parallel equivalence gate passed"
+stage_lint() {
+    echo "== rustfmt (--check) =="
+    cargo fmt --all -- --check
 
-echo "== gear equivalence: fig3 cycle vs --fast-gear 1, identical tables =="
-# Quantum 1 is the fast gear's degenerate window — every edge is visited in
-# order with zero occupancy slack — so it must reproduce the cycle-accurate
-# tables byte for byte. This is the end-to-end face of the kernel's
-# quantum-1 identity contract (also proptest-enforced on checkpoints).
-cargo run --release -p mpsoc-bench --bin repro -- \
-    --exp fig3 --scale 1 --fast-gear 1 --no-bench-out > "$run_dir/fastgear.txt"
-if ! diff <(filter_timing "$run_dir/a.txt") <(filter_timing "$run_dir/fastgear.txt"); then
-    echo "gear gate FAILED: --fast-gear 1 produced different tables" >&2
-    exit 1
-fi
-echo "gear equivalence gate passed"
+    echo "== clippy (workspace, all targets, -D warnings) =="
+    cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== fast-forward floor: live --fast-warm speedup and q=1 identity =="
-# Runs the EXT-FAST study live (cycle-gear warm phase vs every quantum),
-# records it in a throwaway ledger and enforces the repro binary's
-# fast-forward floor on the measurement just taken: q=1 byte-identical and
-# the default quantum at least MIN_FAST_FORWARD_SPEEDUP faster.
-cargo run --release -p mpsoc-bench --bin repro -- \
-    --fast-warm --bench-out "$run_dir/fastwarm.json" \
-    --check-bench "$run_dir/fastwarm.json" > "$run_dir/fastwarm.txt"
-grep '\[check fast-forward' "$run_dir/fastwarm.txt"
-echo "fast-forward floor gate passed"
+    echo "== rustdoc (workspace, no deps) =="
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+}
 
-echo "== bench guard: throughput vs committed ledger =="
-cargo run --release -p mpsoc-bench --bin repro -- \
-    --scale 1 --no-bench-out --check-bench BENCH_kernel.json
+stage_test() {
+    echo "== tier-1: build =="
+    # --workspace matters: the root manifest is both a workspace and the
+    # mpsoc-suite package, so a bare `cargo build` would skip mpsoc-bench.
+    cargo build --release --workspace
 
-echo "== bench guard: live sparse-ticking floor on the idle-heavy case =="
-# The compute-heavy serial-vs-parallel byte-identity asserts inside the
-# bench run unconditionally; the parallel speedup *floor* only applies on
-# hosts that can actually run the workers side by side.
-if [ "$(nproc)" -ge 4 ]; then
-    echo "   (>= 4 cores: also enforcing the live parallel-speedup floor)"
-    cargo bench -p mpsoc-bench --bench kernel_hotpath -- \
-        --min-sparse-speedup 1.3 --min-parallel-speedup 1.5
-else
-    echo "   ($(nproc) core(s): skipping the live parallel-speedup floor)"
-    cargo bench -p mpsoc-bench --bench kernel_hotpath -- --min-sparse-speedup 1.3
-fi
+    echo "== tier-1: tests (workspace) =="
+    cargo test --workspace -q
 
-echo "ci: all gates passed"
+    echo "== smoke: repro --exp robustness --scale 1 =="
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --exp robustness --scale 1 --no-bench-out
+
+    echo "== example smoke: build all, run quickstart + trace_replay =="
+    cargo build --release --examples
+    cargo run --release --example quickstart
+    cargo run --release --example trace_replay
+}
+
+gate_determinism() {
+    echo "== determinism: fig3 twice, same seed, identical tables =="
+    fig3_reference
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --exp fig3 --scale 1 --no-bench-out > "$run_dir/fig3_again.txt"
+    if ! diff <(filter_timing "$run_dir/fig3_ref.txt") \
+              <(filter_timing "$run_dir/fig3_again.txt"); then
+        echo "determinism gate FAILED: identical seeds produced different tables" >&2
+        exit 1
+    fi
+    echo "determinism gate passed"
+}
+
+gate_snapshot() {
+    echo "== snapshot round trip: fig4 cold vs --warm-fork =="
+    # The cold sweep and the checkpoint-forked sweep must print the same
+    # table (restore is exact); only the table lines are compared — headers
+    # and timing lines legitimately differ. The --check-bench pass then
+    # enforces the speedup floor on the speedup measured by *this* run,
+    # recorded in a throwaway ledger.
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --exp fig4 --no-bench-out > "$run_dir/cold.txt"
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --warm-fork --bench-out "$run_dir/warmfork.json" \
+        --check-bench "$run_dir/warmfork.json" > "$run_dir/fork.txt"
+    grep '\[check warm-fork' "$run_dir/fork.txt"
+    if ! diff <(table_only "$run_dir/cold.txt") <(table_only "$run_dir/fork.txt"); then
+        echo "snapshot gate FAILED: warm-fork table differs from the cold sweep" >&2
+        exit 1
+    fi
+    echo "snapshot round-trip gate passed"
+}
+
+gate_sparse() {
+    echo "== sparse equivalence: fig3 sparse vs --dense, identical tables =="
+    # The dense schedule is the reference semantics; sparse ticking is only
+    # an optimization and must never change a table.
+    fig3_reference
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --exp fig3 --scale 1 --dense --no-bench-out > "$run_dir/dense.txt"
+    if ! diff <(filter_timing "$run_dir/fig3_ref.txt") \
+              <(filter_timing "$run_dir/dense.txt"); then
+        echo "sparse gate FAILED: sparse and dense schedules produced different tables" >&2
+        exit 1
+    fi
+    echo "sparse equivalence gate passed"
+}
+
+gate_parallel() {
+    echo "== parallel equivalence: fig3 serial vs --tick-jobs 4, identical tables =="
+    # The compute/commit split buffers every side effect of a worker-computed
+    # tick and replays it in registration order, so any --tick-jobs value
+    # must reproduce the serial tables byte for byte.
+    fig3_reference
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --exp fig3 --scale 1 --tick-jobs 4 --no-bench-out > "$run_dir/tickjobs.txt"
+    if ! diff <(filter_timing "$run_dir/fig3_ref.txt") \
+              <(filter_timing "$run_dir/tickjobs.txt"); then
+        echo "parallel gate FAILED: --tick-jobs 4 produced different tables" >&2
+        exit 1
+    fi
+    echo "parallel equivalence gate passed"
+}
+
+gate_gear() {
+    echo "== gear equivalence: fig3 cycle vs --fast-gear 1, identical tables =="
+    # Quantum 1 is the fast gear's degenerate window — every edge is visited
+    # in order with zero occupancy slack — so it must reproduce the cycle-
+    # accurate tables byte for byte. This is the end-to-end face of the
+    # kernel's quantum-1 identity contract (also proptest-enforced on
+    # checkpoints).
+    fig3_reference
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --exp fig3 --scale 1 --fast-gear 1 --no-bench-out > "$run_dir/fastgear.txt"
+    if ! diff <(filter_timing "$run_dir/fig3_ref.txt") \
+              <(filter_timing "$run_dir/fastgear.txt"); then
+        echo "gear gate FAILED: --fast-gear 1 produced different tables" >&2
+        exit 1
+    fi
+    echo "gear equivalence gate passed"
+}
+
+gate_fast_forward() {
+    echo "== fast-forward floor: live --fast-warm speedup and q=1 identity =="
+    # Runs the EXT-FAST study live (cycle-gear warm phase vs every quantum),
+    # records it in a throwaway ledger and enforces the repro binary's
+    # fast-forward floor on the measurement just taken: q=1 byte-identical
+    # and the default quantum at least MIN_FAST_FORWARD_SPEEDUP faster.
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --fast-warm --bench-out "$run_dir/fastwarm.json" \
+        --check-bench "$run_dir/fastwarm.json" > "$run_dir/fastwarm.txt"
+    grep '\[check fast-forward' "$run_dir/fastwarm.txt"
+    echo "fast-forward floor gate passed"
+}
+
+gate_server() {
+    echo "== server gate: simserved + duplicate-heavy loadgen vs one-shot fig4 =="
+    # End to end over a real socket: an ephemeral-port server, a seeded
+    # duplicate-heavy request mix that must see warm-cache hits, and the
+    # served FIG-4 table diffed byte for byte against the one-shot repro
+    # run. loadgen itself asserts that duplicate responses agree.
+    cargo build --release -p mpsoc-server
+    local addr_file="$run_dir/simserved.addr"
+    target/release/simserved --port-file "$addr_file" --cache-capacity 4 &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$addr_file" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$addr_file" ]; then
+        echo "server gate FAILED: simserved never wrote its address" >&2
+        exit 1
+    fi
+    target/release/loadgen --addr-file "$addr_file" \
+        --requests 24 --connections 2 --scale 1 \
+        --table --require-hits --shutdown --no-bench-out \
+        > "$run_dir/served_table.txt"
+    wait "$server_pid"
+    server_pid=""
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --exp fig4 --scale 1 --no-bench-out > "$run_dir/fig4_oneshot.txt"
+    if ! diff <(table_only "$run_dir/fig4_oneshot.txt") "$run_dir/served_table.txt"; then
+        echo "server gate FAILED: served table differs from the one-shot sweep" >&2
+        exit 1
+    fi
+    echo "server gate passed"
+}
+
+stage_gates() {
+    gate_determinism
+    gate_snapshot
+    gate_sparse
+    gate_parallel
+    gate_gear
+    gate_fast_forward
+    gate_server
+}
+
+stage_bench() {
+    echo "== bench guard: throughput + ledger floors vs committed ledger =="
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --scale 1 --no-bench-out --check-bench BENCH_kernel.json
+
+    echo "== bench guard: live sparse-ticking floor on the idle-heavy case =="
+    # The compute-heavy serial-vs-parallel byte-identity asserts inside the
+    # bench run unconditionally; the parallel speedup *floor* only applies
+    # on hosts that can actually run the workers side by side.
+    if [ "$(nproc)" -ge 4 ]; then
+        echo "   (>= 4 cores: also enforcing the live parallel-speedup floor)"
+        cargo bench -p mpsoc-bench --bench kernel_hotpath -- \
+            --min-sparse-speedup 1.3 --min-parallel-speedup 1.5
+    else
+        echo "   ($(nproc) core(s): skipping the live parallel-speedup floor)"
+        cargo bench -p mpsoc-bench --bench kernel_hotpath -- --min-sparse-speedup 1.3
+    fi
+}
+
+stage="${1:-all}"
+case "$stage" in
+    lint) stage_lint ;;
+    test) stage_test ;;
+    gates) stage_gates ;;
+    bench) stage_bench ;;
+    all)
+        stage_test
+        stage_lint
+        stage_gates
+        stage_bench
+        ;;
+    *)
+        echo "usage: ./ci.sh [lint|test|gates|bench]" >&2
+        exit 2
+        ;;
+esac
+
+echo "ci: stage '$stage' passed"

@@ -461,6 +461,16 @@ const MIN_SPARSE_SPEEDUP: f64 = 1.3;
 /// not of an oversubscribed host.
 const MIN_PARALLEL_SPEEDUP: f64 = 1.5;
 
+/// Minimum p50 miss/hit latency ratio the `"server"` ledger section must
+/// show for [`check_bench`] to pass — *when the recording host had more
+/// than one core*. A warm-cache hit skips the warm-up simulation entirely,
+/// so it has to be measurably faster than a miss; on a single-core host
+/// the loadgen lanes and the server's warm-up contend for the same CPU and
+/// the latency split is noise, so the floor downgrades to a warning there
+/// (the hit-rate floor still applies — correctness of the cache is not a
+/// core-count property).
+const MIN_SERVER_HIT_SPEEDUP: f64 = 1.2;
+
 /// Minimum cycle-vs-fast warm-phase speedup the `"fast_forward"` ledger
 /// section must show for [`check_bench`] / [`check_fast_forward`] to
 /// pass: at the default quantum the loosely-timed gear has to beat
@@ -621,6 +631,9 @@ fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun], args: &Args) 
     if !check_fast_forward_doc(&doc, baseline, Some(args)) {
         regressed = true;
     }
+    if !check_server_doc(&doc, baseline) {
+        regressed = true;
+    }
     if regressed {
         eprintln!(
             "bench check failed: throughput dropped more than {:.0}% vs {} \
@@ -635,6 +648,68 @@ fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun], args: &Args) 
         MAX_REGRESSION * 100.0
     );
     ExitCode::SUCCESS
+}
+
+/// Enforces the `"server"` ledger section: it must exist (the sweep server
+/// is part of the benchmarked surface), record a nonzero warm-cache hit
+/// rate (a duplicate-heavy mix that never hits means the cache is broken),
+/// and show at least [`MIN_SERVER_HIT_SPEEDUP`] between p50 miss and p50
+/// hit latency — downgraded to a warning when the recording host had fewer
+/// than 2 cores. Returns whether the section passes.
+fn check_server_doc(doc: &str, baseline: &std::path::Path) -> bool {
+    let Some(hit_rate) = ledger::server_hit_rate(doc) else {
+        eprintln!(
+            "server check failed: {} has no server section (start `simserved` and run \
+             `loadgen --bench-out <path>`)",
+            baseline.display()
+        );
+        return false;
+    };
+    if hit_rate <= 0.0 {
+        eprintln!(
+            "server check failed: {} records a zero warm-cache hit rate for the \
+             duplicate-heavy loadgen mix — the checkpoint cache is not being reused",
+            baseline.display()
+        );
+        return false;
+    }
+    let rps = ledger::server_requests_per_sec(doc).unwrap_or(0.0);
+    match ledger::server_hit_speedup(doc) {
+        Some(speedup) if speedup >= MIN_SERVER_HIT_SPEEDUP => {
+            println!(
+                "[check server hit rate {hit_rate:.2}, {rps:.1} req/s, hit speedup \
+                 {speedup:.2}x >= {MIN_SERVER_HIT_SPEEDUP}x — ok]"
+            );
+            true
+        }
+        Some(speedup) => match ledger::server_host_cores(doc) {
+            Some(cores) if cores < 2 => {
+                println!(
+                    "[check server hit rate {hit_rate:.2}, {rps:.1} req/s, hit speedup \
+                     {speedup:.2}x below {MIN_SERVER_HIT_SPEEDUP}x, but recorded \
+                     host_cores {cores} < 2 — warning only]"
+                );
+                true
+            }
+            cores => {
+                eprintln!(
+                    "server check failed: hit speedup {speedup:.2}x below the \
+                     {MIN_SERVER_HIT_SPEEDUP}x floor in {} (recorded host_cores {})",
+                    baseline.display(),
+                    cores.map_or_else(|| "unknown".into(), |c| c.to_string()),
+                );
+                false
+            }
+        },
+        None => {
+            eprintln!(
+                "server check failed: {} has a server section without a hit_speedup \
+                 field",
+                baseline.display()
+            );
+            false
+        }
+    }
 }
 
 /// Enforces the warm-fork speedup floor against the ledger at `baseline`:

@@ -9,7 +9,10 @@
 //!   checkpoint-forked fig4 sweep wall time and the speedup ratio), and
 //! * the `kernel_hotpath` microbench writes the `"microbench"` section
 //!   (bucketed vs naive scheduler edges/sec and the speedup ratio) and the
-//!   `"sparse"` section (sparse vs dense ticking on the idle-heavy case).
+//!   `"sparse"` section (sparse vs dense ticking on the idle-heavy case),
+//!   and
+//! * the `loadgen` client writes the `"server"` section (sweep-server
+//!   requests/sec, latency percentiles and warm-cache hit rate).
 //!
 //! Each writer regenerates the whole file but preserves the other's section
 //! verbatim. The file layout is deliberately line-oriented — every section
@@ -61,18 +64,21 @@ pub fn committed_path() -> PathBuf {
 /// `tick_jobs` fields that make a recorded parallel speedup judgeable on
 /// a different machine; `v4` added the `"fast_forward"` section (the
 /// loosely-timed gear's warm-phase speedup, error and quantum-1 identity)
-/// and the per-experiment `ff_windows`/`ff_elided` counters. Readers scan
-/// by field prefix and accept any version.
-pub const SCHEMA: &str = "mpsoc-bench/kernel-v4";
+/// and the per-experiment `ff_windows`/`ff_elided` counters; `v5` added
+/// the `"server"` section (the sweep server's requests/sec, latency
+/// percentiles and warm-cache hit rate, recorded by `loadgen
+/// --bench-out`). Readers scan by field prefix and accept any version.
+pub const SCHEMA: &str = "mpsoc-bench/kernel-v5";
 
 /// The known top-level sections, in the order they appear in the file.
-const SECTIONS: [&str; 6] = [
+const SECTIONS: [&str; 7] = [
     "experiments",
     "warm_fork",
     "microbench",
     "sparse",
     "parallel",
     "fast_forward",
+    "server",
 ];
 
 /// Replaces `section` of the ledger at `path` with `value_json`, keeping
@@ -223,6 +229,33 @@ pub fn fast_forward_q1_identical(doc: &str) -> Option<bool> {
     }
 }
 
+/// Pulls the warm-cache hit rate (0..=1) out of a ledger document's
+/// `"server"` section. Returns `None` when the section is absent or
+/// malformed.
+pub fn server_hit_rate(doc: &str) -> Option<f64> {
+    section_f64(doc, "server", "hit_rate")
+}
+
+/// Pulls the served request throughput out of a ledger document's
+/// `"server"` section.
+pub fn server_requests_per_sec(doc: &str) -> Option<f64> {
+    section_f64(doc, "server", "requests_per_sec")
+}
+
+/// Pulls the hit-vs-miss latency ratio (p50 miss / p50 hit) out of a
+/// ledger document's `"server"` section. Above 1 means forking a cached
+/// warm state was faster than running the warm-up.
+pub fn server_hit_speedup(doc: &str) -> Option<f64> {
+    section_f64(doc, "server", "hit_speedup")
+}
+
+/// Pulls the host core count recorded alongside the `"server"` section's
+/// measurement. A latency ratio measured on a single-core box is noisy
+/// under concurrent load; readers use this to warn instead of failing.
+pub fn server_host_cores(doc: &str) -> Option<u64> {
+    section_u64(doc, "server", "host_cores")
+}
+
 /// Per-experiment activity counters recorded in the `"experiments"`
 /// section, scanned for `repro --list` annotations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -294,6 +327,16 @@ fn section_speedup(doc: &str, name: &str) -> Option<f64> {
     rest[..end].trim().parse::<f64>().ok()
 }
 
+/// Scans `section` of `doc` for a float `field`.
+fn section_f64(doc: &str, name: &str, field: &str) -> Option<f64> {
+    let section = extract_section(doc, name)?;
+    let tag = format!("\"{field}\":");
+    let pos = section.find(&tag)?;
+    let rest = &section[pos + tag.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse::<f64>().ok()
+}
+
 /// Scans `section` of `doc` for an integer `field`.
 fn section_u64(doc: &str, name: &str, field: &str) -> Option<u64> {
     let section = extract_section(doc, name)?;
@@ -320,7 +363,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         update_section(&path, "experiments", r#"{"runs":[]}"#).expect("writes");
         let doc = std::fs::read_to_string(&path).expect("readable");
-        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v4""#));
+        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v5""#));
         assert!(doc.contains(r#""experiments": {"runs":[]}"#));
         assert!(!doc.contains("microbench"));
         std::fs::remove_file(&path).expect("cleanup");
@@ -408,6 +451,24 @@ mod tests {
         assert_eq!(fast_forward_q1_identical(doc), Some(true));
         assert_eq!(fast_forward_speedup("{}\n"), None);
         assert_eq!(fast_forward_q1_identical("{}\n"), None);
+    }
+
+    #[test]
+    fn server_section_is_scanned() {
+        let doc = concat!(
+            "{\n\"schema\": \"x\",\n",
+            "\"server\": {\"requests\":48,\"points\":48,\"connections\":4,",
+            "\"requests_per_sec\":120.5,\"p50_micros\":800,\"p99_micros\":9000,",
+            "\"hits\":44,\"misses\":4,\"hit_rate\":0.916667,",
+            "\"p50_hit_micros\":700,\"p50_miss_micros\":8400,",
+            "\"hit_speedup\":12.0,\"host_cores\":8}\n}\n"
+        );
+        assert_eq!(server_hit_rate(doc), Some(0.916667));
+        assert_eq!(server_requests_per_sec(doc), Some(120.5));
+        assert_eq!(server_hit_speedup(doc), Some(12.0));
+        assert_eq!(server_host_cores(doc), Some(8));
+        assert_eq!(server_hit_rate("{}\n"), None);
+        assert_eq!(server_hit_speedup("{}\n"), None);
     }
 
     #[test]

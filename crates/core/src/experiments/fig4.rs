@@ -14,28 +14,21 @@
 
 use super::parallel_map;
 use crate::platforms::{build_platform, MemorySystem, Platform, PlatformSpec, Topology, Workload};
-use mpsoc_kernel::{Fidelity, RunOutcome, SimResult, SnapshotBlob, Time};
+use crate::service::{self, WarmProfile};
+use mpsoc_kernel::{Fidelity, SimResult, SnapshotBlob, Time};
 use mpsoc_protocol::ProtocolKind;
 use std::fmt;
 
 /// Wait states of the shared warm-up phase every sweep point starts from.
-const BASE_WS: u32 = 1;
-/// Fraction (permille) of the base run's **injected transactions** covered
-/// by the shared warm prefix before a point switches to its own wait
-/// states. Anchoring the boundary to traffic rather than execution time
-/// keeps it meaningful at every scale: large runs end with a long
-/// low-traffic drain tail, so a time fraction would land past all the
-/// memory activity and flatten the sweep.
-const WARM_PERMILLE: u64 = 980;
-/// Granularity at which the probe samples injection progress. The warm
-/// boundary is always a multiple of this, which keeps it a deterministic
-/// function of the spec alone.
-const CHUNK: Time = Time::from_us(1);
+/// The probe machinery (warm boundary, chunk sampling, horizon) is shared
+/// with the sweep service in [`crate::service`] — fig4 *is* that sweep for
+/// one fixed platform configuration.
+const BASE_WS: u32 = service::BASE_WAIT_STATES;
 /// The swept wait-state values. The first entry is [`BASE_WS`], the wait
 /// states the shared warm prefix runs at.
 const SWEEP: [u32; 6] = [1, 2, 4, 8, 16, 32];
 /// Default run horizon, matching [`Platform::run`].
-const HORIZON: Time = Time::from_ms(60);
+const HORIZON: Time = service::SERVICE_HORIZON;
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -98,73 +91,25 @@ fn point_spec(scale: u64, seed: u64, topology: Topology) -> PlatformSpec {
 }
 
 /// The shared prefix of one topology's sweep: the base-run result and the
-/// instant at which the sweep points diverge from it.
-struct WarmPhase {
-    /// Execution cycles of the straight [`BASE_WS`] run (the first point).
-    base_cycles: u64,
-    /// Simulation time up to which every point runs at [`BASE_WS`].
-    warm_until: Time,
-}
+/// instant at which the sweep points diverge from it (see
+/// [`service::probe_warm`], which owns the sampling machinery).
+type WarmPhase = WarmProfile;
 
 /// Runs the probe (the `ws = BASE_WS` point) and derives the warm boundary.
-///
-/// The base run is stepped in [`CHUNK`]-sized slices, sampling the injected
-/// transaction count at every boundary; stepping a run this way is
-/// bit-identical to running it uninterrupted. The warm boundary is the
-/// earliest chunk boundary at which at least [`WARM_PERMILLE`] of the run's
-/// total injections have happened — a deterministic instant every sweep
-/// point can replay at [`BASE_WS`] before diverging.
 fn probe(scale: u64, seed: u64, topology: Topology) -> SimResult<WarmPhase> {
     probe_with(scale, seed, topology, None)
 }
 
 /// [`probe`], with the kernel gear forced to `gear` when given (instead of
-/// the process-wide default the platform builder applies).
-///
-/// In a loosely-timed gear the probe's injection timeline (and with it the
-/// sampled warm boundary and the quiescence instant) is approximate; the
-/// loosely-timed sweep therefore never uses the probe's `base_cycles` —
-/// every cell comes from a cycle-accurate tail — and the boundary is a
-/// deterministic function of spec and gear. At `Fast { quantum: 1 }` the
-/// trace is byte-identical to the cycle-gear one.
+/// the process-wide default the platform builder applies). See
+/// [`service::probe_warm`] for the gear caveats.
 fn probe_with(
     scale: u64,
     seed: u64,
     topology: Topology,
     gear: Option<Fidelity>,
 ) -> SimResult<WarmPhase> {
-    let mut platform = build_platform(&point_spec(scale, seed, topology))?;
-    if let Some(gear) = gear {
-        platform.sim_mut().set_fidelity(gear);
-    }
-    let mut samples: Vec<(Time, u64)> = Vec::new();
-    let mut horizon = Time::ZERO;
-    let exec = loop {
-        horizon += CHUNK;
-        match platform.sim_mut().run_to_quiescence(horizon) {
-            RunOutcome::Quiescent { at } => break Some(at),
-            RunOutcome::HorizonReached { .. } if horizon >= HORIZON => {
-                return platform
-                    .sim_mut()
-                    .run_to_quiescence_strict(HORIZON)
-                    .map(|_| unreachable!("probe already hit the horizon"));
-            }
-            RunOutcome::HorizonReached { .. } => {
-                samples.push((horizon, platform.injected_so_far()));
-            }
-        }
-    };
-    let total = platform.injected_so_far();
-    let threshold = total * WARM_PERMILLE / 1000;
-    let warm_until = samples
-        .iter()
-        .find(|(_, injected)| *injected >= threshold)
-        .or(samples.last())
-        .map_or(Time::ZERO, |(at, _)| *at);
-    Ok(WarmPhase {
-        base_cycles: exec.map_or(0, |at| platform.report_at(at).exec_cycles),
-        warm_until,
-    })
+    service::probe_warm(&point_spec(scale, seed, topology), gear)
 }
 
 /// Switches `platform` (already advanced to the warm boundary) to the

@@ -51,6 +51,7 @@ mod builder;
 pub mod experiments;
 mod platforms;
 mod report;
+pub mod service;
 
 pub use builder::{BusHandle, BusSpec, PlatformBuilder, TargetIface};
 pub use platforms::{

@@ -351,6 +351,15 @@ impl Platform {
         Ok((self.report_at(exec), vcd.render()))
     }
 
+    /// Hash of the platform's structure (component roster, clock-domain
+    /// buckets, link wiring) — everything a checkpoint does *not* carry.
+    /// Two platforms built from the same spec share a fingerprint; restore
+    /// refuses blobs whose recorded fingerprint differs. The warm-cache
+    /// server keys its checkpoint cache on this.
+    pub fn structural_fingerprint(&self) -> u64 {
+        self.sim.structural_fingerprint()
+    }
+
     /// Serializes the platform's complete dynamic state (timeline, link
     /// contents, every component, RNG, fault cursor, statistics) into a
     /// versioned, checksummed blob. Restore it into a *structurally

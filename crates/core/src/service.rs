@@ -1,0 +1,529 @@
+//! Simulation-as-a-service building blocks: decoding a sweep request into
+//! a platform spec and producing/consuming warm-prefix checkpoints.
+//!
+//! The sweep server (`crates/server`) accepts requests of the shape
+//! *platform configuration + workload + seed + sweep-axis value* and serves
+//! each one by forking a **warm checkpoint**: the platform is simulated
+//! once from reset to a traffic-anchored warm boundary at the base memory
+//! speed, checkpointed there, and every request for the same platform
+//! restores that blob and runs only its own tail (its wait states, its
+//! fidelity knobs). This module owns the pieces both sides need:
+//!
+//! * [`SweepRequest`] — the decoded request and its [`PlatformSpec`]
+//!   mapping, plus the canonical wire names of every enum knob;
+//! * [`probe_warm`] — the deterministic warm-boundary probe (shared with
+//!   the fig4 experiment, which is exactly this sweep for one fixed
+//!   configuration);
+//! * [`warm_state`] / [`serve_point`] — produce a warm checkpoint and
+//!   serve one sweep point from it.
+//!
+//! # Determinism contract
+//!
+//! Everything here is a pure function of the request: the warm boundary is
+//! sampled on fixed [`CHUNK`] boundaries, checkpoints are byte-identical
+//! across runs of the same spec, and [`serve_point`] continues the exact
+//! tick sequence the cold run would have executed (snapshot restore is
+//! bit-exact, proven by the snapshot proptests). A cache hit therefore
+//! returns byte-identical results to a cold run — the server asserts this
+//! and CI gates it end to end.
+
+use crate::platforms::{build_platform, MemorySystem, PlatformSpec, Topology, Workload};
+use mpsoc_kernel::{Fidelity, RunOutcome, SimError, SimResult, SnapshotBlob, Time};
+use mpsoc_protocol::ProtocolKind;
+
+/// Wait states of the shared warm-up phase every sweep point starts from.
+pub const BASE_WAIT_STATES: u32 = 1;
+
+/// Fraction (permille) of the base run's **injected transactions** covered
+/// by the shared warm prefix before a point switches to its own wait
+/// states. Anchoring the boundary to traffic rather than execution time
+/// keeps it meaningful at every scale: large runs end with a long
+/// low-traffic drain tail, so a time fraction would land past all the
+/// memory activity and flatten the sweep.
+pub const WARM_PERMILLE: u64 = 980;
+
+/// Granularity at which the probe samples injection progress. The warm
+/// boundary is always a multiple of this, which keeps it a deterministic
+/// function of the spec alone.
+pub const CHUNK: Time = Time::from_us(1);
+
+/// Run horizon for probes and served tails, matching
+/// [`Platform::run`](crate::Platform::run).
+pub const SERVICE_HORIZON: Time = Time::from_ms(60);
+
+/// One decoded sweep request: the platform the warm phase is built for
+/// plus the point's own knobs (wait states, warm-phase gear, tick jobs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepRequest {
+    /// Interconnect protocol of every bus layer.
+    pub protocol: ProtocolKind,
+    /// Collapsed or distributed organisation.
+    pub topology: Topology,
+    /// Traffic mix.
+    pub workload: Workload,
+    /// Workload size multiplier.
+    pub scale: u64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Memory wait states the shared warm prefix runs at.
+    pub base_wait_states: u32,
+    /// The sweep-axis value: wait states applied at the warm boundary.
+    pub wait_states: u32,
+    /// Loosely-timed warm phase quantum (`None` = cycle-accurate warm-up).
+    /// Results are approximate for quanta above 1, exactly like
+    /// `repro --fast-warm`; the tail past the boundary is always
+    /// cycle-accurate.
+    pub fast_gear: Option<u64>,
+    /// Worker threads for intra-edge parallel ticking of the served tail
+    /// (byte-identical to serial for any value, by the kernel's
+    /// compute/commit determinism guarantee).
+    pub tick_jobs: usize,
+}
+
+impl Default for SweepRequest {
+    fn default() -> Self {
+        SweepRequest {
+            protocol: ProtocolKind::StbusT3,
+            topology: Topology::Distributed,
+            workload: Workload::BurstyPosted,
+            scale: crate::experiments::DEFAULT_SCALE,
+            seed: crate::experiments::DEFAULT_SEED,
+            base_wait_states: BASE_WAIT_STATES,
+            wait_states: BASE_WAIT_STATES,
+            fast_gear: None,
+            tick_jobs: 1,
+        }
+    }
+}
+
+/// Parses a protocol wire name (`stbus-t1`, `stbus-t2`, `stbus-t3`,
+/// `ahb`, `axi`).
+///
+/// # Errors
+///
+/// Returns the list of valid names for anything else.
+pub fn parse_protocol(s: &str) -> Result<ProtocolKind, String> {
+    match s {
+        "stbus-t1" => Ok(ProtocolKind::StbusT1),
+        "stbus-t2" => Ok(ProtocolKind::StbusT2),
+        "stbus-t3" => Ok(ProtocolKind::StbusT3),
+        "ahb" => Ok(ProtocolKind::Ahb),
+        "axi" => Ok(ProtocolKind::Axi),
+        other => Err(format!(
+            "unknown protocol '{other}' (expected stbus-t1, stbus-t2, stbus-t3, ahb or axi)"
+        )),
+    }
+}
+
+/// The canonical wire name [`parse_protocol`] accepts.
+pub fn protocol_wire_name(p: ProtocolKind) -> &'static str {
+    match p {
+        ProtocolKind::StbusT1 => "stbus-t1",
+        ProtocolKind::StbusT2 => "stbus-t2",
+        ProtocolKind::StbusT3 => "stbus-t3",
+        ProtocolKind::Ahb => "ahb",
+        ProtocolKind::Axi => "axi",
+    }
+}
+
+/// Parses a topology wire name (`single-layer`, `collapsed`,
+/// `distributed`).
+///
+/// # Errors
+///
+/// Returns the list of valid names for anything else.
+pub fn parse_topology(s: &str) -> Result<Topology, String> {
+    match s {
+        "single-layer" => Ok(Topology::SingleLayer),
+        "collapsed" => Ok(Topology::Collapsed),
+        "distributed" => Ok(Topology::Distributed),
+        other => Err(format!(
+            "unknown topology '{other}' (expected single-layer, collapsed or distributed)"
+        )),
+    }
+}
+
+/// The canonical wire name [`parse_topology`] accepts.
+pub fn topology_wire_name(t: Topology) -> &'static str {
+    match t {
+        Topology::SingleLayer => "single-layer",
+        Topology::Collapsed => "collapsed",
+        Topology::Distributed => "distributed",
+    }
+}
+
+/// Parses a workload wire name (`standard`, `two-phase`, `bursty-posted`).
+///
+/// # Errors
+///
+/// Returns the list of valid names for anything else.
+pub fn parse_workload(s: &str) -> Result<Workload, String> {
+    match s {
+        "standard" => Ok(Workload::Standard),
+        "two-phase" => Ok(Workload::TwoPhase),
+        "bursty-posted" => Ok(Workload::BurstyPosted),
+        other => Err(format!(
+            "unknown workload '{other}' (expected standard, two-phase or bursty-posted)"
+        )),
+    }
+}
+
+/// The canonical wire name [`parse_workload`] accepts.
+pub fn workload_wire_name(w: Workload) -> &'static str {
+    match w {
+        Workload::Standard => "standard",
+        Workload::TwoPhase => "two-phase",
+        Workload::BurstyPosted => "bursty-posted",
+    }
+}
+
+impl SweepRequest {
+    /// The spec of the shared warm phase: the platform at
+    /// [`SweepRequest::base_wait_states`]. Every request that maps to the
+    /// same base spec shares one warm checkpoint.
+    pub fn base_spec(&self) -> PlatformSpec {
+        PlatformSpec {
+            protocol: self.protocol,
+            topology: self.topology,
+            memory: MemorySystem::OnChip {
+                wait_states: self.base_wait_states,
+            },
+            workload: self.workload,
+            scale: self.scale,
+            seed: self.seed,
+            ..PlatformSpec::default()
+        }
+    }
+
+    /// The canonical warm-identity key: every request field that changes
+    /// the warm checkpoint, in a stable textual form. Requests with equal
+    /// keys share a warm blob; the sweep-axis value and the tail knobs
+    /// (`wait_states`, `tick_jobs`) are deliberately excluded.
+    pub fn warm_key(&self) -> String {
+        format!(
+            "{}/{}/{}/s{}/x{:#x}/b{}/g{}",
+            protocol_wire_name(self.protocol),
+            topology_wire_name(self.topology),
+            workload_wire_name(self.workload),
+            self.scale,
+            self.seed,
+            self.base_wait_states,
+            self.fast_gear.unwrap_or(0),
+        )
+    }
+
+    /// The warm-phase gear this request asks for.
+    pub fn warm_fidelity(&self) -> Fidelity {
+        match self.fast_gear {
+            None => Fidelity::Cycle,
+            Some(quantum) => Fidelity::Fast {
+                quantum: quantum.max(1),
+            },
+        }
+    }
+}
+
+/// The deterministic warm profile of one platform spec: the base-run
+/// result and the instant at which sweep points diverge from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmProfile {
+    /// Execution cycles of the straight base run (the base sweep point).
+    pub base_cycles: u64,
+    /// Simulation time up to which every point runs at the base wait
+    /// states.
+    pub warm_until: Time,
+}
+
+/// Runs the probe (the base-wait-states point) and derives the warm
+/// boundary.
+///
+/// The base run is stepped in [`CHUNK`]-sized slices, sampling the injected
+/// transaction count at every boundary; stepping a run this way is
+/// bit-identical to running it uninterrupted. The warm boundary is the
+/// earliest chunk boundary at which at least [`WARM_PERMILLE`] of the run's
+/// total injections have happened — a deterministic instant every sweep
+/// point can replay before diverging.
+///
+/// With `gear` given, the kernel gear is forced for the probe (instead of
+/// the process-wide default the platform builder applies). In a
+/// loosely-timed gear the probe's injection timeline (and with it the
+/// sampled warm boundary and the quiescence instant) is approximate; a
+/// loosely-timed caller must therefore never use the probe's `base_cycles`
+/// and instead derive every cell from a cycle-accurate tail. At
+/// `Fast { quantum: 1 }` the trace is byte-identical to the cycle-gear one.
+///
+/// # Errors
+///
+/// Fails if the platform stalls before the horizon (model bug).
+pub fn probe_warm(spec: &PlatformSpec, gear: Option<Fidelity>) -> SimResult<WarmProfile> {
+    let mut platform = build_platform(spec)?;
+    if let Some(gear) = gear {
+        platform.sim_mut().set_fidelity(gear);
+    }
+    let mut samples: Vec<(Time, u64)> = Vec::new();
+    let mut horizon = Time::ZERO;
+    let exec = loop {
+        horizon += CHUNK;
+        match platform.sim_mut().run_to_quiescence(horizon) {
+            RunOutcome::Quiescent { at } => break Some(at),
+            RunOutcome::HorizonReached { .. } if horizon >= SERVICE_HORIZON => {
+                return platform
+                    .sim_mut()
+                    .run_to_quiescence_strict(SERVICE_HORIZON)
+                    .map(|_| unreachable!("probe already hit the horizon"));
+            }
+            RunOutcome::HorizonReached { .. } => {
+                samples.push((horizon, platform.injected_so_far()));
+            }
+        }
+    };
+    let total = platform.injected_so_far();
+    let threshold = total * WARM_PERMILLE / 1000;
+    let warm_until = samples
+        .iter()
+        .find(|(_, injected)| *injected >= threshold)
+        .or(samples.last())
+        .map_or(Time::ZERO, |(at, _)| *at);
+    Ok(WarmProfile {
+        base_cycles: exec.map_or(0, |at| platform.report_at(at).exec_cycles),
+        warm_until,
+    })
+}
+
+/// A reusable warm checkpoint: the probe's profile, the blob taken at the
+/// warm boundary, and the structural fingerprint of the platform that
+/// produced it. This is what the server's LRU cache stores and forks.
+#[derive(Debug, Clone)]
+pub struct WarmState {
+    /// The probe's warm profile.
+    pub profile: WarmProfile,
+    /// The checkpoint taken at [`WarmProfile::warm_until`]. Cloning is a
+    /// reference-count bump, so one blob serves many concurrent forks.
+    pub blob: SnapshotBlob,
+    /// Structural fingerprint of the producing platform. A consumer must
+    /// only fork this state into a platform with an equal fingerprint.
+    pub fingerprint: u64,
+}
+
+/// Produces the warm state of a request: probes the warm boundary, runs a
+/// fresh platform to it, and checkpoints there.
+///
+/// With a loosely-timed warm gear ([`SweepRequest::fast_gear`]), the probe
+/// and the warm prefix fast-forward through multi-edge windows and the
+/// simulation is shifted back to [`Fidelity::Cycle`] *before* the
+/// checkpoint — exactly like `repro --fast-warm` — so the blob is an
+/// ordinary cycle-gear checkpoint (identical structural fingerprint) and
+/// every served tail is a cycle-accurate continuation.
+///
+/// Deterministic: the same request always produces a byte-identical blob.
+///
+/// # Errors
+///
+/// Fails if the platform stalls (model bug).
+pub fn warm_state(req: &SweepRequest) -> SimResult<WarmState> {
+    let spec = req.base_spec();
+    let gear = req.warm_fidelity();
+    let profile = match gear {
+        Fidelity::Cycle => probe_warm(&spec, None)?,
+        fast => probe_warm(&spec, Some(fast))?,
+    };
+    let mut platform = build_platform(&spec)?;
+    match gear {
+        Fidelity::Cycle => {
+            platform.sim_mut().run_until(profile.warm_until);
+        }
+        fast => {
+            // Deterministic gear-shift: land on the boundary in the fast
+            // gear, then settle cycle-accurately so the checkpoint carries
+            // no illegal run-ahead (see fig4_warm_state).
+            platform.sim_mut().set_fidelity(fast);
+            platform.sim_mut().run_until(profile.warm_until);
+            platform.sim_mut().set_fidelity(Fidelity::Cycle);
+            platform.sim_mut().run_until(profile.warm_until);
+        }
+    }
+    let fingerprint = platform.structural_fingerprint();
+    Ok(WarmState {
+        profile,
+        blob: platform.checkpoint(),
+        fingerprint,
+    })
+}
+
+/// Serves one sweep point from a warm state: builds a fresh platform from
+/// the request's base spec, forks the blob into it, applies the point's
+/// wait states and tick jobs, and runs the tail to quiescence.
+///
+/// Returns the tail's execution time in reference-clock cycles — for the
+/// base point (`wait_states == base_wait_states`) this equals the probe's
+/// `base_cycles`, because the fork continues the exact tick sequence the
+/// uninterrupted run executed.
+///
+/// # Errors
+///
+/// Fails if the blob's fingerprint does not match the freshly built
+/// platform (never served from a correct cache), on a corrupt blob, or if
+/// the tail stalls.
+pub fn serve_point(req: &SweepRequest, warm: &WarmState) -> SimResult<u64> {
+    let mut platform = build_platform(&req.base_spec())?;
+    let own = platform.structural_fingerprint();
+    if own != warm.fingerprint {
+        return Err(SimError::Snapshot {
+            source: mpsoc_kernel::SnapshotError::StructureMismatch {
+                detail: format!(
+                    "warm state fingerprint {:#018x} does not match request platform {own:#018x}",
+                    warm.fingerprint
+                ),
+            },
+        });
+    }
+    if req.tick_jobs > 1 {
+        platform.sim_mut().set_tick_jobs(req.tick_jobs);
+    }
+    platform.restore(&warm.blob)?;
+    if !platform.set_memory_wait_states(req.wait_states) {
+        return Err(SimError::InvalidConfig {
+            reason: "sweep requests target on-chip memory platforms".into(),
+        });
+    }
+    let exec = platform
+        .sim_mut()
+        .run_to_quiescence_strict(SERVICE_HORIZON)?;
+    Ok(platform.report_at(exec).exec_cycles)
+}
+
+/// Serves one sweep point cold: computes the warm state from scratch and
+/// forks it once. The reference the server's cache-hit path is asserted
+/// against — a cache hit must return exactly this value.
+///
+/// # Errors
+///
+/// Same as [`warm_state`] and [`serve_point`].
+pub fn cold_point(req: &SweepRequest) -> SimResult<u64> {
+    let warm = warm_state(req)?;
+    serve_point(req, &warm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_request() -> SweepRequest {
+        SweepRequest {
+            scale: 1,
+            seed: 0x0dab,
+            ..SweepRequest::default()
+        }
+    }
+
+    #[test]
+    fn wire_names_round_trip() {
+        for p in [
+            ProtocolKind::StbusT1,
+            ProtocolKind::StbusT2,
+            ProtocolKind::StbusT3,
+            ProtocolKind::Ahb,
+            ProtocolKind::Axi,
+        ] {
+            assert_eq!(parse_protocol(protocol_wire_name(p)), Ok(p));
+        }
+        for t in [
+            Topology::SingleLayer,
+            Topology::Collapsed,
+            Topology::Distributed,
+        ] {
+            assert_eq!(parse_topology(topology_wire_name(t)), Ok(t));
+        }
+        for w in [
+            Workload::Standard,
+            Workload::TwoPhase,
+            Workload::BurstyPosted,
+        ] {
+            assert_eq!(parse_workload(workload_wire_name(w)), Ok(w));
+        }
+        assert!(parse_protocol("pci").is_err());
+        assert!(parse_topology("ring").is_err());
+        assert!(parse_workload("idle").is_err());
+    }
+
+    #[test]
+    fn warm_key_excludes_tail_knobs() {
+        let a = quick_request();
+        let b = SweepRequest {
+            wait_states: 16,
+            tick_jobs: 4,
+            ..quick_request()
+        };
+        assert_eq!(a.warm_key(), b.warm_key());
+        let c = SweepRequest {
+            seed: 1,
+            ..quick_request()
+        };
+        assert_ne!(a.warm_key(), c.warm_key());
+        let d = SweepRequest {
+            fast_gear: Some(16),
+            ..quick_request()
+        };
+        assert_ne!(a.warm_key(), d.warm_key());
+    }
+
+    #[test]
+    fn warm_states_are_byte_identical_across_runs() {
+        let req = quick_request();
+        let a = warm_state(&req).expect("warm state");
+        let b = warm_state(&req).expect("warm state");
+        assert_eq!(a.blob.as_bytes(), b.blob.as_bytes());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.profile, b.profile);
+        assert_eq!(a.blob.fingerprint(), Ok(a.fingerprint));
+    }
+
+    #[test]
+    fn base_point_fork_matches_the_probe() {
+        let req = quick_request();
+        let warm = warm_state(&req).expect("warm state");
+        let served = serve_point(&req, &warm).expect("serves");
+        assert_eq!(
+            served, warm.profile.base_cycles,
+            "forking the base point must continue the probe's exact run"
+        );
+    }
+
+    #[test]
+    fn mismatched_warm_state_is_refused() {
+        let req = quick_request();
+        let other = SweepRequest {
+            topology: Topology::Collapsed,
+            ..quick_request()
+        };
+        let warm = warm_state(&other).expect("warm state");
+        let err = serve_point(&req, &warm).unwrap_err();
+        assert!(
+            err.to_string().contains("fingerprint"),
+            "stale blob must be refused by fingerprint: {err}"
+        );
+    }
+
+    #[test]
+    fn tick_jobs_do_not_change_the_result() {
+        let warm = warm_state(&quick_request()).expect("warm state");
+        let serial = serve_point(
+            &SweepRequest {
+                wait_states: 8,
+                ..quick_request()
+            },
+            &warm,
+        )
+        .expect("serves");
+        let parallel = serve_point(
+            &SweepRequest {
+                wait_states: 8,
+                tick_jobs: 4,
+                ..quick_request()
+            },
+            &warm,
+        )
+        .expect("serves");
+        assert_eq!(serial, parallel);
+    }
+}

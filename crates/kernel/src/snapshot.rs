@@ -192,6 +192,30 @@ impl SnapshotBlob {
     pub fn is_empty(&self) -> bool {
         self.bytes.is_empty()
     }
+
+    /// The structural fingerprint the producing simulation stamped into the
+    /// blob's leading `meta` section (see
+    /// `Simulation::structural_fingerprint`).
+    ///
+    /// This validates the whole blob (magic, version, checksum) but decodes
+    /// only the fingerprint field, so a warm-checkpoint cache can match a
+    /// stored blob against a target platform *before* attempting a restore
+    /// — a mismatch means the blob was taken from a structurally different
+    /// platform and must never be served.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same validation errors a restore would: bad magic,
+    /// unsupported version, checksum mismatch, or a corrupt leading section.
+    pub fn fingerprint(&self) -> Result<u64, SnapshotError> {
+        let mut r = StateReader::new(self)?;
+        r.expect_section("meta");
+        let fingerprint = r.read_u64();
+        if let Some(err) = r.poisoned {
+            return Err(err);
+        }
+        Ok(fingerprint)
+    }
 }
 
 /// Append-only writer producing the snapshot byte format.

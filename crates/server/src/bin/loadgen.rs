@@ -1,0 +1,216 @@
+//! `loadgen` — deterministic load generator for the sweep server.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT | --addr-file PATH
+//!         [--requests N] [--connections C | --rate R]
+//!         [--scale N] [--seed N] [--rng-seed N] [--tick-jobs N]
+//!         [--table] [--require-hits] [--shutdown]
+//!         [--no-bench-out] [--bench-out <path>]
+//! ```
+//!
+//! Issues a seeded, duplicate-heavy FIG-4 request mix (every cell once,
+//! then random duplicates), asserts that all responses for the same cell
+//! agree byte-for-byte (the warm-cache determinism contract), and prints a
+//! throughput/latency summary. `--table` additionally reconstructs the
+//! FIG-4 table from the served cells on stdout — CI diffs it against the
+//! one-shot `repro --exp fig4` output. The summary is recorded into the
+//! performance ledger's `server` section (like `repro` does for its
+//! sections): `target/BENCH_kernel.json` by default, an explicit committed
+//! path via `--bench-out`.
+
+use mpsoc_bench::ledger;
+use mpsoc_server::loadgen::{run, Client, Pacing, RunConfig, RunReport};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT | --addr-file PATH\n\
+         \n\
+         --requests N      total requests (default 48; first 12 cover every FIG-4 cell)\n\
+         --connections C   closed-loop lanes (default 4)\n\
+         --rate R          open-loop mode: one connection paced at R requests/sec\n\
+         --scale N         workload scale of every request (default 4)\n\
+         --seed N          simulation seed of every request (default 0x0dab)\n\
+         --rng-seed N      mix-shuffling seed (default 1)\n\
+         --tick-jobs N     tick_jobs knob forwarded on every request (default 1)\n\
+         --table           print the reconstructed FIG-4 table on stdout\n\
+         --require-hits    fail unless the run saw at least one warm-cache hit\n\
+         --shutdown        send a shutdown request when done\n\
+         --no-bench-out    skip the perf ledger\n\
+         --bench-out PATH  write the ledger to PATH (e.g. the committed copy)"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    config: RunConfig,
+    addr_file: Option<String>,
+    table: bool,
+    require_hits: bool,
+    shutdown: bool,
+    bench_out: bool,
+    bench_out_path: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        config: RunConfig::default(),
+        addr_file: None,
+        table: false,
+        require_hits: false,
+        shutdown: false,
+        bench_out: true,
+        bench_out_path: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.config.addr = next(&mut it),
+            "--addr-file" => args.addr_file = Some(next(&mut it)),
+            "--requests" => {
+                args.config.requests = next(&mut it).parse().unwrap_or_else(|_| usage());
+            }
+            "--connections" => {
+                args.config.pacing = Pacing::Closed {
+                    connections: next(&mut it).parse().unwrap_or_else(|_| usage()),
+                };
+            }
+            "--rate" => {
+                args.config.pacing = Pacing::Open {
+                    requests_per_sec: next(&mut it).parse().unwrap_or_else(|_| usage()),
+                };
+            }
+            "--scale" => args.config.scale = next(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.config.seed = parse_u64(&next(&mut it)).unwrap_or_else(|| usage()),
+            "--rng-seed" => {
+                args.config.rng_seed = parse_u64(&next(&mut it)).unwrap_or_else(|| usage());
+            }
+            "--tick-jobs" => {
+                args.config.tick_jobs = next(&mut it).parse().unwrap_or_else(|_| usage());
+            }
+            "--table" => args.table = true,
+            "--require-hits" => args.require_hits = true,
+            "--shutdown" => args.shutdown = true,
+            "--no-bench-out" => args.bench_out = false,
+            "--bench-out" => args.bench_out_path = Some(next(&mut it).into()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn host_cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
+fn section_json(args: &Args, report: &RunReport) -> String {
+    let (mode, connections) = match args.config.pacing {
+        Pacing::Closed { connections } => ("closed", connections as u64),
+        Pacing::Open { .. } => ("open", 1),
+    };
+    format!(
+        "{{\"mode\":\"{mode}\",\"connections\":{connections},\"scale\":{},\
+         \"requests\":{},\"requests_per_sec\":{:.2},\
+         \"p50_micros\":{},\"p99_micros\":{},\
+         \"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\
+         \"p50_hit_micros\":{},\"p50_miss_micros\":{},\"hit_speedup\":{:.2},\
+         \"host_cores\":{}}}",
+        args.config.scale,
+        report.responses,
+        report.requests_per_sec(),
+        RunReport::percentile(&report.latencies_micros, 50.0),
+        RunReport::percentile(&report.latencies_micros, 99.0),
+        report.hits,
+        report.misses,
+        report.hit_rate(),
+        RunReport::percentile(&report.hit_latencies_micros, 50.0),
+        RunReport::percentile(&report.miss_latencies_micros, 50.0),
+        report.hit_speedup(),
+        host_cores(),
+    )
+}
+
+fn main() -> ExitCode {
+    let mut args = parse_args();
+    if let Some(path) = &args.addr_file {
+        match std::fs::read_to_string(path) {
+            Ok(text) => args.config.addr = text.trim().to_string(),
+            Err(e) => {
+                eprintln!("loadgen: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.config.addr.is_empty() {
+        usage();
+    }
+    let report = match run(&args.config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The human-readable summary goes to stderr so `--table` leaves stdout
+    // byte-comparable against `repro --exp fig4`.
+    eprintln!(
+        "loadgen: {} responses in {:.2}s ({:.1} req/s), p50 {}us p99 {}us, \
+         {} hits / {} misses (hit rate {:.2}), hit speedup {:.1}x",
+        report.responses,
+        report.wall_seconds,
+        report.requests_per_sec(),
+        RunReport::percentile(&report.latencies_micros, 50.0),
+        RunReport::percentile(&report.latencies_micros, 99.0),
+        report.hits,
+        report.misses,
+        report.hit_rate(),
+        report.hit_speedup(),
+    );
+    if args.table {
+        match report.fig4_table() {
+            Some(table) => print!("{table}"),
+            None => {
+                eprintln!("loadgen: run did not cover every FIG-4 cell, no table");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.require_hits && report.hits == 0 {
+        eprintln!("loadgen: required warm-cache hits, saw none");
+        return ExitCode::FAILURE;
+    }
+    if args.bench_out {
+        let path = args
+            .bench_out_path
+            .clone()
+            .unwrap_or_else(ledger::default_path);
+        match ledger::update_section(&path, "server", &section_json(&args, &report)) {
+            Ok(()) => eprintln!("perf ledger updated: {}", path.display()),
+            Err(e) => {
+                eprintln!("loadgen: cannot write perf ledger: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.shutdown {
+        let sent = Client::connect(&args.config.addr)
+            .and_then(|mut c| c.roundtrip("{\"cmd\":\"shutdown\"}"));
+        if let Err(e) = sent {
+            eprintln!("loadgen: shutdown request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

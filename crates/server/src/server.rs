@@ -1,0 +1,256 @@
+//! The TCP/JSON-lines sweep server.
+//!
+//! One thread per connection; every connection multiplexes requests in
+//! order over a shared [`WarmCache`]. A `simulate` request builds its
+//! platform spec, looks the warm checkpoint up by
+//! [`SweepRequest::warm_key`](mpsoc_platform::service::SweepRequest::warm_key)
+//! under the freshly built platform's structural fingerprint, computes the
+//! warm-up on a miss (concurrent misses for the same key collapse onto one
+//! computation), and forks the blob to serve the requested point(s) — an
+//! array sweep fans out across worker threads via [`parallel_map`].
+//!
+//! Cache hits are byte-identical to cold runs: the warm state is a pure
+//! function of the request key, restore is bit-exact, and the fingerprint
+//! check refuses structurally stale blobs. CI drives this end to end with
+//! the `loadgen` binary and diffs served tables against `repro`'s.
+
+use crate::cache::{CacheStats, Lookup, WarmCache};
+use crate::protocol::{self, CacheOutcome, Command, PointResult, Simulate};
+use mpsoc_platform::build_platform;
+use mpsoc_platform::experiments::parallel_map;
+use mpsoc_platform::service::{self, WarmState};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum number of warm checkpoints kept alive (LRU beyond that).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { cache_capacity: 8 }
+    }
+}
+
+/// Counters the `stats` command reports (cache counters live in
+/// [`CacheStats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Simulate requests served (one per request line, however many points
+    /// it fanned out).
+    pub requests: u64,
+    /// Individual sweep points served.
+    pub points: u64,
+    /// Requests that failed with an error response.
+    pub errors: u64,
+}
+
+struct Shared {
+    cache: WarmCache<WarmState>,
+    running: AtomicBool,
+    requests: AtomicU64,
+    points: AtomicU64,
+    errors: AtomicU64,
+    addr: SocketAddr,
+    /// Read halves of every live connection, so a shutdown request can
+    /// half-close idle connections: their handler threads would otherwise
+    /// sit in a blocking read and `run` could never join them.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Shared {
+    fn stats_line(&self) -> String {
+        let c = self.cache.stats();
+        format!(
+            "{{\"id\":0,\"status\":\"ok\",\"stats\":{{\"requests\":{},\"points\":{},\"errors\":{},\
+             \"hits\":{},\"misses\":{},\"evictions\":{},\"stale_rejected\":{},\
+             \"hit_rate\":{:.6},\"entries\":{},\"capacity\":{}}}}}",
+            self.requests.load(Ordering::Relaxed),
+            self.points.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.stale_rejected,
+            c.hit_rate(),
+            self.cache.len(),
+            self.cache.capacity(),
+        )
+    }
+}
+
+/// A bound sweep server, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: &str, config: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cache: WarmCache::new(config.cache_capacity),
+                running: AtomicBool::new(true),
+                requests: AtomicU64::new(0),
+                points: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                addr,
+                conns: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Accepts connections until a `shutdown` request arrives, then joins
+    /// every connection thread and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors.
+    pub fn run(self) -> io::Result<()> {
+        let mut workers = Vec::new();
+        for (id, stream) in (0u64..).zip(self.listener.incoming()) {
+            if !self.shared.running.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            if let Ok(clone) = stream.try_clone() {
+                self.shared
+                    .conns
+                    .lock()
+                    .expect("conn registry")
+                    .insert(id, clone);
+            }
+            let shared = Arc::clone(&self.shared);
+            workers.push(std::thread::spawn(move || {
+                // A broken connection only ends that connection.
+                let _ = handle_connection(stream, &shared);
+                shared.conns.lock().expect("conn registry").remove(&id);
+            }));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = dispatch(&line, shared);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves one request line; returns the response line and whether the
+/// connection (and server) should stop.
+fn dispatch(line: &str, shared: &Shared) -> (String, bool) {
+    match protocol::parse_command(line) {
+        Err(message) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            (protocol::error_response(0, &message), false)
+        }
+        Ok(Command::Ping) => (protocol::ping_response(0), false),
+        Ok(Command::Stats) => (shared.stats_line(), false),
+        Ok(Command::Shutdown) => {
+            shared.running.store(false, Ordering::SeqCst);
+            // Half-close every live connection's read side: handlers idle
+            // in a blocking read see EOF and exit, so `run` can join them.
+            // Write sides stay open — this response still goes out.
+            for conn in shared.conns.lock().expect("conn registry").values() {
+                let _ = conn.shutdown(Shutdown::Read);
+            }
+            // Unblock the accept loop so `run` can notice and drain.
+            let _ = TcpStream::connect(shared.addr);
+            (
+                "{\"id\":0,\"status\":\"ok\",\"shutdown\":true}".into(),
+                true,
+            )
+        }
+        Ok(Command::Simulate(sim)) => {
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            match serve_simulate(shared, &sim) {
+                Ok(response) => (response, false),
+                Err(message) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    (protocol::error_response(sim.id, &message), false)
+                }
+            }
+        }
+    }
+}
+
+fn serve_simulate(shared: &Shared, sim: &Simulate) -> Result<String, String> {
+    let started = Instant::now();
+    // The fingerprint the cached blob must match: the one of the platform
+    // this request would build. Building is wiring-only (no simulation).
+    let expected = build_platform(&sim.req.base_spec())
+        .map_err(|e| e.to_string())?
+        .structural_fingerprint();
+    let (warm, lookup) = shared
+        .cache
+        .get_or_compute(&sim.req.warm_key(), expected, || {
+            service::warm_state(&sim.req)
+        })
+        .map_err(|e| e.to_string())?;
+    let outcome = match lookup {
+        Lookup::Hit => CacheOutcome::Hit,
+        Lookup::Miss | Lookup::Stale => CacheOutcome::Miss,
+    };
+    let tails = parallel_map(sim.points(), sim.jobs, |req| {
+        service::serve_point(&req, &warm).map(|exec_cycles| PointResult {
+            wait_states: req.wait_states,
+            exec_cycles,
+        })
+    });
+    let mut points = Vec::with_capacity(tails.len());
+    for tail in tails {
+        points.push(tail.map_err(|e| e.to_string())?);
+    }
+    shared
+        .points
+        .fetch_add(points.len() as u64, Ordering::Relaxed);
+    Ok(protocol::simulate_response(
+        sim.id,
+        outcome,
+        warm.profile.base_cycles,
+        &points,
+        started.elapsed().as_micros(),
+    ))
+}

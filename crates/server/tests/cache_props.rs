@@ -1,0 +1,104 @@
+//! Property tests for the warm-checkpoint LRU cache: deterministic
+//! eviction order (checked against a tiny reference model) and the
+//! staleness guarantee (a fingerprint mismatch never serves a cached
+//! value).
+
+use mpsoc_server::{Lookup, WarmCache};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A trivially-correct reference model of the cache's visible semantics:
+/// a recency-ordered list (front = most recent) with fingerprint checks.
+struct Model {
+    capacity: usize,
+    entries: VecDeque<(u64, u64, u64)>, // (key, fingerprint, value)
+}
+
+impl Model {
+    fn new(capacity: usize) -> Self {
+        Model {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+        }
+    }
+
+    fn lookup(&mut self, key: u64, fingerprint: u64) -> (Option<u64>, Lookup) {
+        match self.entries.iter().position(|e| e.0 == key) {
+            None => (None, Lookup::Miss),
+            Some(at) => {
+                let entry = self.entries.remove(at).expect("present");
+                if entry.1 == fingerprint {
+                    self.entries.push_front(entry);
+                    (Some(entry.2), Lookup::Hit)
+                } else {
+                    (None, Lookup::Stale)
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, fingerprint: u64, value: u64) {
+        if let Some(at) = self.entries.iter().position(|e| e.0 == key) {
+            self.entries.remove(at);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.pop_back();
+        }
+        self.entries.push_front((key, fingerprint, value));
+    }
+
+    fn keys_by_recency(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.0.to_string()).collect()
+    }
+}
+
+proptest! {
+    /// Any interleaving of lookups and inserts leaves the cache with
+    /// exactly the reference model's contents in exactly the reference
+    /// model's recency order — eviction is deterministic LRU, not
+    /// approximate.
+    #[test]
+    fn cache_matches_the_reference_model(
+        capacity in 1usize..5,
+        ops in prop::collection::vec((0u64..2, 0u64..6, 0u64..3, 0u64..100), 1..60),
+    ) {
+        let cache: WarmCache<u64> = WarmCache::new(capacity);
+        let mut model = Model::new(capacity);
+        for (kind, key, fingerprint, value) in ops {
+            let name = key.to_string();
+            if kind == 0 {
+                let (got, outcome) = cache.lookup(&name, fingerprint);
+                let (want, want_outcome) = model.lookup(key, fingerprint);
+                prop_assert_eq!(outcome, want_outcome);
+                prop_assert_eq!(got.map(|v| *v), want);
+            } else {
+                cache.insert(&name, fingerprint, Arc::new(value));
+                model.insert(key, fingerprint, value);
+            }
+            prop_assert_eq!(cache.keys_by_recency(), model.keys_by_recency());
+            prop_assert!(cache.len() <= capacity.max(1));
+        }
+    }
+
+    /// A cached entry is only ever served under the exact fingerprint it
+    /// was inserted with; any other fingerprint evicts it instead.
+    #[test]
+    fn fingerprint_mismatch_never_serves_a_cached_value(
+        inserted_fp in 0u64..1000,
+        probed_fp in 0u64..1000,
+    ) {
+        let cache: WarmCache<u64> = WarmCache::new(2);
+        cache.insert("k", inserted_fp, Arc::new(7));
+        let (value, outcome) = cache.lookup("k", probed_fp);
+        if probed_fp == inserted_fp {
+            prop_assert_eq!(outcome, Lookup::Hit);
+            prop_assert_eq!(value.map(|v| *v), Some(7));
+        } else {
+            prop_assert_eq!(outcome, Lookup::Stale);
+            prop_assert!(value.is_none());
+            // And the poisoned entry is gone for good.
+            prop_assert_eq!(cache.lookup("k", inserted_fp).1, Lookup::Miss);
+            prop_assert_eq!(cache.stats().stale_rejected, 1);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! End-to-end loopback tests: a real server on an ephemeral port, driven
+//! through real sockets, plus the cache-vs-cold determinism property on
+//! randomly drawn sweep requests.
+
+use mpsoc_platform::service::{self, SweepRequest};
+use mpsoc_platform::Topology;
+use mpsoc_server::loadgen::{self, Client, Pacing, RunConfig};
+use mpsoc_server::{Server, ServerConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Binds a server on an ephemeral loopback port and runs it on a
+/// background thread. Returns the address and the join handle; tests must
+/// send a shutdown request and join.
+fn start_server(cache_capacity: usize) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", &ServerConfig { cache_capacity }).expect("binds");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serves"));
+    (addr, handle)
+}
+
+fn shutdown(addr: &str) {
+    let mut client = Client::connect(addr).expect("connects");
+    let line = client
+        .roundtrip("{\"cmd\":\"shutdown\"}")
+        .expect("responds");
+    assert!(line.contains("\"shutdown\":true"), "{line}");
+}
+
+fn field_u64(line: &str, field: &str) -> u64 {
+    let tag = format!("\"{field}\":");
+    let pos = line
+        .find(&tag)
+        .unwrap_or_else(|| panic!("{field} in {line}"));
+    let rest = &line[pos + tag.len()..];
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end]
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("{field} in {line}"))
+}
+
+#[test]
+fn protocol_flow_over_a_real_socket() {
+    let (addr, handle) = start_server(4);
+    let mut client = Client::connect(&addr).expect("connects");
+
+    // Liveness.
+    let pong = client.roundtrip("{\"cmd\":\"ping\"}").expect("responds");
+    assert!(pong.contains("\"pong\":true"), "{pong}");
+
+    // Malformed requests produce error responses, not disconnects.
+    for bad in ["not json", "{\"cmd\":\"reboot\"}", "{\"protocol\":\"pci\"}"] {
+        let line = client.roundtrip(bad).expect("responds");
+        assert!(line.contains("\"status\":\"error\""), "{bad} -> {line}");
+    }
+
+    // First simulate request: a cold miss.
+    let req = "{\"id\":1,\"topology\":\"distributed\",\"scale\":1,\"wait_states\":8}";
+    let first = client.roundtrip(req).expect("responds");
+    assert!(first.contains("\"cache\":\"miss\""), "{first}");
+    let cycles = field_u64(&first, "exec_cycles");
+
+    // The duplicate is a hit and byte-identical in every result field.
+    let second = client
+        .roundtrip(req.replace("\"id\":1", "\"id\":2").as_str())
+        .expect("responds");
+    assert!(second.contains("\"cache\":\"hit\""), "{second}");
+    assert_eq!(field_u64(&second, "exec_cycles"), cycles);
+    assert_eq!(
+        field_u64(&first, "base_cycles"),
+        field_u64(&second, "base_cycles")
+    );
+
+    // The hit matches the service layer's cold reference exactly.
+    let reference = service::cold_point(&SweepRequest {
+        scale: 1,
+        wait_states: 8,
+        ..SweepRequest::default()
+    })
+    .expect("cold run");
+    assert_eq!(cycles, reference, "served result must equal a cold run");
+
+    // An array axis fans out in order and reuses the same warm state.
+    let sweep = client
+        .roundtrip(
+            "{\"id\":3,\"topology\":\"distributed\",\"scale\":1,\"wait_states\":[1,8],\"jobs\":2}",
+        )
+        .expect("responds");
+    assert!(sweep.contains("\"cache\":\"hit\""), "{sweep}");
+    assert!(
+        sweep.contains(&format!("{{\"wait_states\":8,\"exec_cycles\":{cycles}}}")),
+        "sweep must contain the point's exact cell: {sweep}"
+    );
+
+    // Stats reflect the traffic.
+    let stats = client.roundtrip("{\"cmd\":\"stats\"}").expect("responds");
+    assert!(field_u64(&stats, "hits") >= 2, "{stats}");
+    assert_eq!(field_u64(&stats, "misses"), 1, "{stats}");
+    assert_eq!(field_u64(&stats, "entries"), 1, "{stats}");
+
+    shutdown(&addr);
+    handle.join().expect("server exits cleanly");
+}
+
+#[test]
+fn concurrent_duplicates_share_one_warm_up() {
+    let (addr, handle) = start_server(4);
+    let addr = Arc::new(addr);
+    let mut lanes = Vec::new();
+    for id in 0..4 {
+        let addr = Arc::clone(&addr);
+        lanes.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connects");
+            let line = client
+                .roundtrip(&format!(
+                    "{{\"id\":{id},\"topology\":\"collapsed\",\"scale\":1,\"wait_states\":4}}"
+                ))
+                .expect("responds");
+            assert!(line.contains("\"status\":\"ok\""), "{line}");
+            field_u64(&line, "exec_cycles")
+        }));
+    }
+    let results: Vec<u64> = lanes.into_iter().map(|l| l.join().expect("lane")).collect();
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+
+    let mut client = Client::connect(&addr).expect("connects");
+    let stats = client.roundtrip("{\"cmd\":\"stats\"}").expect("responds");
+    assert_eq!(
+        field_u64(&stats, "misses"),
+        1,
+        "concurrent misses must collapse onto one warm-up: {stats}"
+    );
+    assert_eq!(field_u64(&stats, "hits"), 3, "{stats}");
+
+    shutdown(&addr);
+    handle.join().expect("server exits cleanly");
+}
+
+#[test]
+fn loadgen_closed_loop_reconstructs_the_table_with_hits() {
+    let (addr, handle) = start_server(4);
+    let report = loadgen::run(&RunConfig {
+        addr: addr.clone(),
+        requests: 16,
+        pacing: Pacing::Closed { connections: 2 },
+        scale: 1,
+        ..RunConfig::default()
+    })
+    .expect("run agrees");
+    assert_eq!(report.responses, 16);
+    assert!(report.hits > 0, "duplicate-heavy mix must hit the cache");
+    assert_eq!(report.hits + report.misses, report.responses);
+    let table = report.fig4_table().expect("full coverage");
+    let reference = mpsoc_platform::experiments::fig4(1, SweepRequest::default().seed)
+        .expect("cold sweep")
+        .to_string();
+    assert_eq!(
+        table.to_string(),
+        reference,
+        "served table must be byte-identical to the one-shot experiment"
+    );
+    shutdown(&addr);
+    handle.join().expect("server exits cleanly");
+}
+
+#[test]
+fn loadgen_open_loop_paces_and_agrees() {
+    let (addr, handle) = start_server(4);
+    let report = loadgen::run(&RunConfig {
+        addr: addr.clone(),
+        requests: 14,
+        pacing: Pacing::Open {
+            requests_per_sec: 200.0,
+        },
+        scale: 1,
+        ..RunConfig::default()
+    })
+    .expect("run agrees");
+    assert_eq!(report.responses, 14);
+    assert!(report.hits > 0);
+    shutdown(&addr);
+    handle.join().expect("server exits cleanly");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Forking a cached warm state is byte-identical to a cold run for
+    /// randomly drawn sweep requests — the cache can never change results,
+    /// only wall-clock time.
+    #[test]
+    fn fork_from_cache_matches_cold_across_random_configs(
+        topology_bit in 0u64..2,
+        ws_exp in 0u64..6,
+        seed in 0u64..3,
+    ) {
+        let req = SweepRequest {
+            topology: if topology_bit == 0 {
+                Topology::Collapsed
+            } else {
+                Topology::Distributed
+            },
+            wait_states: 1 << ws_exp,
+            scale: 1,
+            seed: 0x0dab + seed,
+            ..SweepRequest::default()
+        };
+        let cold = service::cold_point(&req).expect("cold run");
+        // One warm-up, two forks — exactly what the server's cache does.
+        let warm = service::warm_state(&req).expect("warm state");
+        let first = service::serve_point(&req, &warm).expect("fork");
+        let second = service::serve_point(&req, &warm).expect("fork");
+        prop_assert_eq!(first, cold);
+        prop_assert_eq!(second, cold);
+    }
+}
