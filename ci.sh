@@ -5,9 +5,10 @@
 #   ./ci.sh lint       # rustfmt, clippy (warnings are errors), rustdoc
 #   ./ci.sh test       # tier-1 release build + workspace tests + smoke runs
 #   ./ci.sh gates      # the equivalence/determinism gates + the server gate
+#   ./ci.sh dse        # design-space search determinism + resume equality
 #   ./ci.sh bench      # bench guard vs the committed perf ledger
 #
-# The four stages are independent — .github/workflows/ci.yml runs them as
+# The five stages are independent — .github/workflows/ci.yml runs them as
 # parallel jobs — and every gate inside `gates` produces its own reference
 # output, so any single stage can be run standalone on a fresh checkout.
 #
@@ -32,8 +33,14 @@
 #          server: simserved + a duplicate-heavy loadgen mix must see warm-
 #            cache hits and serve a FIG-4 table byte-identical to the
 #            one-shot `repro --exp fig4` run
+#   dse    determinism: the scale-1 design-space search run twice (and once
+#            with --jobs 4) must emit byte-identical Pareto fronts
+#          resume equality: a search checkpointed and interrupted after one
+#            rung, then resumed, must emit the same front as an
+#            uninterrupted run
 #   bench  scheduler throughput vs the committed perf ledger, the
-#          warm-fork/sparse/parallel/fast-forward/server ledger floors, and
+#          warm-fork/sparse/parallel/fast-forward/server/dse ledger
+#          floors, and
 #          a live run of the idle-heavy kernel_hotpath case against the
 #          sparse floor; on hosts with at least 4 cores, also a live run of
 #          the compute-heavy case against the parallel floor
@@ -237,6 +244,47 @@ stage_gates() {
     gate_server
 }
 
+stage_dse() {
+    echo "== dse determinism: scale-1 search twice (and --jobs 4), identical fronts =="
+    # The Pareto table is a pure function of (scale, seed, workload):
+    # repeated runs and any evaluation fan-out must agree byte for byte.
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --exp dse --scale 1 --no-bench-out > "$run_dir/dse_ref.txt"
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --exp dse --scale 1 --no-bench-out > "$run_dir/dse_again.txt"
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --exp dse --scale 1 --jobs 4 --no-bench-out > "$run_dir/dse_jobs.txt"
+    if ! diff <(filter_timing "$run_dir/dse_ref.txt") \
+              <(filter_timing "$run_dir/dse_again.txt"); then
+        echo "dse gate FAILED: identical seeds produced different fronts" >&2
+        exit 1
+    fi
+    if ! diff <(filter_timing "$run_dir/dse_ref.txt") \
+              <(filter_timing "$run_dir/dse_jobs.txt"); then
+        echo "dse gate FAILED: --jobs 4 produced a different front" >&2
+        exit 1
+    fi
+
+    echo "== dse resume equality: checkpoint, interrupt after rung 1, resume =="
+    # Interrupting the ladder mid-search and resuming from the frontier
+    # checkpoint must reproduce the uninterrupted front exactly.
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --exp dse --scale 1 --no-bench-out \
+        --dse-checkpoint "$run_dir/dse_frontier.bin" --dse-checkpoint-every 1 \
+        --dse-stop-after 1 > "$run_dir/dse_stop.txt"
+    grep -q 'search interrupted mid-ladder' "$run_dir/dse_stop.txt"
+    cargo run --release -p mpsoc-bench --bin repro -- \
+        --exp dse --scale 1 --no-bench-out \
+        --dse-checkpoint "$run_dir/dse_frontier.bin" --dse-resume \
+        > "$run_dir/dse_resume.txt"
+    if ! diff <(filter_timing "$run_dir/dse_ref.txt") \
+              <(filter_timing "$run_dir/dse_resume.txt"); then
+        echo "dse gate FAILED: resumed search differs from the uninterrupted run" >&2
+        exit 1
+    fi
+    echo "dse gate passed"
+}
+
 stage_bench() {
     echo "== bench guard: throughput + ledger floors vs committed ledger =="
     cargo run --release -p mpsoc-bench --bin repro -- \
@@ -261,15 +309,17 @@ case "$stage" in
     lint) stage_lint ;;
     test) stage_test ;;
     gates) stage_gates ;;
+    dse) stage_dse ;;
     bench) stage_bench ;;
     all)
         stage_test
         stage_lint
         stage_gates
+        stage_dse
         stage_bench
         ;;
     *)
-        echo "usage: ./ci.sh [lint|test|gates|bench]" >&2
+        echo "usage: ./ci.sh [lint|test|gates|dse|bench]" >&2
         exit 2
         ;;
 esac

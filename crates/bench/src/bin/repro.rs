@@ -13,6 +13,9 @@
 //! repro --fast-warm                     # loosely-timed warm phase: speedup vs error
 //! repro --exp fig3 --fast-gear 1        # run in the fast gear (q=1: identical tables)
 //! repro --exp fig4 --checkpoint-every 500 --rewind-to 2000   # time travel
+//! repro --exp dse                       # design-space exploration (Pareto front)
+//! repro --exp dse --dse-checkpoint f.bin --dse-checkpoint-every 1   # resumable
+//! repro --exp dse --dse-checkpoint f.bin --dse-resume               # resume it
 //! repro --no-bench-out       # skip writing the perf ledger
 //! repro --bench-out <path>   # refresh a committed ledger explicitly
 //! repro --check-bench <path> # fail if throughput regressed >30% vs <path>
@@ -46,10 +49,21 @@
 //! `--checkpoint-every`/`--rewind-to` run the time-travel debug harness on
 //! a representative platform of the selected experiment instead of the
 //! experiment itself.
+//!
+//! `--exp dse` runs the design-space explorer (see the `mpsoc-dse`
+//! crate): a seeded successive-halving race over fabric topologies,
+//! buffer depths and memory configurations that reports the Pareto front
+//! over throughput, latency and a static cost model. Its table is
+//! byte-identical for any `--jobs` and for a checkpoint-interrupted,
+//! resumed search (`--dse-checkpoint` + `--dse-checkpoint-every` to save
+//! the frontier, `--dse-stop-after` to interrupt, `--dse-resume` to
+//! continue). A completed run records the ledger's `"dse"` section;
+//! `--check-bench` then enforces the front-quality floors and — when the
+//! recording run fanned out on a multi-core host — the fan-out speedup.
 
 use mpsoc_bench::{
-    ledger, measure_experiment, measure_fast_forward, measure_warm_fork, timetravel, ExperimentRun,
-    EXPERIMENTS, EXPERIMENT_INFO,
+    experiment_ids, ledger, measure_experiment, measure_fast_forward, measure_warm_fork,
+    set_dse_options, take_dse_run, timetravel, DseOptions, ExperimentRun, EXPERIMENT_REGISTRY,
 };
 use mpsoc_platform::experiments::{DEFAULT_SCALE, DEFAULT_SEED};
 use serde::Serialize;
@@ -71,6 +85,10 @@ struct Args {
     bench_out_path: Option<std::path::PathBuf>,
     check_bench: Option<std::path::PathBuf>,
     dense: bool,
+    dse_checkpoint: Option<std::path::PathBuf>,
+    dse_checkpoint_every: Option<u32>,
+    dse_stop_after: Option<u32>,
+    dse_resume: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -90,6 +108,10 @@ fn parse_args() -> Result<Args, String> {
         bench_out_path: None,
         check_bench: None,
         dense: false,
+        dse_checkpoint: None,
+        dse_checkpoint_every: None,
+        dse_stop_after: None,
+        dse_resume: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -161,6 +183,30 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad rewind target: {e}"))?,
                 );
             }
+            "--dse-checkpoint" => {
+                args.dse_checkpoint =
+                    Some(it.next().ok_or("--dse-checkpoint needs a path")?.into());
+            }
+            "--dse-checkpoint-every" => {
+                let every: u32 = it
+                    .next()
+                    .ok_or("--dse-checkpoint-every needs a value (rungs)")?
+                    .parse()
+                    .map_err(|e| format!("bad checkpoint cadence: {e}"))?;
+                if every == 0 {
+                    return Err("--dse-checkpoint-every must be at least 1".into());
+                }
+                args.dse_checkpoint_every = Some(every);
+            }
+            "--dse-stop-after" => {
+                args.dse_stop_after = Some(
+                    it.next()
+                        .ok_or("--dse-stop-after needs a value (rungs)")?
+                        .parse()
+                        .map_err(|e| format!("bad rung count: {e}"))?,
+                );
+            }
+            "--dse-resume" => args.dse_resume = true,
             "--dense" => args.dense = true,
             "--no-bench-out" => args.bench_out = false,
             "--bench-out" => {
@@ -174,9 +220,11 @@ fn parse_args() -> Result<Args, String> {
                     "repro [--exp <id>] [--scale N] [--seed N] [--jobs N] [--tick-jobs N] [--list] \
                      [--warm-fork] [--fast-warm] [--fast-gear QUANTUM] \
                      [--checkpoint-every NS --rewind-to NS] [--dense] \
+                     [--dse-checkpoint <path>] [--dse-checkpoint-every RUNGS] \
+                     [--dse-stop-after RUNGS] [--dse-resume] \
                      [--no-bench-out] [--bench-out <path>] [--check-bench <path>]\n\
                      experiments: {}",
-                    EXPERIMENTS.join(", ")
+                    experiment_ids().join(", ")
                 );
                 std::process::exit(0);
             }
@@ -185,6 +233,20 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.checkpoint_every_ns.is_some() != args.rewind_to_ns.is_some() {
         return Err("--checkpoint-every and --rewind-to must be given together".into());
+    }
+    let any_dse_flag = args.dse_checkpoint.is_some()
+        || args.dse_checkpoint_every.is_some()
+        || args.dse_stop_after.is_some()
+        || args.dse_resume;
+    if any_dse_flag && args.exp.as_deref() != Some("dse") {
+        return Err("--dse-* flags only apply to `--exp dse`".into());
+    }
+    if (args.dse_checkpoint_every.is_some() || args.dse_stop_after.is_some() || args.dse_resume)
+        && args.dse_checkpoint.is_none()
+    {
+        return Err(
+            "--dse-checkpoint-every/--dse-stop-after/--dse-resume need --dse-checkpoint".into(),
+        );
     }
     if args.rewind_to_ns.is_some() && args.exp.is_none() {
         return Err("time travel needs --exp <id> to pick the platform".into());
@@ -246,15 +308,18 @@ fn main() -> ExitCode {
             "{:<14} {:>9} {:>6} {:>10}  description",
             "experiment", "~scale-1", "skip%", "ff-cycles"
         );
-        for (id, description, runtime) in EXPERIMENT_INFO {
-            let (skip, ff) = match activity.iter().find(|a| &a.id == id) {
+        for desc in EXPERIMENT_REGISTRY {
+            let (skip, ff) = match activity.iter().find(|a| a.id == desc.id) {
                 Some(a) => (
                     format!("{:.0}%", a.skip_fraction() * 100.0),
                     si_u64(a.ff_elided),
                 ),
                 None => ("-".into(), "-".into()),
             };
-            println!("{id:<14} {runtime:>9} {skip:>6} {ff:>10}  {description}");
+            println!(
+                "{:<14} {:>9} {skip:>6} {ff:>10}  {}",
+                desc.id, desc.runtime, desc.description
+            );
         }
         return ExitCode::SUCCESS;
     }
@@ -285,9 +350,17 @@ fn main() -> ExitCode {
     if args.fast_warm {
         return fast_warm(&args);
     }
+    if args.exp.as_deref() == Some("dse") {
+        set_dse_options(DseOptions {
+            checkpoint_path: args.dse_checkpoint.clone(),
+            checkpoint_every: args.dse_checkpoint_every,
+            stop_after: args.dse_stop_after,
+            resume: args.dse_resume,
+        });
+    }
     let ids: Vec<&str> = match &args.exp {
         Some(one) => vec![one.as_str()],
-        None => EXPERIMENTS.to_vec(),
+        None => experiment_ids(),
     };
     println!(
         "reproducing {} experiment(s), scale {}, seed {:#x}, jobs {}, tick-jobs {}{}\n",
@@ -333,6 +406,7 @@ fn main() -> ExitCode {
         "total: {} edges, {} sim cycles ({} skipped) in {:.2}s host time",
         section.total_edges, section.total_ticks, section.total_skipped, section.total_wall_seconds
     );
+    let dse_run = take_dse_run();
     if args.bench_out {
         let path = args
             .bench_out_path
@@ -341,6 +415,14 @@ fn main() -> ExitCode {
         match ledger::update_section(&path, "experiments", &section.to_json()) {
             Ok(()) => println!("perf ledger updated: {}", path.display()),
             Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        // A completed dse run carries its own ledger section (an
+        // interrupted --dse-stop-after run records nothing).
+        if let Some(run) = &dse_run {
+            if let Err(e) = ledger::update_section(&path, "dse", &run.to_json()) {
                 eprintln!("failed to write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
@@ -471,6 +553,26 @@ const MIN_PARALLEL_SPEEDUP: f64 = 1.5;
 /// core-count property).
 const MIN_SERVER_HIT_SPEEDUP: f64 = 1.2;
 
+/// Minimum Pareto-front size the `"dse"` ledger section must record for
+/// [`check_bench`] to pass: a front that collapses below this many
+/// non-dominated points means the explorer stopped surfacing real
+/// throughput/latency/cost trade-offs. A correctness property — never
+/// core-gated.
+const MIN_DSE_FRONT: u64 = 3;
+
+/// Minimum number of distinct fabric families the recorded Pareto front
+/// must span: a single-family front means the search degenerated into a
+/// parameter sweep of one topology. Also never core-gated.
+const MIN_DSE_FAMILIES: u64 = 2;
+
+/// Minimum serial-vs-fanned-out search speedup the `"dse"` ledger
+/// section must show for [`check_bench`] to pass — *when the recording
+/// run fanned out at all (`jobs` >= 2) and the host had a second core to
+/// fan out onto*. The candidate evaluations are independent simulations,
+/// so the fan-out has to buy real wall time or `parallel_map` has
+/// regressed.
+const MIN_DSE_FANOUT_SPEEDUP: f64 = 1.2;
+
 /// Minimum cycle-vs-fast warm-phase speedup the `"fast_forward"` ledger
 /// section must show for [`check_bench`] / [`check_fast_forward`] to
 /// pass: at the default quantum the loosely-timed gear has to beat
@@ -581,24 +683,28 @@ fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun], args: &Args) 
         }
     }
     match ledger::parallel_speedup(&doc) {
-        Some(speedup) if speedup >= MIN_PARALLEL_SPEEDUP => {
-            println!("[check parallel speedup {speedup:.2}x >= {MIN_PARALLEL_SPEEDUP}x — ok]");
-        }
         Some(speedup) => {
             let cores = ledger::parallel_host_cores(&doc);
             let jobs = ledger::parallel_tick_jobs(&doc);
-            match (cores, jobs) {
-                (Some(cores), Some(jobs)) if cores < jobs => {
+            match ledger::core_gated_floor(speedup, MIN_PARALLEL_SPEEDUP, cores, jobs) {
+                ledger::FloorVerdict::Met => {
+                    println!(
+                        "[check parallel speedup {speedup:.2}x >= {MIN_PARALLEL_SPEEDUP}x — ok]"
+                    );
+                }
+                ledger::FloorVerdict::Ungated => {
                     // The recording host could not physically run the
                     // workers side by side; the measurement is still
                     // byte-identity-checked, just not a speedup sample.
                     println!(
                         "[check parallel speedup {speedup:.2}x below {MIN_PARALLEL_SPEEDUP}x, \
-                         but recorded host_cores {cores} < requested tick_jobs {jobs} — \
-                         warning only]"
+                         but recorded host_cores {} < requested tick_jobs {} — \
+                         warning only]",
+                        cores.expect("ungated implies recorded"),
+                        jobs.expect("ungated implies recorded"),
                     );
                 }
-                _ => {
+                ledger::FloorVerdict::Missed => {
                     eprintln!(
                         "parallel check failed: speedup {speedup:.2}x below the \
                          {MIN_PARALLEL_SPEEDUP}x floor in {} (recorded host_cores {}, \
@@ -632,6 +738,9 @@ fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun], args: &Args) 
         regressed = true;
     }
     if !check_server_doc(&doc, baseline) {
+        regressed = true;
+    }
+    if !check_dse_doc(&doc, baseline) {
         regressed = true;
     }
     if regressed {
@@ -675,37 +784,119 @@ fn check_server_doc(doc: &str, baseline: &std::path::Path) -> bool {
     }
     let rps = ledger::server_requests_per_sec(doc).unwrap_or(0.0);
     match ledger::server_hit_speedup(doc) {
-        Some(speedup) if speedup >= MIN_SERVER_HIT_SPEEDUP => {
-            println!(
-                "[check server hit rate {hit_rate:.2}, {rps:.1} req/s, hit speedup \
-                 {speedup:.2}x >= {MIN_SERVER_HIT_SPEEDUP}x — ok]"
-            );
-            true
+        Some(speedup) => {
+            let cores = ledger::server_host_cores(doc);
+            // A hit must beat a miss wherever client and server can
+            // actually run side by side: the floor needs 2 cores.
+            match ledger::core_gated_floor(speedup, MIN_SERVER_HIT_SPEEDUP, cores, Some(2)) {
+                ledger::FloorVerdict::Met => {
+                    println!(
+                        "[check server hit rate {hit_rate:.2}, {rps:.1} req/s, hit speedup \
+                         {speedup:.2}x >= {MIN_SERVER_HIT_SPEEDUP}x — ok]"
+                    );
+                    true
+                }
+                ledger::FloorVerdict::Ungated => {
+                    println!(
+                        "[check server hit rate {hit_rate:.2}, {rps:.1} req/s, hit speedup \
+                         {speedup:.2}x below {MIN_SERVER_HIT_SPEEDUP}x, but recorded \
+                         host_cores {} < 2 — warning only]",
+                        cores.expect("ungated implies recorded"),
+                    );
+                    true
+                }
+                ledger::FloorVerdict::Missed => {
+                    eprintln!(
+                        "server check failed: hit speedup {speedup:.2}x below the \
+                         {MIN_SERVER_HIT_SPEEDUP}x floor in {} (recorded host_cores {})",
+                        baseline.display(),
+                        cores.map_or_else(|| "unknown".into(), |c| c.to_string()),
+                    );
+                    false
+                }
+            }
         }
-        Some(speedup) => match ledger::server_host_cores(doc) {
-            Some(cores) if cores < 2 => {
-                println!(
-                    "[check server hit rate {hit_rate:.2}, {rps:.1} req/s, hit speedup \
-                     {speedup:.2}x below {MIN_SERVER_HIT_SPEEDUP}x, but recorded \
-                     host_cores {cores} < 2 — warning only]"
-                );
-                true
-            }
-            cores => {
-                eprintln!(
-                    "server check failed: hit speedup {speedup:.2}x below the \
-                     {MIN_SERVER_HIT_SPEEDUP}x floor in {} (recorded host_cores {})",
-                    baseline.display(),
-                    cores.map_or_else(|| "unknown".into(), |c| c.to_string()),
-                );
-                false
-            }
-        },
         None => {
             eprintln!(
                 "server check failed: {} has a server section without a hit_speedup \
                  field",
                 baseline.display()
+            );
+            false
+        }
+    }
+}
+
+/// Enforces the `"dse"` ledger section: it must exist (the design-space
+/// explorer is part of the benchmarked surface), record a non-degenerate
+/// Pareto front (at least [`MIN_DSE_FRONT`] points spanning at least
+/// [`MIN_DSE_FAMILIES`] fabric families — both correctness properties,
+/// never core-gated), and show at least [`MIN_DSE_FANOUT_SPEEDUP`]
+/// between the serial and fanned-out search — a floor that only arms
+/// when the recording run actually fanned out (`jobs` >= 2) on a host
+/// with at least 2 cores. Returns whether the section passes.
+fn check_dse_doc(doc: &str, baseline: &std::path::Path) -> bool {
+    let Some(front_size) = ledger::dse_front_size(doc) else {
+        eprintln!(
+            "dse check failed: {} has no dse section (run \
+             `repro --exp dse --bench-out <path>`)",
+            baseline.display()
+        );
+        return false;
+    };
+    let families = ledger::dse_families(doc).unwrap_or(0);
+    if front_size < MIN_DSE_FRONT || families < MIN_DSE_FAMILIES {
+        eprintln!(
+            "dse check failed: {} records a degenerate Pareto front \
+             ({front_size} point(s) over {families} fabric family(ies); need >= \
+             {MIN_DSE_FRONT} over >= {MIN_DSE_FAMILIES}) — the search is no longer \
+             finding real trade-offs",
+            baseline.display()
+        );
+        return false;
+    }
+    let jobs = ledger::dse_jobs(doc).unwrap_or(1);
+    let Some(speedup) = ledger::dse_fanout_speedup(doc) else {
+        eprintln!(
+            "dse check failed: {} has a dse section without a fanout_speedup field",
+            baseline.display()
+        );
+        return false;
+    };
+    if jobs < 2 {
+        // A serial recording never measured a fan-out; the front checks
+        // above are the whole verdict.
+        println!(
+            "[check dse front {front_size} points / {families} families — ok \
+             (serial recording, fan-out floor not armed)]"
+        );
+        return true;
+    }
+    let cores = ledger::dse_host_cores(doc);
+    match ledger::core_gated_floor(speedup, MIN_DSE_FANOUT_SPEEDUP, cores, Some(2)) {
+        ledger::FloorVerdict::Met => {
+            println!(
+                "[check dse front {front_size} points / {families} families, fanout \
+                 speedup {speedup:.2}x >= {MIN_DSE_FANOUT_SPEEDUP}x — ok]"
+            );
+            true
+        }
+        ledger::FloorVerdict::Ungated => {
+            println!(
+                "[check dse front {front_size} points / {families} families, fanout \
+                 speedup {speedup:.2}x below {MIN_DSE_FANOUT_SPEEDUP}x, but recorded \
+                 host_cores {} < 2 — warning only]",
+                cores.expect("ungated implies recorded"),
+            );
+            true
+        }
+        ledger::FloorVerdict::Missed => {
+            eprintln!(
+                "dse check failed: fanout speedup {speedup:.2}x below the \
+                 {MIN_DSE_FANOUT_SPEEDUP}x floor in {} (recorded jobs {jobs}, \
+                 host_cores {})",
+                baseline.display(),
+                cores.map_or_else(|| "unknown".into(), |c| c.to_string()),
             );
             false
         }

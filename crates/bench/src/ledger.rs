@@ -12,7 +12,10 @@
 //!   `"sparse"` section (sparse vs dense ticking on the idle-heavy case),
 //!   and
 //! * the `loadgen` client writes the `"server"` section (sweep-server
-//!   requests/sec, latency percentiles and warm-cache hit rate).
+//!   requests/sec, latency percentiles and warm-cache hit rate), and
+//! * `repro --exp dse` writes the `"dse"` section (design-space search
+//!   shape, per-rung sim-cycle accounting, Pareto-front size and the
+//!   evaluation fan-out speedup).
 //!
 //! Each writer regenerates the whole file but preserves the other's section
 //! verbatim. The file layout is deliberately line-oriented — every section
@@ -67,11 +70,15 @@ pub fn committed_path() -> PathBuf {
 /// and the per-experiment `ff_windows`/`ff_elided` counters; `v5` added
 /// the `"server"` section (the sweep server's requests/sec, latency
 /// percentiles and warm-cache hit rate, recorded by `loadgen
-/// --bench-out`). Readers scan by field prefix and accept any version.
-pub const SCHEMA: &str = "mpsoc-bench/kernel-v5";
+/// --bench-out`); `v6` added the `"dse"` section (the design-space
+/// explorer's candidate count, per-rung sim-cycle accounting, wall
+/// seconds, Pareto-front size and evaluation fan-out speedup, recorded
+/// by `repro --exp dse`). Readers scan by field prefix and accept any
+/// version.
+pub const SCHEMA: &str = "mpsoc-bench/kernel-v6";
 
 /// The known top-level sections, in the order they appear in the file.
-const SECTIONS: [&str; 7] = [
+const SECTIONS: [&str; 8] = [
     "experiments",
     "warm_fork",
     "microbench",
@@ -79,6 +86,7 @@ const SECTIONS: [&str; 7] = [
     "parallel",
     "fast_forward",
     "server",
+    "dse",
 ];
 
 /// Replaces `section` of the ledger at `path` with `value_json`, keeping
@@ -256,6 +264,77 @@ pub fn server_host_cores(doc: &str) -> Option<u64> {
     section_u64(doc, "server", "host_cores")
 }
 
+/// Pulls the Pareto-front size out of a ledger document's `"dse"`
+/// section. Returns `None` when the section is absent or malformed.
+pub fn dse_front_size(doc: &str) -> Option<u64> {
+    section_u64(doc, "dse", "front_size")
+}
+
+/// Pulls the number of distinct fabric families on the recorded Pareto
+/// front out of a ledger document's `"dse"` section.
+pub fn dse_families(doc: &str) -> Option<u64> {
+    section_u64(doc, "dse", "families")
+}
+
+/// Pulls the fanned-out vs serial search wall-time ratio out of a ledger
+/// document's `"dse"` section (1.0 when the recording run was serial).
+pub fn dse_fanout_speedup(doc: &str) -> Option<f64> {
+    section_f64(doc, "dse", "fanout_speedup")
+}
+
+/// Pulls the evaluation fan-out the `"dse"` section was recorded at.
+pub fn dse_jobs(doc: &str) -> Option<u64> {
+    section_u64(doc, "dse", "jobs")
+}
+
+/// Pulls the host core count recorded alongside the `"dse"` section's
+/// measurement; see [`core_gated_floor`] for how readers use it.
+pub fn dse_host_cores(doc: &str) -> Option<u64> {
+    section_u64(doc, "dse", "host_cores")
+}
+
+/// Verdict of a [`core_gated_floor`] judgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloorVerdict {
+    /// The measured value clears the floor.
+    Met,
+    /// Below the floor, but the recording host demonstrably lacked the
+    /// cores the measurement needed — a warning, not a failure.
+    Ungated,
+    /// Below the floor on a host that (as far as the record shows) had
+    /// the cores: a real regression.
+    Missed,
+}
+
+/// Judges a speedup floor that is only meaningful when the recording
+/// host had enough hardware: a parallel speedup measured on a box with
+/// fewer cores than worker threads, or a latency split measured while
+/// client and server contend for one CPU, says nothing about the code.
+///
+/// The floor *arms* only when `host_cores` and `needed_cores` are both
+/// recorded and the host had enough of them; otherwise a miss downgrades
+/// to [`FloorVerdict::Ungated`]. An unrecorded core count does **not**
+/// disarm the floor — old ledgers without the field still fail, which is
+/// what forces them to be regenerated with the provenance attached.
+pub fn core_gated_floor(
+    measured: f64,
+    floor: f64,
+    host_cores: Option<u64>,
+    needed_cores: Option<u64>,
+) -> FloorVerdict {
+    if measured >= floor {
+        FloorVerdict::Met
+    } else if let (Some(cores), Some(needed)) = (host_cores, needed_cores) {
+        if cores < needed {
+            FloorVerdict::Ungated
+        } else {
+            FloorVerdict::Missed
+        }
+    } else {
+        FloorVerdict::Missed
+    }
+}
+
 /// Per-experiment activity counters recorded in the `"experiments"`
 /// section, scanned for `repro --list` annotations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -363,7 +442,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         update_section(&path, "experiments", r#"{"runs":[]}"#).expect("writes");
         let doc = std::fs::read_to_string(&path).expect("readable");
-        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v5""#));
+        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v6""#));
         assert!(doc.contains(r#""experiments": {"runs":[]}"#));
         assert!(!doc.contains("microbench"));
         std::fs::remove_file(&path).expect("cleanup");
@@ -469,6 +548,41 @@ mod tests {
         assert_eq!(server_host_cores(doc), Some(8));
         assert_eq!(server_hit_rate("{}\n"), None);
         assert_eq!(server_hit_speedup("{}\n"), None);
+    }
+
+    #[test]
+    fn dse_section_is_scanned() {
+        let doc = concat!(
+            "{\n\"schema\": \"x\",\n",
+            "\"dse\": {\"scale\":1,\"seed\":3499,\"jobs\":4,\"host_cores\":8,",
+            "\"candidates\":12,\"front_size\":4,\"families\":3,",
+            "\"sim_ticks\":185768,\"wall_seconds\":0.8,\"fanout_speedup\":2.4,",
+            "\"rungs\":[{\"budget_ps\":4000000,\"population\":12,",
+            "\"survivors\":6,\"sim_ticks\":27980}]}\n}\n"
+        );
+        assert_eq!(dse_front_size(doc), Some(4));
+        assert_eq!(dse_families(doc), Some(3));
+        assert_eq!(dse_fanout_speedup(doc), Some(2.4));
+        assert_eq!(dse_jobs(doc), Some(4));
+        assert_eq!(dse_host_cores(doc), Some(8));
+        assert_eq!(dse_front_size("{}\n"), None);
+        assert_eq!(dse_fanout_speedup("{}\n"), None);
+    }
+
+    #[test]
+    fn core_gated_floor_arms_only_with_enough_recorded_cores() {
+        use FloorVerdict::*;
+        // Clearing the floor never consults the core counts.
+        assert_eq!(core_gated_floor(2.0, 1.5, None, None), Met);
+        assert_eq!(core_gated_floor(1.5, 1.5, Some(1), Some(4)), Met);
+        // A miss on a host that lacked the cores is a warning...
+        assert_eq!(core_gated_floor(1.0, 1.5, Some(1), Some(4)), Ungated);
+        assert_eq!(core_gated_floor(1.0, 1.2, Some(1), Some(2)), Ungated);
+        // ...but a miss with the cores present, or with unrecorded
+        // provenance, is a real failure.
+        assert_eq!(core_gated_floor(1.0, 1.5, Some(8), Some(4)), Missed);
+        assert_eq!(core_gated_floor(1.0, 1.5, None, Some(4)), Missed);
+        assert_eq!(core_gated_floor(1.0, 1.5, Some(8), None), Missed);
     }
 
     #[test]

@@ -26,107 +26,142 @@ use mpsoc_platform::experiments::{self, DEFAULT_SCALE, DEFAULT_SEED};
 use serde::Serialize;
 use std::time::Instant;
 
-/// All experiment identifiers understood by the `repro` binary.
-pub const EXPERIMENTS: &[&str] = &[
-    "many-to-many",
-    "many-to-one",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "buffering",
-    "bridges",
-    "lmi",
-    "arbitration",
-    "noc",
-    "tlm",
-    "fidelity",
-    "dual-channel",
-    "robustness",
+/// One entry of the experiment registry: the id the `repro` CLI accepts,
+/// a one-line description for `--list`, the approximate wall-clock time
+/// of a `--scale 1` run on a contemporary desktop host (release build,
+/// `--jobs 1`), and the function that runs it.
+pub struct ExperimentDesc {
+    /// CLI identifier (`repro --exp <id>`).
+    pub id: &'static str,
+    /// One-line description printed by `repro --list`.
+    pub description: &'static str,
+    /// Approximate `--scale 1` wall time, e.g. `"~0.3 s"`.
+    pub runtime: &'static str,
+    /// Runs the experiment at `(scale, seed, jobs)` and renders its table.
+    runner: fn(u64, u64, usize) -> SimResult<String>,
+}
+
+/// The single source of truth for every experiment the `repro` binary
+/// understands. `--list`, `--help`, the unknown-id error message and the
+/// all-experiments run all derive from this table, so adding an
+/// experiment is one entry here — nothing else to keep in sync.
+pub const EXPERIMENT_REGISTRY: &[ExperimentDesc] = &[
+    ExperimentDesc {
+        id: "many-to-many",
+        description: "8 initiators x 4 targets offered-load sweep: min-buffer AXI vs STBus vs AHB",
+        runtime: "~1.5 s",
+        runner: |scale, seed, jobs| {
+            Ok(experiments::many_to_many_with_jobs(scale, seed, jobs)?.to_string())
+        },
+    },
+    ExperimentDesc {
+        id: "many-to-one",
+        description: "12 initiators x 1 on-chip memory: protocol comparison under convergent load",
+        runtime: "~0.2 s",
+        runner: |scale, seed, _| Ok(experiments::many_to_one(scale, seed)?.to_string()),
+    },
+    ExperimentDesc {
+        id: "fig3",
+        description: "normalized exec time across six platform organisations (paper Fig. 3)",
+        runtime: "~0.3 s",
+        runner: |scale, seed, _| Ok(experiments::fig3(scale, seed)?.to_string()),
+    },
+    ExperimentDesc {
+        id: "fig4",
+        description:
+            "collapsed vs distributed topology over memory wait states 1..32 (paper Fig. 4)",
+        runtime: "~0.1 s",
+        runner: |scale, seed, jobs| Ok(experiments::fig4_with_jobs(scale, seed, jobs)?.to_string()),
+    },
+    ExperimentDesc {
+        id: "fig5",
+        description: "LMI controller + DDR SDRAM across four platform organisations (paper Fig. 5)",
+        runtime: "~0.2 s",
+        runner: |scale, seed, _| Ok(experiments::fig5(scale, seed)?.to_string()),
+    },
+    ExperimentDesc {
+        id: "fig6",
+        description: "LMI FIFO state residency under the two-phase workload (paper Fig. 6)",
+        runtime: "~0.1 s",
+        runner: |scale, seed, _| Ok(experiments::fig6(scale, seed)?.to_string()),
+    },
+    ExperimentDesc {
+        id: "buffering",
+        description: "STBus target-FIFO depth sweep closing the gap to AXI",
+        runtime: "~0.4 s",
+        runner: |scale, seed, _| Ok(experiments::buffering_ablation(scale, seed)?.to_string()),
+    },
+    ExperimentDesc {
+        id: "bridges",
+        description: "distributed AXI with blocking vs split-capable bridges",
+        runtime: "~0.1 s",
+        runner: |scale, seed, _| Ok(experiments::bridge_ablation(scale, seed)?.to_string()),
+    },
+    ExperimentDesc {
+        id: "lmi",
+        description: "LMI lookahead depth x merging ablation under full-platform traffic",
+        runtime: "~0.5 s",
+        runner: |scale, seed, _| Ok(experiments::lmi_ablation(scale, seed)?.to_string()),
+    },
+    ExperimentDesc {
+        id: "arbitration",
+        description: "round-robin / fixed-priority / oldest-first on the full LMI platform",
+        runtime: "~0.2 s",
+        runner: |scale, seed, _| Ok(experiments::arbitration_study(scale, seed)?.to_string()),
+    },
+    ExperimentDesc {
+        id: "noc",
+        description: "shared STBus vs crossbar vs 3x4 mesh NoC under saturated traffic",
+        runtime: "~0.3 s",
+        runner: |scale, seed, _| Ok(experiments::noc_outlook(scale, seed)?.to_string()),
+    },
+    ExperimentDesc {
+        id: "tlm",
+        description: "cycle-accurate vs transaction-level fidelity: timing error and speedup",
+        runtime: "~0.1 s",
+        runner: |scale, seed, _| Ok(experiments::fidelity_study(scale, seed)?.to_string()),
+    },
+    ExperimentDesc {
+        id: "fidelity",
+        description:
+            "loosely-timed fast-forward gear: fig4 warm-phase speedup vs error per quantum",
+        runtime: "~0.3 s",
+        runner: |scale, seed, jobs| {
+            Ok(experiments::fast_forward_study(scale, seed, jobs)?.to_string())
+        },
+    },
+    ExperimentDesc {
+        id: "dual-channel",
+        description: "unified memory split across two LMI channels: exec time and FIFO pressure",
+        runtime: "~0.2 s",
+        runner: |scale, seed, _| Ok(experiments::dual_channel_study(scale, seed)?.to_string()),
+    },
+    ExperimentDesc {
+        id: "robustness",
+        description: "fault rate x retry budget degradation table on the distributed LMI platform",
+        runtime: "~1 s",
+        runner: |scale, seed, jobs| {
+            Ok(experiments::robustness_with_jobs(scale, seed, jobs)?.to_string())
+        },
+    },
+    ExperimentDesc {
+        id: "dse",
+        description:
+            "successive-halving design-space exploration: Pareto front over fabric/memory knobs",
+        runtime: "~1 s",
+        runner: run_dse,
+    },
 ];
 
-/// Per-experiment metadata printed by `repro --list`: the id, a one-line
-/// description, and the approximate wall-clock time of a `--scale 1` run
-/// on a contemporary desktop host (release build, `--jobs 1`).
-///
-/// Must stay in the same order as [`EXPERIMENTS`] (asserted by a test).
-pub const EXPERIMENT_INFO: &[(&str, &str, &str)] = &[
-    (
-        "many-to-many",
-        "8 initiators x 4 targets offered-load sweep: min-buffer AXI vs STBus vs AHB",
-        "~1.5 s",
-    ),
-    (
-        "many-to-one",
-        "12 initiators x 1 on-chip memory: protocol comparison under convergent load",
-        "~0.2 s",
-    ),
-    (
-        "fig3",
-        "normalized exec time across six platform organisations (paper Fig. 3)",
-        "~0.3 s",
-    ),
-    (
-        "fig4",
-        "collapsed vs distributed topology over memory wait states 1..32 (paper Fig. 4)",
-        "~0.1 s",
-    ),
-    (
-        "fig5",
-        "LMI controller + DDR SDRAM across four platform organisations (paper Fig. 5)",
-        "~0.2 s",
-    ),
-    (
-        "fig6",
-        "LMI FIFO state residency under the two-phase workload (paper Fig. 6)",
-        "~0.1 s",
-    ),
-    (
-        "buffering",
-        "STBus target-FIFO depth sweep closing the gap to AXI",
-        "~0.4 s",
-    ),
-    (
-        "bridges",
-        "distributed AXI with blocking vs split-capable bridges",
-        "~0.1 s",
-    ),
-    (
-        "lmi",
-        "LMI lookahead depth x merging ablation under full-platform traffic",
-        "~0.5 s",
-    ),
-    (
-        "arbitration",
-        "round-robin / fixed-priority / oldest-first on the full LMI platform",
-        "~0.2 s",
-    ),
-    (
-        "noc",
-        "shared STBus vs crossbar vs 3x4 mesh NoC under saturated traffic",
-        "~0.3 s",
-    ),
-    (
-        "tlm",
-        "cycle-accurate vs transaction-level fidelity: timing error and speedup",
-        "~0.1 s",
-    ),
-    (
-        "fidelity",
-        "loosely-timed fast-forward gear: fig4 warm-phase speedup vs error per quantum",
-        "~0.3 s",
-    ),
-    (
-        "dual-channel",
-        "unified memory split across two LMI channels: exec time and FIFO pressure",
-        "~0.2 s",
-    ),
-    (
-        "robustness",
-        "fault rate x retry budget degradation table on the distributed LMI platform",
-        "~1 s",
-    ),
-];
+/// All experiment identifiers, in registry (and `repro`) order.
+pub fn experiment_ids() -> Vec<&'static str> {
+    EXPERIMENT_REGISTRY.iter().map(|e| e.id).collect()
+}
+
+/// Looks an experiment up by id.
+pub fn find_experiment(id: &str) -> Option<&'static ExperimentDesc> {
+    EXPERIMENT_REGISTRY.iter().find(|e| e.id == id)
+}
 
 /// Runs one experiment by id and returns its printable report.
 ///
@@ -140,41 +175,181 @@ pub fn run_experiment(id: &str, scale: u64, seed: u64) -> SimResult<String> {
 
 /// Runs one experiment by id with up to `jobs` worker threads.
 ///
-/// Only the sweep-shaped experiments (`fig4`, `many-to-many`) fan their
-/// independent simulation instances out to threads; the rest run on the
-/// calling thread regardless of `jobs`. The produced table is identical
-/// to [`run_experiment`] for any `jobs` value.
+/// Only the fan-out-shaped experiments (`fig4`, `many-to-many`,
+/// `robustness`, `dse`, ...) spread their independent simulation
+/// instances over threads; the rest run on the calling thread regardless
+/// of `jobs`. The produced table is identical to [`run_experiment`] for
+/// any `jobs` value.
 ///
 /// # Errors
 ///
 /// Same as [`run_experiment`].
 pub fn run_experiment_with_jobs(id: &str, scale: u64, seed: u64, jobs: usize) -> SimResult<String> {
-    let text = match id {
-        "many-to-many" => experiments::many_to_many_with_jobs(scale, seed, jobs)?.to_string(),
-        "many-to-one" => experiments::many_to_one(scale, seed)?.to_string(),
-        "fig3" => experiments::fig3(scale, seed)?.to_string(),
-        "fig4" => experiments::fig4_with_jobs(scale, seed, jobs)?.to_string(),
-        "fig5" => experiments::fig5(scale, seed)?.to_string(),
-        "fig6" => experiments::fig6(scale, seed)?.to_string(),
-        "buffering" => experiments::buffering_ablation(scale, seed)?.to_string(),
-        "bridges" => experiments::bridge_ablation(scale, seed)?.to_string(),
-        "lmi" => experiments::lmi_ablation(scale, seed)?.to_string(),
-        "arbitration" => experiments::arbitration_study(scale, seed)?.to_string(),
-        "noc" => experiments::noc_outlook(scale, seed)?.to_string(),
-        "tlm" => experiments::fidelity_study(scale, seed)?.to_string(),
-        "fidelity" => experiments::fast_forward_study(scale, seed, jobs)?.to_string(),
-        "dual-channel" => experiments::dual_channel_study(scale, seed)?.to_string(),
-        "robustness" => experiments::robustness_with_jobs(scale, seed, jobs)?.to_string(),
-        other => {
-            return Err(mpsoc_kernel::SimError::InvalidConfig {
-                reason: format!(
-                    "unknown experiment '{other}'; expected one of {}",
-                    EXPERIMENTS.join(", ")
-                ),
-            })
-        }
+    match find_experiment(id) {
+        Some(desc) => (desc.runner)(scale, seed, jobs),
+        None => Err(mpsoc_kernel::SimError::InvalidConfig {
+            reason: format!(
+                "unknown experiment '{id}'; expected one of {}",
+                experiment_ids().join(", ")
+            ),
+        }),
+    }
+}
+
+/// CLI-level options of the `dse` experiment that do not fit the uniform
+/// `(scale, seed, jobs)` runner signature: checkpointing and resume.
+/// The `repro` binary stashes them with [`set_dse_options`] before the
+/// run; a plain [`run_experiment`] call gets the defaults (no
+/// checkpointing).
+#[derive(Debug, Clone, Default)]
+pub struct DseOptions {
+    /// Frontier checkpoint file (written every `checkpoint_every` rungs,
+    /// read back by `resume`).
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Checkpoint cadence in completed rungs.
+    pub checkpoint_every: Option<u32>,
+    /// Stop cleanly after N rungs (saving the frontier first).
+    pub stop_after: Option<u32>,
+    /// Resume from `checkpoint_path` instead of seeding a fresh search.
+    pub resume: bool,
+}
+
+/// One rung of the ladder as recorded in the ledger's `"dse"` section.
+#[derive(Debug, Clone, Serialize)]
+pub struct DseRungRecord {
+    /// Simulated-time budget in picoseconds (0 = run to quiescence).
+    pub budget_ps: u64,
+    /// Candidates evaluated this rung.
+    pub population: u64,
+    /// Candidates promoted to the next rung.
+    pub survivors: u64,
+    /// Kernel component ticks the rung's evaluations executed.
+    pub sim_ticks: u64,
+}
+
+/// The `repro --exp dse` measurement recorded in the ledger's `"dse"`
+/// section: search shape, front quality and the evaluation fan-out
+/// speedup. Produced by the `dse` registry runner, collected by
+/// [`take_dse_run`].
+#[derive(Debug, Clone, Serialize)]
+pub struct DseRun {
+    /// Workload scale the search ran at.
+    pub scale: u64,
+    /// Search seed.
+    pub seed: u64,
+    /// Evaluation fan-out the timed run used.
+    pub jobs: u64,
+    /// Hardware threads of the recording host (floors only arm when the
+    /// host could actually run the fan-out).
+    pub host_cores: u64,
+    /// Candidates in the sampled generation.
+    pub candidates: u64,
+    /// Non-dominated points on the final front.
+    pub front_size: u64,
+    /// Distinct fabric families represented on the front.
+    pub families: u64,
+    /// Kernel component ticks across every rung.
+    pub sim_ticks: u64,
+    /// Wall-clock seconds of the timed (fanned-out) search.
+    pub wall_seconds: f64,
+    /// Fanned-out vs serial wall-time ratio (1.0 when `jobs` < 2 — no
+    /// serial rerun is made then).
+    pub fanout_speedup: f64,
+    /// Per-rung accounting.
+    pub rungs: Vec<DseRungRecord>,
+}
+
+static DSE_OPTIONS: std::sync::Mutex<Option<DseOptions>> = std::sync::Mutex::new(None);
+static DSE_LAST_RUN: std::sync::Mutex<Option<DseRun>> = std::sync::Mutex::new(None);
+
+/// Stashes checkpoint/resume options for the next `dse` experiment run
+/// (consumed by it; later runs revert to the defaults).
+pub fn set_dse_options(options: DseOptions) {
+    *DSE_OPTIONS.lock().expect("dse options lock") = Some(options);
+}
+
+/// Takes the measurement of the most recent `dse` experiment run, if one
+/// completed (an interrupted `stop_after` run records nothing).
+pub fn take_dse_run() -> Option<DseRun> {
+    DSE_LAST_RUN.lock().expect("dse run lock").take()
+}
+
+/// The `dse` registry runner: explores the design space, stashes the
+/// ledger measurement, and returns the rendered Pareto table. When the
+/// run fans out (`jobs` >= 2) the search is repeated serially to measure
+/// the fan-out speedup — and the two tables are proven byte-identical,
+/// the same self-check discipline as `--warm-fork`.
+fn run_dse(scale: u64, seed: u64, jobs: usize) -> SimResult<String> {
+    let options = DSE_OPTIONS
+        .lock()
+        .expect("dse options lock")
+        .take()
+        .unwrap_or_default();
+    let config = mpsoc_dse::DseConfig {
+        scale,
+        seed,
+        jobs: jobs.max(1),
+        workload: mpsoc_dse::DseWorkload::Saturated,
+        checkpoint_path: options.checkpoint_path,
+        checkpoint_every: options.checkpoint_every,
+        stop_after: options.stop_after,
+        resume: options.resume,
     };
-    Ok(text)
+    let started = Instant::now();
+    let result = mpsoc_dse::explore(&config)?;
+    let wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
+    let table = result.to_string();
+    if result.stopped {
+        // Interrupted mid-ladder: there is no front to record.
+        return Ok(table);
+    }
+    let fanout_speedup = if config.jobs >= 2 && config.stop_after.is_none() && !config.resume {
+        let started = Instant::now();
+        let serial = mpsoc_dse::explore(&mpsoc_dse::DseConfig {
+            jobs: 1,
+            checkpoint_path: None,
+            checkpoint_every: None,
+            ..config
+        })?;
+        let serial_seconds = started.elapsed().as_secs_f64().max(1e-9);
+        let serial_table = serial.to_string();
+        if serial_table != table {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "dse self-check failed: the jobs={} table differs from the serial \
+                     one\n--- serial ---\n{serial_table}\n--- jobs={} ---\n{table}",
+                    config.jobs, config.jobs
+                ),
+            });
+        }
+        serial_seconds / wall_seconds
+    } else {
+        1.0
+    };
+    let run = DseRun {
+        scale,
+        seed,
+        jobs: config.jobs as u64,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        candidates: result.candidates as u64,
+        front_size: result.front.len() as u64,
+        families: result.families_on_front as u64,
+        sim_ticks: result.total_sim_ticks(),
+        wall_seconds,
+        fanout_speedup,
+        rungs: result
+            .rungs
+            .iter()
+            .map(|r| DseRungRecord {
+                budget_ps: r.budget_ps,
+                population: u64::from(r.population),
+                survivors: u64::from(r.survivors),
+                sim_ticks: r.sim_ticks,
+            })
+            .collect(),
+    };
+    *DSE_LAST_RUN.lock().expect("dse run lock") = Some(run);
+    Ok(table)
 }
 
 /// One experiment execution with its host-side throughput measurements.
@@ -186,7 +361,7 @@ pub fn run_experiment_with_jobs(id: &str, scale: u64, seed: u64, jobs: usize) ->
 /// all bill to the experiment that spawned them).
 #[derive(Debug, Clone, Serialize)]
 pub struct ExperimentRun {
-    /// Experiment id (one of [`EXPERIMENTS`]).
+    /// Experiment id (one of [`EXPERIMENT_REGISTRY`]).
     pub id: String,
     /// The rendered result table (what `repro` prints).
     #[serde(skip)]
@@ -478,13 +653,33 @@ mod tests {
     }
 
     #[test]
-    fn experiment_info_matches_the_id_list() {
-        assert_eq!(EXPERIMENT_INFO.len(), EXPERIMENTS.len());
-        for ((info_id, description, runtime), id) in EXPERIMENT_INFO.iter().zip(EXPERIMENTS) {
-            assert_eq!(info_id, id, "EXPERIMENT_INFO order must match EXPERIMENTS");
-            assert!(!description.is_empty());
-            assert!(runtime.starts_with('~'), "runtime is an approximation");
+    fn registry_ids_are_distinct_and_described() {
+        let ids = experiment_ids();
+        let distinct: std::collections::BTreeSet<_> = ids.iter().collect();
+        assert_eq!(distinct.len(), ids.len(), "duplicate experiment id");
+        for desc in EXPERIMENT_REGISTRY {
+            assert!(!desc.description.is_empty());
+            assert!(desc.runtime.starts_with('~'), "runtime is an approximation");
+            assert_eq!(find_experiment(desc.id).map(|d| d.id), Some(desc.id));
         }
+        assert!(ids.contains(&"dse"), "the dse driver must be registered");
+    }
+
+    #[test]
+    fn dse_runner_records_a_measurement() {
+        let table = run_experiment_with_jobs("dse", 1, 0x0dab, 1).expect("dse runs");
+        assert!(table.contains("pareto front"));
+        let run = take_dse_run().expect("a completed run is stashed");
+        assert!(run.front_size >= 3, "front too small: {}", run.front_size);
+        assert!(run.families >= 2);
+        assert_eq!(run.jobs, 1);
+        assert!((run.fanout_speedup - 1.0).abs() < f64::EPSILON);
+        assert!(run.sim_ticks > 0);
+        assert_eq!(
+            run.rungs.iter().map(|r| r.sim_ticks).sum::<u64>(),
+            run.sim_ticks
+        );
+        assert!(take_dse_run().is_none(), "the stash is take-once");
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub fn representative_spec(id: &str, scale: u64, seed: u64) -> Option<PlatformSp
             protocol: ProtocolKind::Ahb,
             ..base
         },
-        "fig3" | "noc" => base,
+        // The design-space explorer races many candidate fabrics; its
+        // time-travel stage is the same full distributed platform the
+        // fig3/noc studies use.
+        "fig3" | "noc" | "dse" => base,
         // The fast-forward gear study sweeps the same fig4 platform, so it
         // shares fig4's representative point.
         "fig4" | "fidelity" => PlatformSpec {
@@ -158,7 +161,7 @@ pub fn time_travel(
     let spec = representative_spec(id, scale, seed).ok_or_else(|| SimError::InvalidConfig {
         reason: format!(
             "unknown experiment '{id}'; expected one of {}",
-            crate::EXPERIMENTS.join(", ")
+            crate::experiment_ids().join(", ")
         ),
     })?;
     if every_ns == 0 {
@@ -238,7 +241,7 @@ mod tests {
 
     #[test]
     fn every_experiment_has_a_representative_spec() {
-        for id in crate::EXPERIMENTS {
+        for id in crate::experiment_ids() {
             assert!(
                 representative_spec(id, 1, 1).is_some(),
                 "no representative platform for '{id}'"

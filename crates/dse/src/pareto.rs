@@ -1,0 +1,148 @@
+//! Three-objective Pareto dominance and deterministic front extraction.
+//!
+//! Objectives: throughput (maximise), mean latency (minimise), static
+//! cost (minimise). All comparisons use `f64::total_cmp` / integer
+//! ordering so ranking is bit-stable across hosts and job counts.
+
+/// The measured objectives of one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score {
+    /// Completed transactions per simulated microsecond.
+    pub throughput: f64,
+    /// Mean transaction latency in nanoseconds (0 when no responses were
+    /// observed, e.g. all-posted trace workloads).
+    pub latency_ns: f64,
+    /// p95 transaction latency in nanoseconds (reported, not ranked).
+    pub p95_ns: u64,
+    /// Completed transactions inside the budget.
+    pub completed: u64,
+    /// Static implementation cost (links + buffer bits).
+    pub cost: u64,
+}
+
+impl Score {
+    /// `true` when `self` is at least as good as `other` on every ranked
+    /// objective and strictly better on at least one.
+    pub fn dominates(&self, other: &Score) -> bool {
+        let ge = self.throughput >= other.throughput
+            && self.latency_ns <= other.latency_ns
+            && self.cost <= other.cost;
+        let gt = self.throughput > other.throughput
+            || self.latency_ns < other.latency_ns
+            || self.cost < other.cost;
+        ge && gt
+    }
+}
+
+/// Non-dominated sorting rank of every entry: rank 0 is the Pareto
+/// front, rank 1 the front once rank 0 is removed, and so on.
+/// Ties (identical scores) share a rank.
+pub fn pareto_ranks(scores: &[Score]) -> Vec<u32> {
+    let mut rank = vec![u32::MAX; scores.len()];
+    let mut assigned = 0usize;
+    let mut current = 0u32;
+    while assigned < scores.len() {
+        let mut this_round = Vec::new();
+        for (i, s) in scores.iter().enumerate() {
+            if rank[i] != u32::MAX {
+                continue;
+            }
+            let dominated = scores
+                .iter()
+                .enumerate()
+                .any(|(j, o)| i != j && rank[j] == u32::MAX && o.dominates(s));
+            if !dominated {
+                this_round.push(i);
+            }
+        }
+        // A dominance cycle is impossible (dominance is a strict partial
+        // order), so every round assigns at least one rank.
+        debug_assert!(!this_round.is_empty());
+        for i in this_round {
+            rank[i] = current;
+            assigned += 1;
+        }
+        current += 1;
+    }
+    rank
+}
+
+/// Indices of the non-dominated entries, in input order.
+pub fn pareto_front(scores: &[Score]) -> Vec<usize> {
+    pareto_ranks(scores)
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| **r == 0)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Deterministic promotion order: ascending Pareto rank, then descending
+/// throughput, then ascending stable id. Returns indices into `scores`.
+pub fn promotion_order(scores: &[Score], ids: &[u32]) -> Vec<usize> {
+    assert_eq!(scores.len(), ids.len());
+    let ranks = pareto_ranks(scores);
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        ranks[a]
+            .cmp(&ranks[b])
+            .then(scores[b].throughput.total_cmp(&scores[a].throughput))
+            .then(ids[a].cmp(&ids[b]))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(throughput: f64, latency_ns: f64, cost: u64) -> Score {
+        Score {
+            throughput,
+            latency_ns,
+            p95_ns: 0,
+            completed: 0,
+            cost,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        let a = s(10.0, 100.0, 50);
+        let b = s(5.0, 200.0, 80);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a), "equal scores never dominate");
+    }
+
+    #[test]
+    fn trade_offs_are_mutually_non_dominated() {
+        let fast_expensive = s(10.0, 100.0, 90);
+        let slow_cheap = s(4.0, 300.0, 20);
+        assert!(!fast_expensive.dominates(&slow_cheap));
+        assert!(!slow_cheap.dominates(&fast_expensive));
+        let front = pareto_front(&[fast_expensive, slow_cheap]);
+        assert_eq!(front, vec![0, 1]);
+    }
+
+    #[test]
+    fn ranks_peel_layers() {
+        let scores = [
+            s(10.0, 100.0, 50), // front
+            s(4.0, 300.0, 20),  // front (cheap)
+            s(9.0, 150.0, 60),  // dominated by 0
+            s(3.0, 400.0, 30),  // dominated by 1
+        ];
+        assert_eq!(pareto_ranks(&scores), vec![0, 0, 1, 1]);
+        assert_eq!(pareto_front(&scores), vec![0, 1]);
+    }
+
+    #[test]
+    fn promotion_order_is_total_and_deterministic() {
+        let scores = [s(5.0, 100.0, 50), s(5.0, 100.0, 50), s(9.0, 90.0, 40)];
+        let ids = [7, 2, 9];
+        let order = promotion_order(&scores, &ids);
+        // The dominant candidate first, then the tied pair by id.
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+}

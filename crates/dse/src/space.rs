@@ -1,0 +1,341 @@
+//! The typed design space: candidate encoding, seeded sampling and the
+//! static cost model.
+//!
+//! A [`Candidate`] is a complete communication-architecture configuration
+//! for the fixed 8-initiator / 4-memory workload shell: a fabric family
+//! (shared STBus, partial crossbar, NoC mesh), the bridge blockingness of
+//! the partial crossbar, the buffer depths of every interface, the memory
+//! wait states and the LMI controller settings. Fields that do not apply
+//! to a family are *normalized* to canonical values so that every distinct
+//! candidate has exactly one encoding — which makes deduplication, the
+//! frontier checkpoint and the Pareto table deterministic.
+
+use mpsoc_kernel::SplitMix64;
+use std::fmt;
+
+/// Number of traffic initiators every candidate platform carries.
+pub const INITIATORS: usize = 8;
+
+/// Number of memory targets (one address region each).
+pub const TARGETS: usize = 4;
+
+/// Data-path width of every fabric, in bits (all candidates are 64-bit).
+pub const WIDTH_BITS: u64 = 64;
+
+/// The transport fabric family of a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FabricFamily {
+    /// One shared STBus node carrying all initiators and memories.
+    SharedStbus,
+    /// Two shared cluster buses bridged into a central full crossbar that
+    /// hosts the memories — the application-specific "partial crossbar"
+    /// arrangement of Murali & De Micheli, modelled compositionally.
+    PartialCrossbar,
+    /// A 4x3 mesh NoC with memories in the middle row and initiators on
+    /// the outer rows.
+    NocMesh,
+}
+
+impl FabricFamily {
+    /// All families, in sampling (round-robin) order.
+    pub const ALL: [FabricFamily; 3] = [
+        FabricFamily::SharedStbus,
+        FabricFamily::PartialCrossbar,
+        FabricFamily::NocMesh,
+    ];
+
+    /// Stable short label used in tables and the frontier encoding.
+    pub fn label(self) -> &'static str {
+        match self {
+            FabricFamily::SharedStbus => "shared-stbus",
+            FabricFamily::PartialCrossbar => "partial-xbar",
+            FabricFamily::NocMesh => "noc-mesh",
+        }
+    }
+
+    /// Stable numeric tag for the frontier encoding.
+    pub fn tag(self) -> u8 {
+        match self {
+            FabricFamily::SharedStbus => 0,
+            FabricFamily::PartialCrossbar => 1,
+            FabricFamily::NocMesh => 2,
+        }
+    }
+
+    /// Inverse of [`FabricFamily::tag`].
+    pub fn from_tag(tag: u8) -> Option<FabricFamily> {
+        FabricFamily::ALL.into_iter().find(|f| f.tag() == tag)
+    }
+}
+
+/// One point of the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Position in the generation; the deterministic identity used for
+    /// tie-breaking and tables.
+    pub index: u32,
+    /// Transport fabric family.
+    pub family: FabricFamily,
+    /// Partial crossbar only: split-capable GenConv bridges (`true`) vs
+    /// lightweight blocking bridges (`false`).
+    pub split_bridge: bool,
+    /// Initiator issue-FIFO depth (bus families; the mesh network
+    /// interface depth is [`Candidate::target_fifo`]).
+    pub issue_fifo: usize,
+    /// Target-side FIFO depth: the prefetch/response FIFO of on-chip
+    /// memories on a bus, or the per-port router FIFO of the mesh.
+    pub target_fifo: usize,
+    /// On-chip memory wait states (dead when `lmi`).
+    pub wait_states: u32,
+    /// Whether the memories sit behind LMI controllers + DDR SDRAM
+    /// instead of being simple on-chip memories.
+    pub lmi: bool,
+    /// LMI optimization-engine lookahead depth (0 = strict FIFO).
+    pub lmi_lookahead: usize,
+    /// LMI opcode merging.
+    pub lmi_merging: bool,
+}
+
+impl Candidate {
+    /// Samples one candidate. The two dominant axes are stratified on the
+    /// index — the family round-robins (every generation spans all
+    /// families) and the memory system alternates per family lap (both
+    /// on-chip and LMI memories appear under every family) — while every
+    /// other knob comes from the seeded stream. The result is normalized.
+    pub fn sample(index: u32, rng: &mut SplitMix64) -> Candidate {
+        let families = FabricFamily::ALL.len() as u32;
+        let mut c = Candidate {
+            index,
+            family: FabricFamily::ALL[index as usize % FabricFamily::ALL.len()],
+            split_bridge: rng.next_u64() & 1 == 1,
+            issue_fifo: 1 << rng.range(1, 4),  // {2, 4, 8}
+            target_fifo: 1 << rng.range(0, 3), // {1, 2, 4}
+            wait_states: 1 << rng.range(0, 4), // {1, 2, 4, 8}
+            lmi: (index / families) % 2 == 1,
+            lmi_lookahead: 2 * rng.range(0, 3) as usize, // {0, 2, 4}
+            lmi_merging: rng.next_u64() & 1 == 1,
+        };
+        c.normalize();
+        c
+    }
+
+    /// Forces every dead knob to its canonical value, so that two
+    /// candidates that build identical platforms encode identically.
+    pub fn normalize(&mut self) {
+        if self.family != FabricFamily::PartialCrossbar {
+            self.split_bridge = false;
+        }
+        if self.family == FabricFamily::NocMesh {
+            // Mesh network interfaces use the router port FIFO, not the
+            // issue FIFO.
+            self.issue_fifo = 2;
+            // A depth-1 router FIFO cannot hold a full header+payload flit
+            // pair in flight; keep the mesh in its safe operating range.
+            self.target_fifo = self.target_fifo.max(2);
+        }
+        if self.lmi {
+            // The LMI brings its own input/output FIFOs and SDRAM timing;
+            // the on-chip knobs are dead. (The mesh keeps its router FIFO
+            // depth — that knob is fabric-side, not memory-side.)
+            self.wait_states = 1;
+            if self.family != FabricFamily::NocMesh {
+                self.target_fifo = 1;
+            }
+        } else {
+            self.lmi_lookahead = 0;
+            self.lmi_merging = false;
+        }
+    }
+
+    /// The canonical dedup key: every knob except the index.
+    pub fn key(&self) -> (u8, bool, usize, usize, u32, bool, usize, bool) {
+        (
+            self.family.tag(),
+            self.split_bridge,
+            self.issue_fifo,
+            self.target_fifo,
+            self.wait_states,
+            self.lmi,
+            self.lmi_lookahead,
+            self.lmi_merging,
+        )
+    }
+
+    /// Static implementation cost of the candidate: fabric links plus
+    /// buffer bits. Links count the directed request/response channel
+    /// pairs the fabric wires (attachment ports, bridge hops, crossbar
+    /// channels, inter-router mesh links); buffer bits multiply every FIFO
+    /// the configuration instantiates by the 64-bit data-path width.
+    pub fn cost(&self) -> u64 {
+        let i = INITIATORS as u64;
+        let t = TARGETS as u64;
+        let (links, fabric_fifo_slots) = match self.family {
+            // One node: a port pair per initiator and per target.
+            FabricFamily::SharedStbus => (i + t, 0),
+            // Two cluster buses (4 initiator ports + 1 bridge target port
+            // each), two bridges, a crossbar with 2 initiator ports,
+            // `t` target ports and a full 2 x t channel matrix.
+            FabricFamily::PartialCrossbar => {
+                let bridge_fifo = if self.split_bridge { 8 + 8 } else { 1 + 1 };
+                (i + 2 + 2 + t + 2 * t, 2 * bridge_fifo)
+            }
+            // 4x3 mesh: 17 bidirectional inter-router links (2 directed
+            // channels each) plus a network-interface pair per attached
+            // node; every router buffers 5 ports.
+            FabricFamily::NocMesh => {
+                let routers = 12u64;
+                (2 * 17 + i + t, routers * 5 * self.target_fifo as u64)
+            }
+        };
+        let memory_fifo_slots = if self.lmi {
+            // LMI input (8) + output (8) FIFOs plus the lookahead window
+            // registers, per controller.
+            t * (8 + 8 + self.lmi_lookahead as u64)
+        } else {
+            t * 2 * self.target_fifo as u64
+        };
+        let issue_slots = i * 2 * self.issue_fifo as u64;
+        links * WIDTH_BITS + (fabric_fifo_slots + memory_fifo_slots + issue_slots) * WIDTH_BITS
+    }
+
+    /// Compact deterministic configuration summary for the Pareto table.
+    pub fn summary(&self) -> String {
+        let mem = if self.lmi {
+            format!(
+                "lmi la{} {}",
+                self.lmi_lookahead,
+                if self.lmi_merging { "mrg" } else { "raw" }
+            )
+        } else {
+            format!("ws{}", self.wait_states)
+        };
+        let bridge = match self.family {
+            FabricFamily::PartialCrossbar => {
+                if self.split_bridge {
+                    " split"
+                } else {
+                    " blk"
+                }
+            }
+            _ => "",
+        };
+        format!(
+            "f{}/{}{} {}",
+            self.issue_fifo, self.target_fifo, bridge, mem
+        )
+    }
+}
+
+impl fmt::Display for Candidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {} {}",
+            self.index,
+            self.family.label(),
+            self.summary()
+        )
+    }
+}
+
+/// Samples a generation of `count` normalized candidates, deduplicating
+/// exact repeats (the survivor keeps the lowest index, so the population
+/// and its order are a pure function of the seed).
+pub fn sample_generation(count: usize, seed: u64) -> Vec<Candidate> {
+    let mut rng = SplitMix64::new(seed ^ 0x5eed_d5e0_0000_0001);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::with_capacity(count);
+    let mut index = 0u32;
+    // Draw until `count` distinct candidates exist; the space is far
+    // larger than any generation, so the bounded extra draws are a
+    // formality that keeps the loop finite under adversarial seeds.
+    let mut draws = 0usize;
+    while out.len() < count && draws < count * 32 {
+        let c = Candidate::sample(index, &mut rng);
+        draws += 1;
+        if seen.insert(c.key()) {
+            index += 1;
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_distinct() {
+        let a = sample_generation(12, 7);
+        let b = sample_generation(12, 7);
+        assert_eq!(a, b);
+        let keys: std::collections::BTreeSet<_> = a.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), a.len());
+    }
+
+    #[test]
+    fn generations_span_all_families() {
+        let g = sample_generation(9, 0x0dab);
+        for family in FabricFamily::ALL {
+            assert!(
+                g.iter().any(|c| c.family == family),
+                "family {} missing",
+                family.label()
+            );
+        }
+    }
+
+    #[test]
+    fn normalization_kills_dead_knobs() {
+        let mut rng = SplitMix64::new(3);
+        for index in 0..64 {
+            let c = Candidate::sample(index, &mut rng);
+            if c.family != FabricFamily::PartialCrossbar {
+                assert!(!c.split_bridge);
+            }
+            if c.family == FabricFamily::NocMesh {
+                assert_eq!(c.issue_fifo, 2);
+                assert!(c.target_fifo >= 2);
+            }
+            if !c.lmi {
+                assert_eq!(c.lmi_lookahead, 0);
+                assert!(!c.lmi_merging);
+            } else {
+                assert_eq!(c.wait_states, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_grows_with_buffering_and_parallelism() {
+        let mut small = Candidate {
+            index: 0,
+            family: FabricFamily::SharedStbus,
+            split_bridge: false,
+            issue_fifo: 2,
+            target_fifo: 1,
+            wait_states: 1,
+            lmi: false,
+            lmi_lookahead: 0,
+            lmi_merging: false,
+        };
+        small.normalize();
+        let mut deep = small;
+        deep.issue_fifo = 8;
+        deep.target_fifo = 4;
+        assert!(deep.cost() > small.cost());
+        let mut mesh = small;
+        mesh.family = FabricFamily::NocMesh;
+        mesh.normalize();
+        assert!(mesh.cost() > small.cost(), "the mesh wires more links");
+    }
+
+    #[test]
+    fn family_tags_round_trip() {
+        for family in FabricFamily::ALL {
+            assert_eq!(FabricFamily::from_tag(family.tag()), Some(family));
+        }
+        assert_eq!(FabricFamily::from_tag(9), None);
+    }
+}

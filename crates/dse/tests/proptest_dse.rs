@@ -1,0 +1,76 @@
+//! DSE determinism properties: across seeds, the search must produce
+//! byte-identical Pareto tables at any `--jobs`, and a checkpointed,
+//! interrupted, resumed search must reproduce the uninterrupted run
+//! exactly.
+
+use mpsoc_dse::{explore, DseConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn temp_checkpoint(tag: &str, seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "mpsoc-dse-prop-{tag}-{}-{seed:x}.bin",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The rendered rung accounting and Pareto front are a pure function
+    /// of the seed — `--jobs` must not leak into a single byte.
+    #[test]
+    fn front_is_byte_identical_across_jobs(seed in 0u64..10_000) {
+        let serial = explore(&DseConfig {
+            seed,
+            ..DseConfig::default()
+        })
+        .expect("serial search runs")
+        .to_string();
+        let fanned = explore(&DseConfig {
+            seed,
+            jobs: 4,
+            ..DseConfig::default()
+        })
+        .expect("parallel search runs")
+        .to_string();
+        prop_assert_eq!(serial, fanned);
+    }
+
+    /// Checkpoint mid-ladder, resume, and the result is byte-identical
+    /// to never having stopped.
+    #[test]
+    fn resume_equals_uninterrupted(seed in 0u64..10_000, stop_after in 1u32..3) {
+        let uninterrupted = explore(&DseConfig {
+            seed,
+            ..DseConfig::default()
+        })
+        .expect("uninterrupted search runs");
+        let ckpt = temp_checkpoint("resume", seed);
+        let stopped = explore(&DseConfig {
+            seed,
+            checkpoint_path: Some(ckpt.clone()),
+            stop_after: Some(stop_after),
+            ..DseConfig::default()
+        })
+        .expect("interrupted search runs");
+        prop_assert!(stopped.stopped);
+        prop_assert!(stopped.front.is_empty());
+        let resumed = explore(&DseConfig {
+            seed,
+            checkpoint_path: Some(ckpt.clone()),
+            resume: true,
+            ..DseConfig::default()
+        })
+        .expect("resumed search runs");
+        std::fs::remove_file(&ckpt).ok();
+        prop_assert_eq!(uninterrupted.to_string(), resumed.to_string());
+        prop_assert_eq!(uninterrupted.front.len(), resumed.front.len());
+        for (a, b) in uninterrupted.front.iter().zip(&resumed.front) {
+            prop_assert_eq!(a.candidate, b.candidate);
+            prop_assert_eq!(a.score.throughput.to_bits(), b.score.throughput.to_bits());
+            prop_assert_eq!(a.score.latency_ns.to_bits(), b.score.latency_ns.to_bits());
+            prop_assert_eq!(a.score.cost, b.score.cost);
+        }
+    }
+}
