@@ -6,9 +6,10 @@
 #   ./ci.sh test       # tier-1 release build + workspace tests + smoke runs
 #   ./ci.sh gates      # the equivalence/determinism gates + the server gate
 #   ./ci.sh dse        # design-space search determinism + resume equality
+#   ./ci.sh scaling    # parallel-ticking scaling ladder + identity gates
 #   ./ci.sh bench      # bench guard vs the committed perf ledger
 #
-# The five stages are independent — .github/workflows/ci.yml runs them as
+# The six stages are independent — .github/workflows/ci.yml runs them as
 # parallel jobs — and every gate inside `gates` produces its own reference
 # output, so any single stage can be run standalone on a fresh checkout.
 #
@@ -38,6 +39,12 @@
 #          resume equality: a search checkpointed and interrupted after one
 #            rung, then resumed, must emit the same front as an
 #            uninterrupted run
+#   scaling end-to-end: the fault-armed robustness experiment at
+#            --tick-jobs 1, 2 and 4 must emit byte-identical tables
+#          compute-heavy ladder: kernel_hotpath times the compute-heavy
+#            case over jobs {1,2,4,8}, asserting byte-identity to the
+#            serial run at every rung; on hosts with at least 4 cores the
+#            live parallel-speedup floor is also armed
 #   bench  scheduler throughput vs the committed perf ledger, the
 #          warm-fork/sparse/parallel/fast-forward/server/dse ledger
 #          floors, and
@@ -285,6 +292,40 @@ stage_dse() {
     echo "dse gate passed"
 }
 
+stage_scaling() {
+    echo "== scaling: robustness tables byte-identical at --tick-jobs 1/2/4 =="
+    # The fault-armed degradation study is the hardest identity case: every
+    # worker-computed tick buffers fault-probe draws that the commit phase
+    # replays in serial order. Any tick-jobs value must reproduce the
+    # serial tables byte for byte — on any host, core count irrelevant.
+    for j in 1 2 4; do
+        cargo run --release -p mpsoc-bench --bin repro -- \
+            --exp robustness --scale 1 --tick-jobs "$j" --no-bench-out \
+            > "$run_dir/scaling_j$j.txt"
+    done
+    for j in 2 4; do
+        if ! diff <(filter_timing "$run_dir/scaling_j1.txt") \
+                  <(filter_timing "$run_dir/scaling_j$j.txt"); then
+            echo "scaling gate FAILED: --tick-jobs $j produced different tables" >&2
+            exit 1
+        fi
+    done
+    echo "scaling identity gate passed"
+
+    echo "== scaling: compute-heavy jobs ladder {1,2,4,8} =="
+    # kernel_hotpath times the compute-heavy case at every rung of the
+    # ladder and asserts edge counts, stats reports and state digests
+    # byte-identical to the serial run, plus the <1% retick ceiling. The
+    # speedup floor itself only arms where the host has the cores.
+    if [ "$(nproc)" -ge 4 ]; then
+        echo "   (>= 4 cores: enforcing the live parallel-speedup floor at 4 jobs)"
+        cargo bench -p mpsoc-bench --bench kernel_hotpath -- --min-parallel-speedup 1.5
+    else
+        echo "   ($(nproc) core(s): ladder identity + retick ceiling only, floor not armed)"
+        cargo bench -p mpsoc-bench --bench kernel_hotpath
+    fi
+}
+
 stage_bench() {
     echo "== bench guard: throughput + ledger floors vs committed ledger =="
     cargo run --release -p mpsoc-bench --bin repro -- \
@@ -310,16 +351,18 @@ case "$stage" in
     test) stage_test ;;
     gates) stage_gates ;;
     dse) stage_dse ;;
+    scaling) stage_scaling ;;
     bench) stage_bench ;;
     all)
         stage_test
         stage_lint
         stage_gates
         stage_dse
+        stage_scaling
         stage_bench
         ;;
     *)
-        echo "usage: ./ci.sh [lint|test|gates|dse|bench]" >&2
+        echo "usage: ./ci.sh [lint|test|gates|dse|scaling|bench]" >&2
         exit 2
         ;;
 esac

@@ -346,6 +346,12 @@ impl Component<Packet> for AhbBus {
         &self.name
     }
 
+    fn register_metrics(&self, stats: &mut mpsoc_kernel::StatsRegistry) {
+        for metric in ["busy_ps", "granted", "idle_waits"] {
+            stats.counter(&format!("{}.{metric}", self.name));
+        }
+    }
+
     fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
         self.complete_active(ctx);
         if self.active.is_some() && ctx.time >= self.busy_until {

@@ -471,6 +471,18 @@ impl Component<Packet> for AxiInterconnect {
         &self.name
     }
 
+    fn register_metrics(&self, stats: &mut mpsoc_kernel::StatsRegistry) {
+        for metric in [
+            "r_busy_ps",
+            "delivered",
+            "reads_granted",
+            "writes_granted",
+            "w_busy_ps",
+        ] {
+            stats.counter(&format!("{}.{metric}", self.name));
+        }
+    }
+
     fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
         self.deliver_responses(ctx);
         self.arbitrate_requests(ctx);

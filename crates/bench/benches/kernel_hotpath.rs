@@ -19,7 +19,7 @@
 //! (`O(N)`); the bucketed one touches only the firing domain's members, so
 //! the gap widens with component count and domain count.
 
-use mpsoc_bench::ledger;
+use mpsoc_bench::{ledger, SCALING_JOBS};
 use mpsoc_kernel::reference::NaiveSimulation;
 use mpsoc_kernel::stats::CounterId;
 use mpsoc_kernel::{activity, ClockDomain, Component, LinkId, Simulation, TickContext, Time};
@@ -294,6 +294,12 @@ impl Component<u64> for Cruncher {
     fn name(&self) -> &str {
         &self.name
     }
+    fn register_metrics(&self, stats: &mut mpsoc_kernel::StatsRegistry) {
+        // Pre-registering at build time is what keeps the buffered ticks
+        // commit-clean: a lazily created counter would miss in the frozen
+        // stats view and force a serial retick of the first parallel tick.
+        stats.counter(&format!("{}.ticks", self.name));
+    }
     fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
         let counter = match self.counter {
             Some(c) => c,
@@ -353,9 +359,19 @@ impl Component<u64> for Drain {
     }
 }
 
+/// Observables of one compute-heavy run.
+struct ParRun {
+    edges: u64,
+    wall: f64,
+    report: String,
+    blob: Vec<u8>,
+    par_computed: u64,
+    par_reticked: u64,
+}
+
 /// One compute-heavy run at `jobs` worker threads: returns edges, wall
 /// seconds and the run's observable fingerprint (stats table + checkpoint).
-fn bench_parallel(jobs: usize) -> (u64, f64, String, Vec<u8>) {
+fn bench_parallel(jobs: usize) -> ParRun {
     let clk = ClockDomain::from_mhz(400);
     let mut sim: Simulation<u64> = Simulation::new();
     sim.set_tick_jobs(jobs);
@@ -381,14 +397,32 @@ fn bench_parallel(jobs: usize) -> (u64, f64, String, Vec<u8>) {
     let started = Instant::now();
     sim.run_until(Time::from_ns(PAR_HORIZON_NS));
     let wall = started.elapsed().as_secs_f64().max(1e-9);
-    let edges = activity::snapshot().since(before).edges;
+    let delta = activity::snapshot().since(before);
     let report = sim.stats().report(sim.time()).to_string();
-    (edges, wall, report, sim.checkpoint().as_bytes().to_vec())
+    ParRun {
+        edges: delta.edges,
+        wall,
+        report,
+        blob: sim.checkpoint().as_bytes().to_vec(),
+        par_computed: delta.par_computed,
+        par_reticked: delta.par_reticked,
+    }
+}
+
+/// One point of the recorded per-jobs scaling curve.
+#[derive(Serialize)]
+struct ScalingJson {
+    jobs: u64,
+    edges_per_sec: f64,
+    speedup: f64,
 }
 
 /// The `"parallel"` section of `BENCH_kernel.json`: the compute-heavy
-/// case's serial-vs-parallel comparison, stamped with the measuring host's
-/// core count so readers can judge a sub-floor speedup.
+/// case's per-jobs scaling curve, stamped with the measuring host's core
+/// count so readers can judge a sub-floor speedup. The headline
+/// `speedup` is the curve's [`PAR_TICK_JOBS`] point; `scaling` must stay
+/// the last field so the section's top-level `speedup` is the first one
+/// a prefix scan finds.
 #[derive(Serialize)]
 struct ParallelSection {
     components: u64,
@@ -401,6 +435,7 @@ struct ParallelSection {
     serial_edges_per_sec: f64,
     parallel_edges_per_sec: f64,
     speedup: f64,
+    scaling: Vec<ScalingJson>,
 }
 
 /// The `"sparse"` section of `BENCH_kernel.json`: the idle-heavy case's
@@ -602,49 +637,71 @@ fn main() {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
     println!(
         "\ncompute-heavy: {CRUNCHERS} crunchers x {CRUNCH_ROUNDS} rounds/tick, \
-         horizon {PAR_HORIZON_NS} ns, {PAR_TICK_JOBS} jobs on {host_cores} core(s), \
-         best of {SAMPLES}"
+         horizon {PAR_HORIZON_NS} ns, jobs ladder {SCALING_JOBS:?} on {host_cores} \
+         core(s), best of {SAMPLES}"
     );
 
-    let mut serial_best: Option<(u64, f64)> = None;
-    let mut par_best: Option<(u64, f64)> = None;
+    // The scaling ladder: jobs = 1 is the serial baseline; every higher
+    // job count must reproduce its observables byte for byte — the whole
+    // point of the compute/commit split — and with pre-registered metrics
+    // and buffered fault/RNG draws the retick rate must stay marginal.
+    let mut best: Vec<Option<ParRun>> = SCALING_JOBS.iter().map(|_| None).collect();
     for _ in 0..SAMPLES {
-        let (s_edges, s_wall, s_report, s_blob) = bench_parallel(1);
-        let (p_edges, p_wall, p_report, p_blob) = bench_parallel(PAR_TICK_JOBS);
-        // The whole point of the compute/commit split: parallel execution
-        // must be observationally indistinguishable from serial.
-        assert_eq!(s_edges, p_edges, "serial and parallel edge counts differ");
-        assert_eq!(
-            s_report, p_report,
-            "parallel run rendered a different stats table"
-        );
-        assert_eq!(
-            s_blob, p_blob,
-            "parallel run checkpointed to different bytes"
-        );
-        if serial_best.as_ref().is_none_or(|&(_, w)| s_wall < w) {
-            serial_best = Some((s_edges, s_wall));
+        let serial = bench_parallel(SCALING_JOBS[0]);
+        for (slot, &jobs) in best.iter_mut().zip(&SCALING_JOBS).skip(1) {
+            let run = bench_parallel(jobs);
+            assert_eq!(serial.edges, run.edges, "jobs={jobs} edge count differs");
+            assert_eq!(
+                serial.report, run.report,
+                "jobs={jobs} rendered a different stats table"
+            );
+            assert_eq!(
+                serial.blob, run.blob,
+                "jobs={jobs} checkpointed to different bytes"
+            );
+            assert!(
+                run.par_reticked * 100 <= run.par_computed,
+                "jobs={jobs}: {} of {} parallel ticks re-ran serially (>1%)",
+                run.par_reticked,
+                run.par_computed,
+            );
+            if slot.as_ref().is_none_or(|b| run.wall < b.wall) {
+                *slot = Some(run);
+            }
         }
-        if par_best.as_ref().is_none_or(|&(_, w)| p_wall < w) {
-            par_best = Some((p_edges, p_wall));
+        if best[0].as_ref().is_none_or(|b| serial.wall < b.wall) {
+            best[0] = Some(serial);
         }
     }
-    let (par_edges, serial_wall) = serial_best.expect("sampled");
-    let (_, par_wall) = par_best.expect("sampled");
-    let serial_rate = par_edges as f64 / serial_wall;
-    let par_rate = par_edges as f64 / par_wall;
-    let par_speedup = par_rate / serial_rate;
+    let runs: Vec<ParRun> = best.into_iter().map(|b| b.expect("sampled")).collect();
+    let par_edges = runs[0].edges;
+    let serial_rate = par_edges as f64 / runs[0].wall;
+    let mut scaling = Vec::with_capacity(runs.len());
+    for (&jobs, run) in SCALING_JOBS.iter().zip(&runs) {
+        let rate = run.edges as f64 / run.wall;
+        let speedup = rate / serial_rate;
+        println!(
+            "  jobs {jobs:<4}: {:.3}M edges/s, {speedup:.2}x, {} par ticks, {} reticked",
+            rate / 1e6,
+            run.par_computed,
+            run.par_reticked,
+        );
+        scaling.push(ScalingJson {
+            jobs: jobs as u64,
+            edges_per_sec: rate,
+            speedup,
+        });
+    }
+    let headline = scaling
+        .iter()
+        .find(|p| p.jobs == PAR_TICK_JOBS as u64)
+        .expect("the ladder includes the headline job count");
+    let par_rate = headline.edges_per_sec;
+    let par_speedup = headline.speedup;
     println!(
-        "  serial   : {} edges, {:.3}M edges/s",
-        par_edges,
-        serial_rate / 1e6
+        "  headline : {par_speedup:.2}x at {PAR_TICK_JOBS} jobs \
+         (tables and checkpoints byte-identical at every job count)"
     );
-    println!(
-        "  parallel : {} edges, {:.3}M edges/s (tables and checkpoints byte-identical)",
-        par_edges,
-        par_rate / 1e6
-    );
-    println!("  speedup  : {par_speedup:.2}x");
 
     let parallel_section = ParallelSection {
         components: CRUNCHERS as u64,
@@ -657,6 +714,7 @@ fn main() {
         serial_edges_per_sec: serial_rate,
         parallel_edges_per_sec: par_rate,
         speedup: par_speedup,
+        scaling,
     };
     match ledger::update_section(&path, "parallel", &parallel_section.to_json()) {
         Ok(()) => println!("perf ledger updated: {}", path.display()),

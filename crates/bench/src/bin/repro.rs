@@ -62,8 +62,9 @@
 //! recording run fanned out on a multi-core host — the fan-out speedup.
 
 use mpsoc_bench::{
-    experiment_ids, ledger, measure_experiment, measure_fast_forward, measure_warm_fork,
-    set_dse_options, take_dse_run, timetravel, DseOptions, ExperimentRun, EXPERIMENT_REGISTRY,
+    experiment_ids, ledger, measure_experiment, measure_fast_forward, measure_fig4_scaling,
+    measure_warm_fork, set_dse_options, take_dse_run, timetravel, DseOptions, ExperimentRun,
+    Fig4ScalingPoint, EXPERIMENT_REGISTRY,
 };
 use mpsoc_platform::experiments::{DEFAULT_SCALE, DEFAULT_SEED};
 use serde::Serialize;
@@ -273,7 +274,10 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// The `"experiments"` section of `BENCH_kernel.json`.
+/// The `"experiments"` section of `BENCH_kernel.json`. `fig4_scaling` is
+/// the fig4 sweep timed over the tick-jobs ladder (kernel-v7); it stays
+/// the last field so the per-run scanners, which key on `"id"`, never see
+/// its objects.
 #[derive(Serialize)]
 struct ExperimentsSection {
     scale: u64,
@@ -287,6 +291,7 @@ struct ExperimentsSection {
     total_ticks: u64,
     total_skipped: u64,
     runs: Vec<ExperimentRun>,
+    fig4_scaling: Vec<Fig4ScalingPoint>,
 }
 
 fn main() -> ExitCode {
@@ -299,25 +304,30 @@ fn main() -> ExitCode {
     };
     if args.list {
         // Annotate each experiment with the committed ledger's recorded
-        // sparse-skip fraction and fast-forwarded (elided) cycles, when a
-        // committed ledger exists.
+        // sparse-skip fraction, fast-forwarded (elided) cycles, and the
+        // parallel-path counters (computed edge-ticks, retick fraction,
+        // serial fallbacks), when a committed ledger exists.
         let activity = std::fs::read_to_string(ledger::committed_path())
             .map(|doc| ledger::experiment_activity(&doc))
             .unwrap_or_default();
         println!(
-            "{:<14} {:>9} {:>6} {:>10}  description",
-            "experiment", "~scale-1", "skip%", "ff-cycles"
+            "{:<14} {:>9} {:>6} {:>10} {:>9} {:>7} {:>8}  description",
+            "experiment", "~scale-1", "skip%", "ff-cycles", "par-ticks", "retick%", "fallback"
         );
         for desc in EXPERIMENT_REGISTRY {
-            let (skip, ff) = match activity.iter().find(|a| a.id == desc.id) {
+            let (skip, ff, par, retick, fallback) = match activity.iter().find(|a| a.id == desc.id)
+            {
                 Some(a) => (
                     format!("{:.0}%", a.skip_fraction() * 100.0),
                     si_u64(a.ff_elided),
+                    si_u64(a.par_computed),
+                    format!("{:.2}%", a.retick_fraction() * 100.0),
+                    si_u64(a.par_fallback_audit + a.par_fallback_small),
                 ),
-                None => ("-".into(), "-".into()),
+                None => ("-".into(), "-".into(), "-".into(), "-".into(), "-".into()),
             };
             println!(
-                "{:<14} {:>9} {skip:>6} {ff:>10}  {}",
+                "{:<14} {:>9} {skip:>6} {ff:>10} {par:>9} {retick:>7} {fallback:>8}  {}",
                 desc.id, desc.runtime, desc.description
             );
         }
@@ -389,6 +399,32 @@ fn main() -> ExitCode {
         }
     }
 
+    // A full-suite ledger refresh also times the fig4 sweep over the
+    // tick-jobs ladder (the end-to-end face of the per-jobs scaling
+    // curve); single-experiment runs skip it to stay fast.
+    let fig4_scaling = if args.bench_out && args.exp.is_none() {
+        match measure_fig4_scaling(args.scale, args.seed, args.tick_jobs) {
+            Ok(run) => {
+                let points: Vec<String> = run
+                    .points
+                    .iter()
+                    .map(|p| format!("{}j {:.2}x", p.jobs, p.speedup))
+                    .collect();
+                println!(
+                    "fig4 tick-jobs scaling (tables byte-identical): {}",
+                    points.join(", ")
+                );
+                run.points
+            }
+            Err(e) => {
+                eprintln!("fig4 scaling measurement failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
     let section = ExperimentsSection {
         scale: args.scale,
         seed: args.seed,
@@ -401,6 +437,7 @@ fn main() -> ExitCode {
         total_ticks: runs.iter().map(|r| r.ticks).sum(),
         total_skipped: runs.iter().map(|r| r.skipped).sum(),
         runs,
+        fig4_scaling,
     };
     println!(
         "total: {} edges, {} sim cycles ({} skipped) in {:.2}s host time",
@@ -542,6 +579,27 @@ const MIN_SPARSE_SPEEDUP: f64 = 1.3;
 /// than tick jobs only warns: the floor is a property of the scheduler,
 /// not of an oversubscribed host.
 const MIN_PARALLEL_SPEEDUP: f64 = 1.5;
+
+/// Minimum speedup the jobs = 8 point of the `"parallel"` section's
+/// scaling curve must show for [`check_bench`] to pass — the headline
+/// number of the sharded-active-set scheduler on the compute-heavy
+/// microbench. Core-gated on 8 recorded host cores: a curve recorded on a
+/// smaller box only warns.
+const MIN_PARALLEL_SPEEDUP_8: f64 = 3.0;
+
+/// Minimum speedup the jobs = 8 point of the `"experiments"` section's
+/// `fig4_scaling` curve must show for [`check_bench`] to pass: the
+/// end-to-end paper sweep is lighter per edge than the microbench, so the
+/// bar is only "parallel ticking must not lose to serial". Core-gated on
+/// 8 recorded host cores.
+const MIN_FIG4_SCALING_SPEEDUP: f64 = 1.01;
+
+/// Maximum fraction of parallel-computed edge-ticks that may be thrown
+/// away and re-run serially (stats-registration or RNG-divergence
+/// aborts) before [`check_bench`] fails the live run: reticks are pure
+/// waste, and pre-registered metrics plus speculative RNG substreams are
+/// supposed to have eliminated them on the paper experiments.
+const MAX_RETICK_FRACTION: f64 = 0.01;
 
 /// Minimum p50 miss/hit latency ratio the `"server"` ledger section must
 /// show for [`check_bench`] to pass — *when the recording host had more
@@ -734,6 +792,12 @@ fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun], args: &Args) 
             );
         }
     }
+    if !check_scaling_doc(&doc, baseline) {
+        regressed = true;
+    }
+    if !check_retick_fraction(runs) {
+        regressed = true;
+    }
     if !check_fast_forward_doc(&doc, baseline, Some(args)) {
         regressed = true;
     }
@@ -757,6 +821,137 @@ fn check_bench(baseline: &std::path::Path, runs: &[ExperimentRun], args: &Args) 
         MAX_REGRESSION * 100.0
     );
     ExitCode::SUCCESS
+}
+
+/// Enforces the kernel-v7 per-jobs scaling curves: the `"parallel"`
+/// section's `scaling` array must carry a jobs = 8 point at or above
+/// [`MIN_PARALLEL_SPEEDUP_8`], and the `"experiments"` section's
+/// `fig4_scaling` array a jobs = 8 point at or above
+/// [`MIN_FIG4_SCALING_SPEEDUP`]. Both floors are core-gated on 8 recorded
+/// host cores (byte-identity across the ladder is asserted by the
+/// recorders themselves, so an undersized host still proves correctness —
+/// just not speed). Missing curves fail outright: a v7 ledger without
+/// them was recorded by a stale toolchain. Returns whether both pass.
+fn check_scaling_doc(doc: &str, baseline: &std::path::Path) -> bool {
+    let mut ok = true;
+    let curve = ledger::parallel_scaling(doc);
+    match curve.iter().find(|p| p.jobs == 8) {
+        Some(point) => {
+            let cores = ledger::parallel_host_cores(doc);
+            match ledger::core_gated_floor(point.speedup, MIN_PARALLEL_SPEEDUP_8, cores, Some(8)) {
+                ledger::FloorVerdict::Met => {
+                    println!(
+                        "[check parallel scaling @8 jobs {:.2}x >= \
+                         {MIN_PARALLEL_SPEEDUP_8}x — ok]",
+                        point.speedup
+                    );
+                }
+                ledger::FloorVerdict::Ungated => {
+                    println!(
+                        "[check parallel scaling @8 jobs {:.2}x below \
+                         {MIN_PARALLEL_SPEEDUP_8}x, but recorded host_cores {} < 8 — \
+                         warning only]",
+                        point.speedup,
+                        cores.expect("ungated implies recorded"),
+                    );
+                }
+                ledger::FloorVerdict::Missed => {
+                    eprintln!(
+                        "scaling check failed: parallel speedup @8 jobs {:.2}x below the \
+                         {MIN_PARALLEL_SPEEDUP_8}x floor in {} (recorded host_cores {})",
+                        point.speedup,
+                        baseline.display(),
+                        cores.map_or_else(|| "unknown".into(), |c| c.to_string()),
+                    );
+                    ok = false;
+                }
+            }
+        }
+        None => {
+            eprintln!(
+                "scaling check failed: {} has no jobs=8 point in the parallel scaling \
+                 curve (run `cargo bench -p mpsoc-bench --bench kernel_hotpath -- \
+                 --committed`)",
+                baseline.display()
+            );
+            ok = false;
+        }
+    }
+    let fig4 = ledger::fig4_scaling(doc);
+    match fig4.iter().find(|p| p.jobs == 8) {
+        Some(point) => {
+            let cores = ledger::experiments_host_cores(doc);
+            match ledger::core_gated_floor(point.speedup, MIN_FIG4_SCALING_SPEEDUP, cores, Some(8))
+            {
+                ledger::FloorVerdict::Met => {
+                    println!(
+                        "[check fig4 scaling @8 jobs {:.2}x > 1x — ok]",
+                        point.speedup
+                    );
+                }
+                ledger::FloorVerdict::Ungated => {
+                    println!(
+                        "[check fig4 scaling @8 jobs {:.2}x below \
+                         {MIN_FIG4_SCALING_SPEEDUP}x, but recorded host_cores {} < 8 — \
+                         warning only]",
+                        point.speedup,
+                        cores.expect("ungated implies recorded"),
+                    );
+                }
+                ledger::FloorVerdict::Missed => {
+                    eprintln!(
+                        "scaling check failed: fig4 speedup @8 jobs {:.2}x below the \
+                         {MIN_FIG4_SCALING_SPEEDUP}x floor in {} (recorded host_cores {})",
+                        point.speedup,
+                        baseline.display(),
+                        cores.map_or_else(|| "unknown".into(), |c| c.to_string()),
+                    );
+                    ok = false;
+                }
+            }
+        }
+        None => {
+            eprintln!(
+                "scaling check failed: {} has no jobs=8 point in the fig4 scaling curve \
+                 (run `repro --bench-out <path>` for the full suite)",
+                baseline.display()
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// Enforces [`MAX_RETICK_FRACTION`] on the *live* runs just measured: when
+/// the suite took the parallel path at all, the fraction of computed
+/// edge-ticks that had to be thrown away and re-run serially must stay
+/// under 1 %. A serial run (`par_computed == 0` everywhere) passes
+/// trivially. Returns whether the check passes.
+fn check_retick_fraction(runs: &[ExperimentRun]) -> bool {
+    let computed: u64 = runs.iter().map(|r| r.par_computed).sum();
+    let reticked: u64 = runs.iter().map(|r| r.par_reticked).sum();
+    if computed == 0 {
+        return true;
+    }
+    let fraction = reticked as f64 / computed as f64;
+    if fraction < MAX_RETICK_FRACTION {
+        println!(
+            "[check parallel reticks {reticked} / {computed} computed ({:.3}%) < \
+             {:.0}% — ok]",
+            fraction * 100.0,
+            MAX_RETICK_FRACTION * 100.0
+        );
+        true
+    } else {
+        eprintln!(
+            "retick check failed: {reticked} of {computed} parallel-computed edge-ticks \
+             ({:.2}%) were thrown away and re-run serially (floor {:.0}%) — a component \
+             is minting stats ids or drawing unannounced RNG inside parallel ticks",
+            fraction * 100.0,
+            MAX_RETICK_FRACTION * 100.0
+        );
+        false
+    }
 }
 
 /// Enforces the `"server"` ledger section: it must exist (the sweep server

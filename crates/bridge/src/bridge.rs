@@ -408,6 +408,17 @@ impl Component<Packet> for BridgeTargetSide {
         &self.name
     }
 
+    fn register_metrics(&self, stats: &mut mpsoc_kernel::StatsRegistry) {
+        for metric in [
+            "fault_glitches",
+            "fault_recovered",
+            "fault_lost",
+            "fault_retries",
+        ] {
+            stats.counter(&format!("{}.{metric}", self.name));
+        }
+    }
+
     fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
         let now = ctx.time;
         // Release initiators of abandoned transfers (error completions wait

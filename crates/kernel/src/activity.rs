@@ -32,7 +32,6 @@ static SKIPPED: AtomicU64 = AtomicU64::new(0);
 static PAR_EDGES: AtomicU64 = AtomicU64::new(0);
 static PAR_COMPUTED: AtomicU64 = AtomicU64::new(0);
 static PAR_RETICKED: AtomicU64 = AtomicU64::new(0);
-static PAR_FALLBACK_FAULTS: AtomicU64 = AtomicU64::new(0);
 static PAR_FALLBACK_AUDIT: AtomicU64 = AtomicU64::new(0);
 static PAR_FALLBACK_SMALL: AtomicU64 = AtomicU64::new(0);
 static FF_WINDOWS: AtomicU64 = AtomicU64::new(0);
@@ -42,9 +41,6 @@ static FF_ELIDED: AtomicU64 = AtomicU64::new(0);
 /// never silent: each increments its own counter, visible in snapshots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParFallback {
-    /// The fault engine was armed (its probe stream is consumed in tick
-    /// order and cannot be replayed against a frozen view).
-    FaultsArmed,
     /// Skip-audit mode was enabled (it byte-compares shared state around
     /// every would-be-skipped tick).
     SkipAudit,
@@ -71,9 +67,6 @@ pub struct ActivitySnapshot {
     /// that touched state a frozen view cannot answer) and were re-run
     /// serially after rollback.
     pub par_reticked: u64,
-    /// Parallel-enabled edges that fell back to the serial path because the
-    /// fault engine was armed.
-    pub par_fallback_faults: u64,
     /// Parallel-enabled edges that fell back because skip-audit was on.
     pub par_fallback_audit: u64,
     /// Parallel-enabled edges that fell back for lack of eligible work.
@@ -97,9 +90,6 @@ impl ActivitySnapshot {
             par_edges: self.par_edges.wrapping_sub(earlier.par_edges),
             par_computed: self.par_computed.wrapping_sub(earlier.par_computed),
             par_reticked: self.par_reticked.wrapping_sub(earlier.par_reticked),
-            par_fallback_faults: self
-                .par_fallback_faults
-                .wrapping_sub(earlier.par_fallback_faults),
             par_fallback_audit: self
                 .par_fallback_audit
                 .wrapping_sub(earlier.par_fallback_audit),
@@ -121,7 +111,6 @@ pub fn snapshot() -> ActivitySnapshot {
         par_edges: PAR_EDGES.load(Ordering::Relaxed),
         par_computed: PAR_COMPUTED.load(Ordering::Relaxed),
         par_reticked: PAR_RETICKED.load(Ordering::Relaxed),
-        par_fallback_faults: PAR_FALLBACK_FAULTS.load(Ordering::Relaxed),
         par_fallback_audit: PAR_FALLBACK_AUDIT.load(Ordering::Relaxed),
         par_fallback_small: PAR_FALLBACK_SMALL.load(Ordering::Relaxed),
         ff_windows: FF_WINDOWS.load(Ordering::Relaxed),
@@ -169,7 +158,6 @@ pub(crate) fn record_fast(windows: u64, elided: u64) {
 #[inline]
 pub(crate) fn record_par_fallback(reason: ParFallback) {
     let counter = match reason {
-        ParFallback::FaultsArmed => &PAR_FALLBACK_FAULTS,
         ParFallback::SkipAudit => &PAR_FALLBACK_AUDIT,
         ParFallback::TooSmall => &PAR_FALLBACK_SMALL,
     };

@@ -237,6 +237,28 @@ pub trait Component<T>: crate::snapshot::Snapshot + Send {
         }
     }
 
+    /// Pre-registers every metric name the component may create during
+    /// ticking. Called once at registration, before the first edge.
+    ///
+    /// The default is a no-op — lazy registration on first use stays
+    /// correct, because a buffered tick that meets an unknown name is
+    /// rolled back and re-run serially. But each such miss costs a retick,
+    /// so parallel-safe components should pre-register here: with every
+    /// name already in the frozen directory, their ticks commit from the
+    /// buffered compute phase and `par_reticked` stays near zero.
+    ///
+    /// # Contract
+    ///
+    /// Registration order is observable (metric ids index report rows and
+    /// checkpoint bytes), so implementations must register names in a
+    /// fixed deterministic order, and the executor calls this hook in
+    /// component registration order. Pre-registered metrics appear in
+    /// reports even when never incremented (as zero rows), so register
+    /// exactly the names [`tick`](Component::tick) can create.
+    fn register_metrics(&self, stats: &mut StatsRegistry) {
+        let _ = stats;
+    }
+
     /// Optional downcasting hook for post-build reconfiguration.
     ///
     /// Components that expose runtime-tunable knobs (e.g. memory wait

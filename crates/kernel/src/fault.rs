@@ -5,9 +5,13 @@
 //! reproducible. A [`FaultSchedule`] names per-kind injection rates and the
 //! recovery budget; the [`FaultEngine`] owned by the simulation answers
 //! *probes* from component models ("does a fault hit this transfer?")
-//! from its own hash stream, so arming a schedule never perturbs the
-//! kernel RNG that drives traffic generation — a schedule with all rates
-//! at zero reproduces the fault-free run exactly.
+//! from private per-component hash streams, so arming a schedule never
+//! perturbs the kernel RNG that drives traffic generation — a schedule with
+//! all rates at zero reproduces the fault-free run exactly. Because each
+//! component's stream position advances only during its own ticks, armed
+//! probes can also be answered exactly against a frozen pre-edge view,
+//! which is what lets fault-injection runs use the parallel compute/commit
+//! executor (see [`crate::Simulation::set_tick_jobs`]).
 //!
 //! Mirroring how [`trace`](crate::trace) gates emission, probing is a
 //! single branch when no schedule is armed: [`FaultEngine::probe`] is
@@ -198,11 +202,16 @@ impl FaultCounts {
 /// [`TickContext::faults`](crate::TickContext::faults) and call
 /// [`probe`](FaultEngine::probe) at the points where a fault of a given
 /// kind is physically meaningful (a link crossing, an engine start, ...).
-/// One buffered fault-accounting side effect, recorded during a parallel
-/// compute phase and applied to the real [`FaultEngine`] in exact serial
-/// tick order at commit time.
+/// One buffered fault side effect, recorded during a parallel compute phase
+/// and applied to the real [`FaultEngine`] in exact serial tick order at
+/// commit time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum FaultOp {
+    /// An armed `probe(kind)`. Replayed against the real engine at commit,
+    /// which advances the origin's stream position and re-derives the same
+    /// answer the buffered view computed (the stream is a pure function of
+    /// schedule, origin and position).
+    Probe(FaultKind),
     /// `record_recovered(n)`.
     Recovered(u64),
     /// `record_lost(n)`.
@@ -211,10 +220,18 @@ pub(crate) enum FaultOp {
     Retry(u64),
 }
 
-/// Applies buffered fault ops to the real engine (commit phase).
-pub(crate) fn apply_fault_ops(engine: &mut FaultEngine, ops: &[FaultOp]) {
+/// Applies the fault ops one component's buffered tick recorded, replaying
+/// probes under that component's `origin` (commit phase).
+pub(crate) fn apply_fault_ops(engine: &mut FaultEngine, ops: &[FaultOp], origin: u32) {
+    if ops.is_empty() {
+        return;
+    }
+    engine.set_origin(origin);
     for op in ops {
         match *op {
+            FaultOp::Probe(kind) => {
+                engine.probe(kind);
+            }
             FaultOp::Recovered(n) => engine.record_recovered(n),
             FaultOp::Lost(n) => engine.record_lost(n),
             FaultOp::Retry(n) => engine.record_retry(n),
@@ -226,12 +243,13 @@ pub(crate) fn apply_fault_ops(engine: &mut FaultEngine, ops: &[FaultOp]) {
 /// [`TickContext`](crate::TickContext)).
 ///
 /// In the serial schedule every call forwards to the shared engine. During a
-/// parallel compute phase the engine is guaranteed disarmed (an armed engine
-/// forces whole-edge serial execution, because its probe counter is
-/// checkpointed state whose value depends on the serial probe interleaving),
-/// so probes answer `false` exactly as the real engine would — without
-/// touching any counter — and the accounting calls are buffered for the
-/// serial commit phase.
+/// parallel compute phase the handle answers probes *exactly* from the
+/// frozen `(schedule, origin, stream position)` triple: each component owns
+/// a private per-origin probe stream whose position only its own ticks
+/// advance, so the answer a worker computes is the answer the serial
+/// schedule would have produced. Probes and accounting calls are buffered as
+/// fault ops and replayed against the real engine in exact serial tick
+/// order at commit time.
 #[derive(Debug)]
 pub struct FaultAccess<'a> {
     inner: FaultInner<'a>,
@@ -241,9 +259,18 @@ pub struct FaultAccess<'a> {
 enum FaultInner<'a> {
     Direct(&'a mut FaultEngine),
     Buffered {
-        /// The engine's schedule, frozen at the start of the edge (it cannot
-        /// change during an edge: only harness code arms/disarms).
+        /// The engine's armed flag, frozen at the start of the edge (it
+        /// cannot change during an edge: only harness code arms/disarms).
+        armed: bool,
+        /// The engine's schedule, frozen likewise.
         schedule: &'a FaultSchedule,
+        /// The ticking component's registration index — its probe-stream
+        /// origin.
+        origin: u32,
+        /// The origin's stream position at the edge freeze.
+        base: u64,
+        /// Probes drawn by this tick so far (positions `base+1..`).
+        drawn: u64,
         ops: &'a mut Vec<FaultOp>,
         /// Set when the tick reads accounting a buffered view cannot answer
         /// exactly; the executor then re-runs the tick serially.
@@ -259,30 +286,58 @@ impl<'a> FaultAccess<'a> {
         }
     }
 
-    /// Buffered handle for a parallel compute phase. Only valid while the
-    /// real engine is disarmed.
+    /// Buffered handle for a parallel compute phase: answers probes from the
+    /// frozen schedule and the component's own stream position.
     pub(crate) fn buffered(
+        armed: bool,
         schedule: &'a FaultSchedule,
+        origin: u32,
+        base: u64,
         ops: &'a mut Vec<FaultOp>,
         retick: &'a mut bool,
     ) -> Self {
         FaultAccess {
             inner: FaultInner::Buffered {
+                armed,
                 schedule,
+                origin,
+                base,
+                drawn: 0,
                 ops,
                 retick,
             },
         }
     }
 
-    /// See [`FaultEngine::probe`]. In a parallel compute phase the engine is
-    /// disarmed by construction, so the answer is `false` and — exactly like
-    /// the real disarmed engine — no counter moves.
+    /// See [`FaultEngine::probe`]. Buffered probes are computed exactly:
+    /// the stream is a pure function of `(schedule, origin, position)` and
+    /// only the component's own ticks advance its origin's position, so the
+    /// frozen base plus the local draw count is the true position.
     #[inline]
     pub fn probe(&mut self, kind: FaultKind) -> bool {
         match &mut self.inner {
             FaultInner::Direct(engine) => engine.probe(kind),
-            FaultInner::Buffered { .. } => false,
+            FaultInner::Buffered {
+                armed,
+                schedule,
+                origin,
+                base,
+                drawn,
+                ops,
+                ..
+            } => {
+                if !*armed {
+                    return false;
+                }
+                ops.push(FaultOp::Probe(kind));
+                *drawn += 1;
+                let rate = schedule.rate(kind);
+                if rate == 0 {
+                    return false;
+                }
+                let z = probe_hash(schedule.seed, *origin, *base + *drawn);
+                z % 1_000_000 < u64::from(rate)
+            }
         }
     }
 
@@ -291,7 +346,7 @@ impl<'a> FaultAccess<'a> {
     pub fn is_armed(&self) -> bool {
         match &self.inner {
             FaultInner::Direct(engine) => engine.is_armed(),
-            FaultInner::Buffered { .. } => false,
+            FaultInner::Buffered { armed, .. } => *armed,
         }
     }
 
@@ -342,15 +397,45 @@ impl<'a> FaultAccess<'a> {
     }
 }
 
-/// The deterministic fault-injection engine: answers per-tick probes from a
-/// seeded hash stream according to a [`FaultSchedule`], and tracks recovery
-/// accounting. Disarmed by default (probes always answer "no fault").
+/// The probe stream: a SplitMix64 finalizer over `(seed, origin, position)`.
+/// A pure function independent of the kernel RNG, and independent *between
+/// origins* — each component draws from its own substream, which is what
+/// lets a parallel compute phase answer probes against a frozen view (no
+/// other component can move a component's position mid-edge). Origin 0
+/// reproduces the historical single-stream engine bit-for-bit.
+#[inline]
+fn probe_hash(seed: u64, origin: u32, position: u64) -> u64 {
+    let mut z = (seed ^ u64::from(origin).wrapping_mul(0xd1b5_4a32_d192_ed03))
+        .wrapping_add(position.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    z
+}
+
+/// The deterministic fault-injection engine: answers per-tick probes from
+/// seeded per-origin hash streams according to a [`FaultSchedule`], and
+/// tracks recovery accounting. Disarmed by default (probes always answer
+/// "no fault").
+///
+/// An *origin* is the probing component's registration index; the executor
+/// sets it (via [`set_origin`](FaultEngine::set_origin)) before every tick.
+/// Giving every component its own stream position makes the armed engine
+/// safe for parallel compute phases: a frozen `(schedule, origin, position)`
+/// triple answers probes exactly, because only the component's own ticks —
+/// which run at most once per edge — advance its position.
 #[derive(Debug, Clone, Default)]
 pub struct FaultEngine {
     armed: bool,
     schedule: FaultSchedule,
-    /// Probes answered so far; the position in the hash stream.
-    probes: u64,
+    /// Current probe origin (the ticking component's registration index).
+    /// Transient scheduling state, not serialized — the executor sets it
+    /// before every tick.
+    origin: u32,
+    /// Per-origin stream positions, grown on first armed probe of an origin.
+    /// Growth is schedule-independent across executors: skipped ticks are
+    /// certified no-ops that never probe.
+    probes: Vec<u64>,
     counts: FaultCounts,
 }
 
@@ -361,11 +446,11 @@ impl FaultEngine {
     }
 
     /// Arms the engine with a schedule. Probes start answering from the
-    /// beginning of the schedule's hash stream.
+    /// beginning of the schedule's hash streams.
     pub fn arm(&mut self, schedule: FaultSchedule) {
         self.armed = true;
         self.schedule = schedule;
-        self.probes = 0;
+        self.probes.clear();
         self.counts = FaultCounts::default();
     }
 
@@ -385,9 +470,18 @@ impl FaultEngine {
         &self.schedule
     }
 
+    /// Selects the probe origin — the registration index of the component
+    /// about to tick. Called by the executor before every tick (and before
+    /// every buffered-log replay); harness code driving the engine directly
+    /// can leave it at the default origin 0.
+    #[inline]
+    pub fn set_origin(&mut self, origin: u32) {
+        self.origin = origin;
+    }
+
     /// Asks whether a fault of `kind` hits the transfer/operation the
     /// caller is about to perform. Free when disarmed; when armed, consumes
-    /// one position of the engine's private hash stream and — if the answer
+    /// one position of the current origin's hash stream and — if the answer
     /// is yes — records one injected fault the caller must later resolve
     /// via [`record_recovered`](FaultEngine::record_recovered) or
     /// [`record_lost`](FaultEngine::record_lost).
@@ -401,19 +495,15 @@ impl FaultEngine {
 
     fn probe_armed(&mut self, kind: FaultKind) -> bool {
         let rate = self.schedule.rate(kind);
-        self.probes += 1;
+        let o = self.origin as usize;
+        if self.probes.len() <= o {
+            self.probes.resize(o + 1, 0);
+        }
+        self.probes[o] += 1;
         if rate == 0 {
             return false;
         }
-        // SplitMix64 finalizer over (seed, position): the stream is a pure
-        // function of the schedule, independent of the kernel RNG.
-        let mut z = self
-            .schedule
-            .seed
-            .wrapping_add(self.probes.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
+        let z = probe_hash(self.schedule.seed, self.origin, self.probes[o]);
         let hit = z % 1_000_000 < u64::from(rate);
         if hit {
             self.counts.injected_by_kind[kind.index()] += 1;
@@ -441,13 +531,22 @@ impl FaultEngine {
         self.counts
     }
 
-    /// Probes answered since arming.
+    /// Probes answered since arming, across every origin.
     pub fn probes(&self) -> u64 {
-        self.probes
+        self.probes.iter().sum()
     }
 
-    /// Serializes the complete engine state (armed flag, schedule, hash
-    /// stream position, accounting) for a simulation checkpoint.
+    /// The stream position of one origin (0 if it never probed). The
+    /// parallel executor freezes this per eligible component when building
+    /// a compute phase's buffered contexts.
+    #[inline]
+    pub(crate) fn probes_of(&self, origin: u32) -> u64 {
+        self.probes.get(origin as usize).copied().unwrap_or(0)
+    }
+
+    /// Serializes the complete engine state (armed flag, schedule, per-origin
+    /// stream positions, accounting) for a simulation checkpoint. The
+    /// transient probe origin is scheduling state, not simulation state.
     pub(crate) fn save_state(&self, w: &mut crate::snapshot::StateWriter) {
         w.write_bool(self.armed);
         w.write_u64(self.schedule.seed);
@@ -459,7 +558,10 @@ impl FaultEngine {
         w.write_u64(self.schedule.glitch_cycles);
         w.write_u64(self.schedule.timeout_cycles);
         w.write_u32(self.schedule.retry_budget);
-        w.write_u64(self.probes);
+        w.write_usize(self.probes.len());
+        for &position in &self.probes {
+            w.write_u64(position);
+        }
         for injected in self.counts.injected_by_kind {
             w.write_u64(injected);
         }
@@ -471,7 +573,7 @@ impl FaultEngine {
     /// Restores engine state saved by [`save_state`](Self::save_state).
     ///
     /// Deliberately *not* implemented via [`arm`](Self::arm), which resets
-    /// the probe cursor and accounting: a restored engine must resume
+    /// the probe cursors and accounting: a restored engine must resume
     /// mid-stream.
     pub(crate) fn restore_state(&mut self, r: &mut crate::snapshot::StateReader<'_>) {
         self.armed = r.read_bool();
@@ -484,7 +586,7 @@ impl FaultEngine {
         self.schedule.glitch_cycles = r.read_u64();
         self.schedule.timeout_cycles = r.read_u64();
         self.schedule.retry_budget = r.read_u32();
-        self.probes = r.read_u64();
+        self.probes = (0..r.read_usize()).map(|_| r.read_u64()).collect();
         for injected in self.counts.injected_by_kind.iter_mut() {
             *injected = r.read_u64();
         }
@@ -604,6 +706,123 @@ mod tests {
         assert_eq!(s.timeout_cycles, 128);
         assert!(s.is_active());
         assert!(!FaultSchedule::none().is_active());
+    }
+
+    #[test]
+    fn origins_have_independent_streams() {
+        let stream = |origin: u32| {
+            let mut engine = FaultEngine::new();
+            engine.arm(FaultSchedule::uniform(200_000, 11));
+            engine.set_origin(origin);
+            (0..256)
+                .map(|_| engine.probe(FaultKind::LinkDrop))
+                .collect::<Vec<bool>>()
+        };
+        assert_ne!(stream(0), stream(1));
+        assert_eq!(stream(3), stream(3));
+    }
+
+    #[test]
+    fn one_origins_draws_leave_other_origins_unmoved() {
+        let mut engine = FaultEngine::new();
+        engine.arm(FaultSchedule::uniform(100_000, 5));
+        engine.set_origin(2);
+        for _ in 0..10 {
+            engine.probe(FaultKind::TargetStall);
+        }
+        assert_eq!(engine.probes_of(2), 10);
+        assert_eq!(engine.probes_of(0), 0);
+        assert_eq!(engine.probes_of(7), 0);
+        assert_eq!(engine.probes(), 10);
+    }
+
+    #[test]
+    fn buffered_probes_match_direct_replay() {
+        let schedule = FaultSchedule::uniform(300_000, 99);
+        // Direct: advance origin 4 by three probes, then probe five more.
+        let mut direct = FaultEngine::new();
+        direct.arm(schedule);
+        direct.set_origin(4);
+        let mut warmup = Vec::new();
+        for _ in 0..3 {
+            warmup.push(direct.probe(FaultKind::LinkCorrupt));
+        }
+        let direct_answers: Vec<bool> = (0..5)
+            .map(|_| direct.probe(FaultKind::LinkCorrupt))
+            .collect();
+
+        // Buffered from the same frozen base, then replayed onto a second
+        // engine warmed identically: answers and final state must agree.
+        let mut replay = FaultEngine::new();
+        replay.arm(schedule);
+        replay.set_origin(4);
+        for (i, &w) in warmup.iter().enumerate() {
+            assert_eq!(replay.probe(FaultKind::LinkCorrupt), w, "warmup {i}");
+        }
+        let mut ops = Vec::new();
+        let mut retick = false;
+        let buffered_answers: Vec<bool> = {
+            let mut access = FaultAccess::buffered(
+                true,
+                &schedule,
+                4,
+                replay.probes_of(4),
+                &mut ops,
+                &mut retick,
+            );
+            (0..5)
+                .map(|_| access.probe(FaultKind::LinkCorrupt))
+                .collect()
+        };
+        assert_eq!(buffered_answers, direct_answers);
+        assert!(!retick, "buffered probes never force a retick");
+        apply_fault_ops(&mut replay, &ops, 4);
+        assert_eq!(replay.probes_of(4), direct.probes_of(4));
+        assert_eq!(replay.counts(), direct.counts());
+    }
+
+    #[test]
+    fn buffered_disarmed_probe_records_nothing() {
+        let schedule = FaultSchedule::uniform(1_000_000, 1);
+        let mut ops = Vec::new();
+        let mut retick = false;
+        {
+            let mut access = FaultAccess::buffered(false, &schedule, 0, 0, &mut ops, &mut retick);
+            assert!(!access.probe(FaultKind::LinkDrop));
+            assert!(!access.is_armed());
+        }
+        assert!(ops.is_empty(), "disarmed probes leave no ops to replay");
+    }
+
+    #[test]
+    fn engine_state_round_trips_through_snapshot() {
+        let mut engine = FaultEngine::new();
+        engine.arm(FaultSchedule::uniform(250_000, 17));
+        for origin in [0u32, 3, 1] {
+            engine.set_origin(origin);
+            for _ in 0..=origin {
+                engine.probe(FaultKind::RefreshStorm);
+            }
+        }
+        engine.record_recovered(1);
+        let mut w = crate::snapshot::StateWriter::new();
+        engine.save_state(&mut w);
+        let blob = w.finish();
+        let mut restored = FaultEngine::new();
+        restored.restore_state(&mut crate::snapshot::StateReader::new(&blob).unwrap());
+        assert_eq!(restored.probes_of(0), engine.probes_of(0));
+        assert_eq!(restored.probes_of(1), engine.probes_of(1));
+        assert_eq!(restored.probes_of(3), engine.probes_of(3));
+        assert_eq!(restored.counts(), engine.counts());
+        // The restored engine resumes every origin's stream mid-position.
+        restored.set_origin(3);
+        engine.set_origin(3);
+        for _ in 0..64 {
+            assert_eq!(
+                restored.probe(FaultKind::RefreshStorm),
+                engine.probe(FaultKind::RefreshStorm)
+            );
+        }
     }
 
     #[test]

@@ -45,10 +45,16 @@ pub(crate) struct EdgeCtx<T> {
     pub(crate) dir: Arc<StatDir>,
     /// Whether tracing is enabled this edge (cannot change mid-edge).
     pub(crate) trace_enabled: bool,
-    /// The fault engine's schedule (the engine itself is disarmed whenever
-    /// a parallel phase runs; armed engines force the serial path).
+    /// The fault engine's schedule; with [`faults_armed`](Self::faults_armed)
+    /// it lets buffered ticks answer probes exactly — each component draws
+    /// from its own per-origin probe stream, so positions observed against
+    /// the frozen view match the serial replay bit-for-bit.
     pub(crate) schedule: FaultSchedule,
-    /// RNG state at the start of the edge, for the frozen per-tick copies.
+    /// Whether the fault engine is armed this edge (frozen; arming only
+    /// changes between runs, never mid-edge).
+    pub(crate) faults_armed: bool,
+    /// RNG state at the start of the edge, for speculative per-tick draws
+    /// validated at commit.
     pub(crate) rng_state: u64,
 }
 
@@ -59,6 +65,9 @@ pub(crate) struct Unit<T> {
     pub(crate) index: u32,
     /// The component's domain-local cycle count for this edge.
     pub(crate) cycle: Cycles,
+    /// How many fault probes this component (origin) has drawn so far —
+    /// the start position of its per-origin probe stream for this tick.
+    pub(crate) fault_base: u64,
     /// The component itself, by value.
     pub(crate) component: Box<dyn Component<T>>,
 }
@@ -78,8 +87,16 @@ pub(crate) struct Done<T> {
     pub(crate) stats: Vec<StatOp>,
     /// Buffered fault accounting.
     pub(crate) faults: Vec<FaultOp>,
-    /// The tick touched state a frozen view cannot answer exactly (RNG, raw
-    /// counter reads, unregistered metric names): it must re-run serially.
+    /// Speculative RNG substream `(start, end)` recorded by the tick's
+    /// draws, or `None` if the tick never touched the shared RNG. Commit
+    /// validates `start` against the live generator: equal means no earlier
+    /// tick of the edge drew, so the speculation is exactly the serial
+    /// substream and the live state jumps to `end`; unequal forces a
+    /// serial re-run (first mover wins).
+    pub(crate) rng: Option<(u64, u64)>,
+    /// The tick touched state a frozen view cannot answer exactly (raw
+    /// counter reads, fault-count reads, unregistered metric names): it
+    /// must re-run serially.
     pub(crate) retick: bool,
 }
 
@@ -92,6 +109,7 @@ fn run_unit<T: Clone>(ctx: &EdgeCtx<T>, unit: Unit<T>) -> Done<T> {
     let Unit {
         index,
         cycle,
+        fault_base,
         mut component,
     } = unit;
     let mut w = StateWriter::new();
@@ -100,7 +118,8 @@ fn run_unit<T: Clone>(ctx: &EdgeCtx<T>, unit: Unit<T>) -> Done<T> {
     let mut link_log = LinkLog::new();
     let mut stat_ops = Vec::new();
     let mut fault_ops = Vec::new();
-    let (mut rng_retick, mut stat_retick, mut fault_retick) = (false, false, false);
+    let mut rng_spec = None;
+    let (mut stat_retick, mut fault_retick) = (false, false);
     {
         let mut tick_ctx = TickContext {
             time: ctx.time,
@@ -112,15 +131,23 @@ fn run_unit<T: Clone>(ctx: &EdgeCtx<T>, unit: Unit<T>) -> Done<T> {
                 ctx.trace_enabled,
                 &mut stat_retick,
             ),
-            rng: RngAccess::buffered(ctx.rng_state, &mut rng_retick),
-            faults: FaultAccess::buffered(&ctx.schedule, &mut fault_ops, &mut fault_retick),
+            rng: RngAccess::buffered(ctx.rng_state, &mut rng_spec),
+            faults: FaultAccess::buffered(
+                ctx.faults_armed,
+                &ctx.schedule,
+                index,
+                fault_base,
+                &mut fault_ops,
+                &mut fault_retick,
+            ),
         };
         // A tick that asks for an unregistered metric name unwinds with
         // `StatsMissAbort` (see `StatsAccess::counter` for why it cannot
-        // just return a dummy id). Catch exactly that payload and turn it
-        // into a retick — the pre-image restore plus serial re-run then
-        // registers the metric for real. Anything else is a genuine panic
-        // and keeps unwinding to the stepping thread.
+        // just return a dummy id; the unwind is raised with `resume_unwind`
+        // so the process panic hook never fires). Catch exactly that
+        // payload and turn it into a retick — the pre-image restore plus
+        // serial re-run then registers the metric for real. Anything else
+        // is a genuine panic and keeps unwinding to the stepping thread.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             component.tick(&mut tick_ctx)
         }));
@@ -138,7 +165,8 @@ fn run_unit<T: Clone>(ctx: &EdgeCtx<T>, unit: Unit<T>) -> Done<T> {
         links: link_log.into_ops(),
         stats: stat_ops,
         faults: fault_ops,
-        retick: rng_retick | stat_retick | fault_retick,
+        rng: rng_spec,
+        retick: stat_retick | fault_retick,
     }
 }
 
@@ -281,6 +309,7 @@ mod tests {
             dir: Arc::new(StatDir::default()),
             trace_enabled: false,
             schedule: FaultSchedule::default(),
+            faults_armed: false,
             rng_state: 0,
         }
     }
@@ -295,6 +324,7 @@ mod tests {
         let unit = Unit {
             index: 3,
             cycle: Cycles::new(5),
+            fault_base: 0,
             component: Box::new(Fwd {
                 rx,
                 tx,
@@ -328,6 +358,7 @@ mod tests {
                     units: vec![Unit {
                         index: shard as u32,
                         cycle: Cycles::ZERO,
+                        fault_base: 0,
                         component: Box::new(Fwd {
                             rx,
                             tx,
@@ -373,6 +404,7 @@ mod tests {
                 units: vec![Unit {
                     index: 0,
                     cycle: Cycles::ZERO,
+                    fault_base: 0,
                     component: Box::new(Bomb),
                 }],
             },

@@ -72,6 +72,10 @@ impl<T> NaiveSimulation<T> {
         clock: ClockDomain,
     ) -> ComponentId {
         let id = ComponentId(u32::try_from(self.slots.len()).expect("too many components"));
+        // Same pre-registration as `Simulation::add_component`: metric
+        // creation order is observable (report rows, checkpoint bytes), so
+        // both executors must create build-time metrics at the same point.
+        component.register_metrics(&mut self.stats);
         let next_tick = clock.next_edge_at_or_after(self.time);
         self.slots.push(Slot {
             component,
@@ -107,6 +111,13 @@ impl<T> NaiveSimulation<T> {
         &self.stats
     }
 
+    /// Mutable access to the fault engine (to arm schedules), so
+    /// differential tests can drive the oracle under the same fault
+    /// schedule as the real executor.
+    pub fn faults_mut(&mut self) -> &mut FaultEngine {
+        &mut self.faults
+    }
+
     /// The time of the next pending edge (full scan).
     pub fn next_edge(&self) -> Option<Time> {
         self.slots.iter().map(|s| s.next_tick).min()
@@ -118,9 +129,10 @@ impl<T> NaiveSimulation<T> {
         let edge = self.next_edge()?;
         self.time = edge;
         let mut ticked = 0u64;
-        for slot in &mut self.slots {
+        for (index, slot) in self.slots.iter_mut().enumerate() {
             if slot.next_tick == edge {
                 let cycle = Cycles::new(slot.ticks);
+                self.faults.set_origin(index as u32);
                 let mut ctx = TickContext::direct(
                     edge,
                     cycle,

@@ -394,6 +394,9 @@ impl<T> Simulation<T> {
     ) -> ComponentId {
         let index = u32::try_from(self.slots.len()).expect("too many components");
         let id = ComponentId(index);
+        // Pre-register metric names before the first edge so buffered
+        // parallel ticks find them in the frozen directory (no retick).
+        component.register_metrics(&mut self.stats);
         let next_tick = clock.next_edge_at_or_after(self.time);
         let idle = component.is_idle();
         if !idle {
@@ -815,6 +818,7 @@ impl<T> Simulation<T> {
             busy,
             ..
         } = self;
+        faults.set_origin(index as u32);
         let slot = &mut slots[index];
         let initial_timer = slot.timer;
         let ff_ok = slot.ff_ok;
@@ -920,6 +924,10 @@ impl<T> Simulation<T> {
 
     fn tick_slot(&mut self, index: usize, edge: Time) {
         let cycle = self.cycle_of(index);
+        // Fault probes draw from the component's own per-origin stream, so
+        // a tick's draws are independent of how the edge interleaves other
+        // components' probes (the property buffered parallel ticks rely on).
+        self.faults.set_origin(index as u32);
         let slot = &mut self.slots[index];
         let mut ctx = TickContext::direct(
             edge,
@@ -1040,10 +1048,13 @@ impl<T: Clone + PartialEq + Send + Sync + 'static> Simulation<T> {
     /// commit phase applies effect logs in exact tick order, validates every
     /// log's recorded observations against the live state, and re-runs any
     /// invalidated tick serially after rolling the component back to its
-    /// pre-tick snapshot. Edges where the contract cannot hold (armed fault
-    /// engine, skip-audit mode, fewer than two eligible components) fall
-    /// back to the serial path wholesale, with the reason recorded in the
-    /// [`activity`](crate::activity) counters — never silently.
+    /// pre-tick snapshot. Edges where the contract cannot hold (skip-audit
+    /// mode, fewer than two eligible components) fall back to the serial
+    /// path wholesale, with the reason recorded in the
+    /// [`activity`](crate::activity) counters — never silently. Armed fault
+    /// schedules need no fallback: probes draw from per-component origin
+    /// streams, so buffered ticks answer them exactly and the serial commit
+    /// replay reproduces the counts.
     ///
     /// Only components that opt in via [`Component::parallel_safe`] are
     /// computed on workers; everything else ticks serially at its exact
@@ -1075,16 +1086,8 @@ impl<T: Clone + PartialEq + Send + Sync + 'static> Simulation<T> {
     fn parallel_pass(&mut self, order: &[u32], edge: Time) -> (u64, u64) {
         use crate::activity::{record_par_fallback, record_parallel_edge, ParFallback};
 
-        // Metric-registration misses unwind out of buffered ticks; keep
-        // the default panic hook from reporting those expected unwinds.
-        crate::stats::install_miss_hook();
-
         // Whole-edge serial fallbacks: conditions under which buffered
         // compute cannot reproduce serial semantics. Each is counted.
-        if self.faults.is_armed() {
-            record_par_fallback(ParFallback::FaultsArmed);
-            return self.serial_pass(order, edge);
-        }
         if self.audit.is_some() {
             record_par_fallback(ParFallback::SkipAudit);
             return self.serial_pass(order, edge);
@@ -1125,6 +1128,7 @@ impl<T: Clone + PartialEq + Send + Sync + 'static> Simulation<T> {
             dir: self.stats.dir(),
             trace_enabled: self.stats.trace().is_enabled(),
             schedule: *self.faults.schedule(),
+            faults_armed: self.faults.is_armed(),
             rng_state: self.rng.state(),
         });
 
@@ -1214,14 +1218,25 @@ impl<T: Clone + PartialEq + Send + Sync + 'static> Simulation<T> {
                             .links
                             .iter()
                             .any(|op| self.link_dirty[op.link().index()] == stamp);
+                    // Speculative RNG draws are valid only if no earlier
+                    // commit advanced the shared generator past the state
+                    // the tick observed (first mover wins).
+                    let rng_valid = done.rng.is_none_or(|(start, _)| self.rng.state() == start);
                     if !done.retick
+                        && rng_valid
                         && (!contended || validate_link_ops(&done.links, &self.links, edge))
                     {
                         let links = &mut self.links;
                         let dirty = &mut self.link_dirty;
                         apply_link_ops(done.links, links, edge, |id| dirty[id.index()] = stamp);
                         apply_stat_ops(&mut self.stats, done.stats);
-                        apply_fault_ops(&mut self.faults, &done.faults);
+                        apply_fault_ops(&mut self.faults, &done.faults, raw);
+                        if let Some((_, end)) = done.rng {
+                            // Install the speculative substream's end state:
+                            // exactly where serial execution would have left
+                            // the generator.
+                            self.rng = SplitMix64::new(end);
+                        }
                         self.post_tick(i);
                     } else {
                         // The tick observed state an earlier commit changed
@@ -1267,6 +1282,7 @@ impl<T: Clone + PartialEq + Send + Sync + 'static> Simulation<T> {
                 Unit {
                     index,
                     cycle: Cycles::new(self.cycle_of(i)),
+                    fault_base: self.faults.probes_of(index),
                     component: self.slots[i]
                         .component
                         .take()
@@ -2319,19 +2335,25 @@ mod tests {
     }
 
     #[test]
-    fn armed_faults_and_skip_audit_force_counted_serial_fallbacks() {
+    fn armed_faults_run_the_parallel_path() {
         let mut sim = chained_platform(2);
         sim.set_tick_jobs(4);
         sim.faults_mut().arm(crate::fault::FaultSchedule {
             seed: 7,
             ..Default::default()
         });
+        sim.step(); // first ticks are always serial (lazy setup)
         let before = crate::activity::snapshot();
         sim.step();
         let d = crate::activity::snapshot().since(before);
-        assert!(d.par_fallback_faults > 0);
-        assert_eq!(d.par_edges, 0);
+        assert!(
+            d.par_edges > 0,
+            "an armed fault schedule must not force a serial fallback"
+        );
+    }
 
+    #[test]
+    fn skip_audit_and_first_edges_force_counted_serial_fallbacks() {
         let mut sim = chained_platform(2);
         sim.set_tick_jobs(4);
         sim.enable_skip_audit();
@@ -2393,7 +2415,7 @@ mod tests {
         let d = crate::activity::snapshot().since(before);
         assert_eq!(d.par_edges, 0);
         assert_eq!(
-            d.par_fallback_faults + d.par_fallback_audit + d.par_fallback_small,
+            d.par_fallback_audit + d.par_fallback_small,
             0,
             "serial mode must not even consult the parallel path"
         );

@@ -269,22 +269,16 @@ pub struct StatsRegistry {
 /// call never happened.
 pub(crate) struct StatsMissAbort;
 
-/// Installs (once, process-wide) a panic hook that stays silent for
-/// [`StatsMissAbort`] unwinds and delegates every other panic to the
-/// previously installed hook. Registration misses are routine control flow
-/// on parallel edges — one per lazily-registered metric — and must not
-/// spam stderr with "thread panicked" noise.
-pub(crate) fn install_miss_hook() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let previous = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if info.payload().is::<StatsMissAbort>() {
-                return;
-            }
-            previous(info);
-        }));
-    });
+impl StatsMissAbort {
+    /// Aborts the current buffered tick. Uses `resume_unwind` rather than
+    /// `panic_any` so the process panic hook never runs: registration
+    /// misses are routine control flow on parallel edges — one per
+    /// lazily-registered metric — and must not spam stderr with "thread
+    /// panicked" noise or require a process-global hook swap (which would
+    /// be racy under concurrent tests and could hide unrelated panics).
+    fn abort() -> ! {
+        std::panic::resume_unwind(Box::new(StatsMissAbort))
+    }
 }
 
 /// Read-only directory of registered metric names, shared with parallel
@@ -408,7 +402,7 @@ impl<'a> StatsAccess<'a> {
                 Some(&id) => id,
                 None => {
                     **retick = true;
-                    std::panic::panic_any(StatsMissAbort);
+                    StatsMissAbort::abort();
                 }
             },
         }
@@ -456,7 +450,7 @@ impl<'a> StatsAccess<'a> {
                 Some(&id) => id,
                 None => {
                     **retick = true;
-                    std::panic::panic_any(StatsMissAbort);
+                    StatsMissAbort::abort();
                 }
             },
         }
@@ -480,7 +474,7 @@ impl<'a> StatsAccess<'a> {
                 Some(&(id, len)) if len == states.len() => id,
                 _ => {
                     **retick = true;
-                    std::panic::panic_any(StatsMissAbort);
+                    StatsMissAbort::abort();
                 }
             },
         }

@@ -313,6 +313,27 @@ impl Component<Packet> for LmiController {
         &self.name
     }
 
+    fn register_metrics(&self, stats: &mut mpsoc_kernel::StatsRegistry) {
+        stats.residency(
+            &format!("{}.iface", self.name),
+            &["no_request", "storing", "full"],
+        );
+        stats.residency(&format!("{}.empty", self.name), &["empty", "nonempty"]);
+        stats.residency(&format!("{}.mode", self.name), &["normal", "degraded"]);
+        for metric in [
+            "fault_storms",
+            "refreshes",
+            "fault_stalls",
+            "degraded_entries",
+            "row_hits",
+            "row_misses",
+            "merged_txns",
+            "accesses",
+        ] {
+            stats.counter(&format!("{}.{metric}", self.name));
+        }
+    }
+
     fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
         let now = ctx.time;
         let now_cycle = ctx.cycle.count();

@@ -152,6 +152,10 @@ impl Component<Packet> for Router {
         &self.name
     }
 
+    fn register_metrics(&self, stats: &mut mpsoc_kernel::StatsRegistry) {
+        stats.counter(&format!("{}.forwarded", self.name));
+    }
+
     fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
         let now = ctx.time;
         let period = self.clock.period();

@@ -245,6 +245,36 @@ impl SizeRange {
 
 /// The `prop::` namespace (`prop::collection::vec`, ...).
 pub mod prop {
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy producing `Option<S::Value>`, `None` half the time.
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// Wraps `inner` in an `Option` strategy, mirroring
+        /// `proptest::option::of` (an even `Some`/`None` split).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                // Draw the coin first so the inner strategy consumes RNG
+                // state only when a `Some` is actually produced.
+                if rng.next_u64() & 1 == 1 {
+                    Some(self.inner.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Collection strategies.
     pub mod collection {
         use super::super::{SizeRange, Strategy, TestRng};
@@ -404,6 +434,13 @@ mod tests {
         fn btree_set_hits_exact_target(s in prop::collection::btree_set(0u64..10_000, 4)) {
             prop_assert_eq!(s.len(), 4);
         }
+
+        #[test]
+        fn option_of_covers_both_arms(o in prop::option::of(2u64..6)) {
+            if let Some(v) = o {
+                prop_assert!((2..6).contains(&v));
+            }
+        }
     }
 
     proptest! {
@@ -419,6 +456,7 @@ mod tests {
         ranges_stay_in_bounds();
         vec_sizes_respect_range();
         btree_set_hits_exact_target();
+        option_of_covers_both_arms();
         config_override_applies();
     }
 

@@ -737,6 +737,21 @@ impl Component<Packet> for StbusNode {
         &self.name
     }
 
+    fn register_metrics(&self, stats: &mut mpsoc_kernel::StatsRegistry) {
+        for metric in [
+            "delivered",
+            "resp_busy_ps",
+            "resp_data_ps",
+            "fault_drops",
+            "granted",
+            "req_busy_ps",
+            "fault_retries",
+            "fault_lost",
+        ] {
+            stats.counter(&format!("{}.{metric}", self.name));
+        }
+    }
+
     fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
         self.ensure_channels();
         // Responses first: a response completing this cycle frees the

@@ -330,6 +330,18 @@ impl Component<Packet> for DspCore {
         &self.name
     }
 
+    fn register_metrics(&self, stats: &mut mpsoc_kernel::StatsRegistry) {
+        for metric in [
+            "stall_cycles",
+            "instructions",
+            "done_at_ns",
+            "icache_misses",
+            "dcache_misses",
+        ] {
+            stats.counter(&format!("{}.{metric}", self.name));
+        }
+    }
+
     fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
         // Collect responses.
         if let Some(pkt) = ctx.links.pop(self.resp_in, ctx.time) {

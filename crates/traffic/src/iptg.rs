@@ -520,6 +520,13 @@ impl Component<Packet> for IpTrafficGenerator {
         &self.name
     }
 
+    fn register_metrics(&self, stats: &mut mpsoc_kernel::StatsRegistry) {
+        for metric in ["completed", "error_responses", "done_at_ns", "injected"] {
+            stats.counter(&format!("{}.{metric}", self.name));
+        }
+        stats.histogram(&format!("{}.latency_ns", self.name));
+    }
+
     fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
         let now = ctx.time;
         // Drain one response per cycle.

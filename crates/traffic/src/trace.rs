@@ -303,6 +303,12 @@ impl Component<Packet> for TraceDrivenGenerator {
         &self.name
     }
 
+    fn register_metrics(&self, stats: &mut mpsoc_kernel::StatsRegistry) {
+        for metric in ["completed", "injected"] {
+            stats.counter(&format!("{}.{metric}", self.name));
+        }
+    }
+
     fn tick(&mut self, ctx: &mut TickContext<'_, Packet>) {
         if ctx.links.pop(self.resp_in, ctx.time).is_some() {
             self.outstanding -= 1;

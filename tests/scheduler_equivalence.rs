@@ -524,7 +524,7 @@ fn sparse_skips_most_ticks_on_long_gaps() {
 // same final time, same stats tables, same trace, same checkpoint bytes.
 
 use mpsoc_kernel::stats::CounterId;
-use mpsoc_kernel::{FaultSchedule, TraceKind};
+use mpsoc_kernel::{FaultKind, FaultSchedule, Fidelity, StatsRegistry, TraceKind};
 
 /// A parallel-safe forwarder: pops its input, pushes `payload + 1`, counts
 /// forwards and emits a trace record. Every cross-component effect goes
@@ -579,6 +579,119 @@ impl Component<u64> for Hop {
     fn parallel_safe(&self) -> bool {
         true
     }
+}
+
+/// A fault-probing, parallel-safe hop: probes the injector for every popped
+/// payload, dropping hits (recorded lost) and forwarding the rest. Its
+/// metrics are pre-registered through [`Component::register_metrics`], so
+/// even under an armed schedule its buffered ticks commit without a retick —
+/// the per-origin probe streams make the buffered draws exact.
+struct FaultyHop {
+    name: String,
+    rx: LinkId,
+    tx: LinkId,
+    forwarded: u64,
+    dropped: u64,
+}
+
+impl mpsoc_kernel::Snapshot for FaultyHop {
+    fn save(&self, w: &mut mpsoc_kernel::StateWriter) {
+        w.write_u64(self.forwarded);
+        w.write_u64(self.dropped);
+    }
+    fn restore(&mut self, r: &mut mpsoc_kernel::StateReader<'_>) {
+        self.forwarded = r.read_u64();
+        self.dropped = r.read_u64();
+    }
+}
+
+impl Component<u64> for FaultyHop {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn register_metrics(&self, stats: &mut StatsRegistry) {
+        stats.counter(&format!("{}.forwarded", self.name));
+        stats.counter(&format!("{}.dropped", self.name));
+    }
+    fn tick(&mut self, ctx: &mut TickContext<'_, u64>) {
+        if ctx.links.can_push(self.tx) {
+            if let Some(v) = ctx.links.pop(self.rx, ctx.time) {
+                if ctx.faults.probe(FaultKind::LinkDrop) {
+                    ctx.faults.record_lost(1);
+                    let c = ctx.stats.counter(&format!("{}.dropped", self.name));
+                    ctx.stats.inc(c, 1);
+                    self.dropped += 1;
+                } else {
+                    ctx.links.push(self.tx, ctx.time, v + 1).unwrap();
+                    let c = ctx.stats.counter(&format!("{}.forwarded", self.name));
+                    ctx.stats.inc(c, 1);
+                    self.forwarded += 1;
+                }
+            }
+        }
+    }
+    fn is_idle(&self) -> bool {
+        true
+    }
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+}
+
+/// Builds producer → faulty-hop → faulty-hop → consumer chains on one
+/// executor (works for both `Simulation` and `NaiveSimulation`).
+macro_rules! build_faulty_chains {
+    ($sim:expr, $chains:expr) => {{
+        let pool = clock_pool();
+        for (i, &(pc, hc, budget, cap)) in $chains.iter().enumerate() {
+            let prod_clk = pool[pc % pool.len()];
+            let hop_clk = pool[hc % pool.len()];
+            let a = $sim
+                .links_mut()
+                .add_link(&format!("fch{i}.a"), cap, prod_clk.period());
+            let b = $sim
+                .links_mut()
+                .add_link(&format!("fch{i}.b"), cap, hop_clk.period());
+            let c = $sim
+                .links_mut()
+                .add_link(&format!("fch{i}.c"), cap, hop_clk.period());
+            $sim.add_component(
+                Box::new(Producer {
+                    out: a,
+                    budget,
+                    sent: 0,
+                }),
+                prod_clk,
+            );
+            $sim.add_component(
+                Box::new(FaultyHop {
+                    name: format!("fch{i}.h0"),
+                    rx: a,
+                    tx: b,
+                    forwarded: 0,
+                    dropped: 0,
+                }),
+                hop_clk,
+            );
+            $sim.add_component(
+                Box::new(FaultyHop {
+                    name: format!("fch{i}.h1"),
+                    rx: b,
+                    tx: c,
+                    forwarded: 0,
+                    dropped: 0,
+                }),
+                hop_clk,
+            );
+            $sim.add_component(
+                Box::new(Consumer {
+                    input: c,
+                    received: 0,
+                }),
+                hop_clk,
+            );
+        }
+    }};
 }
 
 /// Builds producer → hop → hop → consumer chains on one executor. The hops
@@ -653,6 +766,35 @@ fn parallel_fingerprint(
     (at, sim.checkpoint().as_bytes().to_vec(), report, trace)
 }
 
+/// Like [`parallel_fingerprint`], but with an optional mid-run gear shift:
+/// run the first third cycle-accurate, fast-forward the middle third at the
+/// given quantum, then drop back to cycle accuracy for the rest. All
+/// executors in one comparison get the same gear schedule, so the fingerprint
+/// must match regardless of job count or sparse/dense scheduling.
+fn compound_fingerprint(
+    sim: &mut Simulation<u64>,
+    horizon_ns: u64,
+    quantum: Option<u64>,
+) -> (Time, Vec<u8>, String, String) {
+    sim.stats_mut().trace_mut().enable(512);
+    match quantum {
+        None => {
+            sim.run_until(Time::from_ns(horizon_ns));
+        }
+        Some(q) => {
+            sim.run_until(Time::from_ns(horizon_ns / 3));
+            sim.set_fidelity(Fidelity::Fast { quantum: q });
+            sim.run_until(Time::from_ns(2 * horizon_ns / 3));
+            sim.set_fidelity(Fidelity::Cycle);
+            sim.run_until(Time::from_ns(horizon_ns));
+        }
+    }
+    let at = sim.time();
+    let report = sim.stats().report(at).to_string();
+    let trace = sim.stats().trace().dump();
+    (at, sim.checkpoint().as_bytes().to_vec(), report, trace)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -692,11 +834,12 @@ proptest! {
         }
     }
 
-    /// Armed fault injection forces a counted serial fallback rather than
-    /// risking divergent probe ordering: runs with any job count must stay
-    /// byte-identical to serial even while faults fire.
+    /// Armed fault injection now rides the parallel path: buffered per-origin
+    /// probe draws are replayed in serial commit order, so every job count
+    /// stays byte-identical to serial (and serial to the naive oracle) while
+    /// the edge keeps computing on workers.
     #[test]
-    fn armed_fault_runs_match_serial_at_any_job_count(
+    fn armed_fault_runs_match_serial_and_naive_at_any_job_count(
         chains in prop::collection::vec((0usize..8, 0usize..8, 1u64..20, 1usize..4), 1..4),
         seed in any::<u64>(),
         rate in 0u32..5000,
@@ -705,28 +848,108 @@ proptest! {
         let horizon = Time::from_ns(horizon_ns);
         let schedule = FaultSchedule::uniform(rate, seed);
 
+        let mut naive: NaiveSimulation<u64> = NaiveSimulation::new();
+        build_faulty_chains!(naive, chains);
+        naive.faults_mut().arm(schedule);
+        naive.run_until(horizon);
+        let naive_report = naive.stats().report(naive.time()).to_string();
+        let naive_counts = naive.faults_mut().counts();
+
         let mut serial: Simulation<u64> = Simulation::new();
         serial.set_tick_jobs(1);
-        build_hop_chains!(serial, chains);
+        build_faulty_chains!(serial, chains);
         serial.faults_mut().arm(schedule);
         let (serial_at, serial_blob, serial_report, serial_trace) =
             parallel_fingerprint(&mut serial, horizon);
+
+        prop_assert_eq!(naive.time(), serial_at);
+        prop_assert_eq!(&naive_report, &serial_report);
+        prop_assert_eq!(naive_counts, serial.faults().counts());
 
         for jobs in [2usize, 4, 8] {
             let before = mpsoc_kernel::activity::snapshot();
             let mut par: Simulation<u64> = Simulation::new();
             par.set_tick_jobs(jobs);
-            build_hop_chains!(par, chains);
+            build_faulty_chains!(par, chains);
             par.faults_mut().arm(schedule);
             let (at, blob, report, trace) = parallel_fingerprint(&mut par, horizon);
             prop_assert_eq!(serial_at, at);
             prop_assert_eq!(&serial_report, &report);
             prop_assert_eq!(&serial_trace, &trace);
             prop_assert_eq!(&serial_blob, &blob);
+            prop_assert_eq!(naive_counts, par.faults().counts());
             let delta = mpsoc_kernel::activity::snapshot().since(before);
             prop_assert!(
-                delta.par_fallback_faults >= 1,
-                "armed faults must be counted as a serial fallback"
+                delta.par_computed > 0,
+                "armed faults must not keep the edge off the parallel path"
+            );
+        }
+    }
+
+    /// Compound differential: sparse scheduling, parallel ticking, armed
+    /// faults and an optional mid-run gear shift all composed at once must
+    /// stay byte-identical to the dense serial run at every job count, and
+    /// (when no gear shift is involved) agree with the naive oracle.
+    #[test]
+    fn sparse_parallel_composition_matches_dense_serial(
+        pairs in prop::collection::vec(
+            (0usize..8, 0usize..8, 0u64..40, 1u64..25, 1usize..4),
+            1..4,
+        ),
+        chains in prop::collection::vec((0usize..8, 0usize..8, 1u64..20, 1usize..4), 1..4),
+        seed in any::<u64>(),
+        rate in 0u32..5000,
+        quantum in prop::option::of(2u64..6),
+        horizon_ns in 300u64..1500,
+    ) {
+        let schedule = FaultSchedule::uniform(rate, seed);
+
+        let dense_log: ObsLog = Arc::new(Mutex::new(Vec::new()));
+        let mut dense: Simulation<u64> = Simulation::new();
+        dense.set_dense(true);
+        dense.set_tick_jobs(1);
+        build_paced!(dense, pairs, dense_log);
+        build_faulty_chains!(dense, chains);
+        dense.faults_mut().arm(schedule);
+        let (dense_at, dense_blob, dense_report, dense_trace) =
+            compound_fingerprint(&mut dense, horizon_ns, quantum);
+
+        if quantum.is_none() {
+            // The naive oracle has no gear box, so it is compared only on
+            // pure cycle-accurate runs.
+            let naive_log: ObsLog = Arc::new(Mutex::new(Vec::new()));
+            let mut naive: NaiveSimulation<u64> = NaiveSimulation::new();
+            build_paced!(naive, pairs, naive_log);
+            build_faulty_chains!(naive, chains);
+            naive.faults_mut().arm(schedule);
+            naive.run_until(Time::from_ns(horizon_ns));
+            prop_assert_eq!(naive.time(), dense_at);
+            prop_assert_eq!(
+                &naive.stats().report(naive.time()).to_string(),
+                &dense_report
+            );
+            prop_assert_eq!(
+                naive_log.lock().unwrap().clone(),
+                dense_log.lock().unwrap().clone()
+            );
+        }
+
+        for jobs in [2usize, 4, 8] {
+            let log: ObsLog = Arc::new(Mutex::new(Vec::new()));
+            let mut sim: Simulation<u64> = Simulation::new();
+            sim.set_dense(false);
+            sim.set_tick_jobs(jobs);
+            build_paced!(sim, pairs, log);
+            build_faulty_chains!(sim, chains);
+            sim.faults_mut().arm(schedule);
+            let (at, blob, report, trace) = compound_fingerprint(&mut sim, horizon_ns, quantum);
+            prop_assert_eq!(dense_at, at);
+            prop_assert_eq!(&dense_report, &report);
+            prop_assert_eq!(&dense_trace, &trace);
+            prop_assert_eq!(&dense_blob, &blob);
+            prop_assert_eq!(
+                dense_log.lock().unwrap().clone(),
+                log.lock().unwrap().clone()
             );
         }
     }
