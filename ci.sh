@@ -33,7 +33,9 @@
 #            binary's warm-phase speedup floor with an identical q=1 sweep
 #          server: simserved + a duplicate-heavy loadgen mix must see warm-
 #            cache hits and serve a FIG-4 table byte-identical to the
-#            one-shot `repro --exp fig4` run
+#            one-shot `repro --exp fig4` run; a relaunched server on the
+#            same --cache-dir must answer its first request from the disk
+#            spill and serve the same table
 #   dse    determinism: the scale-1 design-space search run twice (and once
 #            with --jobs 4) must emit byte-identical Pareto fronts
 #          resume equality: a search checkpointed and interrupted after one
@@ -216,7 +218,9 @@ gate_server() {
     # run. loadgen itself asserts that duplicate responses agree.
     cargo build --release -p mpsoc-server
     local addr_file="$run_dir/simserved.addr"
-    target/release/simserved --port-file "$addr_file" --cache-capacity 4 &
+    local cache_dir="$run_dir/warm-spills"
+    target/release/simserved --port-file "$addr_file" --cache-capacity 4 \
+        --cache-dir "$cache_dir" &
     server_pid=$!
     for _ in $(seq 1 100); do
         [ -s "$addr_file" ] && break
@@ -239,6 +243,34 @@ gate_server() {
         exit 1
     fi
     echo "server gate passed"
+
+    echo "== server restart gate: relaunch on the warm spill directory =="
+    # The persistence contract: a fresh process pointed at the same
+    # --cache-dir must answer its *first* request from the disk spill (a
+    # warm-cache hit, no warm-up) and serve the same table byte for byte.
+    rm -f "$addr_file"
+    target/release/simserved --port-file "$addr_file" --cache-capacity 4 \
+        --cache-dir "$cache_dir" &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$addr_file" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$addr_file" ]; then
+        echo "server restart gate FAILED: simserved never wrote its address" >&2
+        exit 1
+    fi
+    target/release/loadgen --addr-file "$addr_file" \
+        --requests 24 --connections 2 --scale 1 \
+        --table --require-first-hit --shutdown --no-bench-out \
+        > "$run_dir/served_table_restart.txt"
+    wait "$server_pid"
+    server_pid=""
+    if ! diff "$run_dir/served_table.txt" "$run_dir/served_table_restart.txt"; then
+        echo "server restart gate FAILED: restarted server served a different table" >&2
+        exit 1
+    fi
+    echo "server restart gate passed"
 }
 
 stage_gates() {

@@ -409,10 +409,16 @@ fn bench_parallel(jobs: usize) -> ParRun {
     }
 }
 
-/// One point of the recorded per-jobs scaling curve.
+/// One point of the recorded per-jobs scaling curve. `jobs` is the
+/// ladder rung; `effective_jobs` is what actually ran after clamping to
+/// the host's cores — an oversubscribed rung (more workers than cores)
+/// measures scheduler thrash, not scaling, so the recorder never runs
+/// one and annotates the clamp instead.
 #[derive(Serialize)]
 struct ScalingJson {
     jobs: u64,
+    effective_jobs: u64,
+    oversubscribed: bool,
     edges_per_sec: f64,
     speedup: f64,
 }
@@ -645,11 +651,13 @@ fn main() {
     // job count must reproduce its observables byte for byte — the whole
     // point of the compute/commit split — and with pre-registered metrics
     // and buffered fault/RNG draws the retick rate must stay marginal.
+    // Rungs beyond the host's cores are clamped: oversubscribing measures
+    // scheduler thrash (0.02x "speedups" on a one-core box), not the code.
     let mut best: Vec<Option<ParRun>> = SCALING_JOBS.iter().map(|_| None).collect();
     for _ in 0..SAMPLES {
         let serial = bench_parallel(SCALING_JOBS[0]);
         for (slot, &jobs) in best.iter_mut().zip(&SCALING_JOBS).skip(1) {
-            let run = bench_parallel(jobs);
+            let run = bench_parallel(jobs.min(host_cores as usize));
             assert_eq!(serial.edges, run.edges, "jobs={jobs} edge count differs");
             assert_eq!(
                 serial.report, run.report,
@@ -678,16 +686,25 @@ fn main() {
     let serial_rate = par_edges as f64 / runs[0].wall;
     let mut scaling = Vec::with_capacity(runs.len());
     for (&jobs, run) in SCALING_JOBS.iter().zip(&runs) {
+        let effective_jobs = jobs.min(host_cores as usize);
+        let oversubscribed = effective_jobs < jobs;
         let rate = run.edges as f64 / run.wall;
         let speedup = rate / serial_rate;
         println!(
-            "  jobs {jobs:<4}: {:.3}M edges/s, {speedup:.2}x, {} par ticks, {} reticked",
+            "  jobs {jobs:<4}: {:.3}M edges/s, {speedup:.2}x, {} par ticks, {} reticked{}",
             rate / 1e6,
             run.par_computed,
             run.par_reticked,
+            if oversubscribed {
+                format!(" (clamped to {effective_jobs} on this host)")
+            } else {
+                String::new()
+            },
         );
         scaling.push(ScalingJson {
             jobs: jobs as u64,
+            effective_jobs: effective_jobs as u64,
+            oversubscribed,
             edges_per_sec: rate,
             speedup,
         });

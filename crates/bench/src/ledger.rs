@@ -78,9 +78,16 @@ pub fn committed_path() -> PathBuf {
 /// jobs 1/2/4/8) and the `"experiments"` section's `fig4_scaling` array
 /// (the end-to-end fig4 sweep over the same job ladder) — plus the
 /// per-experiment parallel activity counters (`par_edges`,
-/// `par_computed`, `par_reticked`, `par_fallback_*`). Readers scan by
-/// field prefix and accept any version.
-pub const SCHEMA: &str = "mpsoc-bench/kernel-v7";
+/// `par_computed`, `par_reticked`, `par_fallback_*`); `v8` extended the
+/// `"server"` section with the coalescing/persistence figures
+/// (`warm_ups`, `distinct_keys`, `batched_requests_per_sec`,
+/// `unbatched_requests_per_sec`, `batch_speedup`,
+/// `cold_start_first_micros`, `warm_restart_first_micros` and the
+/// per-connections `conn_scaling` curve) and annotated scaling-curve
+/// points with `effective_jobs`/`oversubscribed` (worker counts are now
+/// clamped to the host's cores unless forced). Readers scan by field
+/// prefix and accept any version.
+pub const SCHEMA: &str = "mpsoc-bench/kernel-v8";
 
 /// The known top-level sections, in the order they appear in the file.
 const SECTIONS: [&str; 8] = [
@@ -332,6 +339,90 @@ pub fn server_host_cores(doc: &str) -> Option<u64> {
     section_u64(doc, "server", "host_cores")
 }
 
+/// Pulls the steady-state cache-hit p50 latency out of a ledger document's
+/// `"server"` section — the yardstick the warm-restart first-request
+/// latency is judged against.
+pub fn server_p50_hit_micros(doc: &str) -> Option<u64> {
+    section_u64(doc, "server", "p50_hit_micros")
+}
+
+/// Pulls the number of warm-up simulations the recording run cost out of
+/// a ledger document's `"server"` section. Coalescing makes this at most
+/// [`server_distinct_keys`] even under a duplicate-heavy concurrent mix.
+pub fn server_warm_ups(doc: &str) -> Option<u64> {
+    section_u64(doc, "server", "warm_ups")
+}
+
+/// Pulls the number of distinct warm keys the recording mix touched out
+/// of a ledger document's `"server"` section.
+pub fn server_distinct_keys(doc: &str) -> Option<u64> {
+    section_u64(doc, "server", "distinct_keys")
+}
+
+/// Pulls the batched-vs-unbatched throughput ratio out of a ledger
+/// document's `"server"` section: the same mix replayed with
+/// `"coalesce":false`, fresh server both times. Above 1 means coalescing
+/// paid for its window.
+pub fn server_batch_speedup(doc: &str) -> Option<f64> {
+    section_f64(doc, "server", "batch_speedup")
+}
+
+/// Pulls the first-request latency of a cold-started server (empty cache,
+/// empty spill directory) out of a ledger document's `"server"` section.
+pub fn server_cold_start_first_micros(doc: &str) -> Option<u64> {
+    section_u64(doc, "server", "cold_start_first_micros")
+}
+
+/// Pulls the first-request latency of a *restarted* server (fresh
+/// process, warm spill directory) out of a ledger document's `"server"`
+/// section. The persistence contract is that this sits near the
+/// steady-state hit latency, not near [`server_cold_start_first_micros`].
+pub fn server_warm_restart_first_micros(doc: &str) -> Option<u64> {
+    section_u64(doc, "server", "warm_restart_first_micros")
+}
+
+/// One point of the server's recorded per-connections scaling curve
+/// (closed-loop, warm cache, so it measures the connection layer and not
+/// the simulator).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnScalingPoint {
+    /// Concurrent closed-loop connections the point was measured at.
+    pub connections: u64,
+    /// Served throughput at that connection count.
+    pub requests_per_sec: f64,
+    /// Speedup over the connections = 1 point of the same curve.
+    pub speedup: f64,
+}
+
+/// Pulls the per-connections scaling curve out of a ledger document's
+/// `"server"` section (`conn_scaling` array, recorded since kernel-v8).
+/// Empty for pre-v8 ledgers.
+pub fn server_conn_scaling(doc: &str) -> Vec<ConnScalingPoint> {
+    let Some(section) = extract_section(doc, "server") else {
+        return Vec::new();
+    };
+    let Some(pos) = section.find("\"conn_scaling\":[") else {
+        return Vec::new();
+    };
+    let rest = &section[pos + 16..];
+    let end = rest.find(']').unwrap_or(rest.len());
+    let mut points = Vec::new();
+    for object in rest[..end].split('{').skip(1) {
+        let (Some(connections), Some(speedup)) = (
+            field_u64(object, "connections"),
+            field_f64(object, "speedup"),
+        ) else {
+            continue;
+        };
+        points.push(ConnScalingPoint {
+            connections,
+            requests_per_sec: field_f64(object, "requests_per_sec").unwrap_or(0.0),
+            speedup,
+        });
+    }
+    points
+}
+
 /// Pulls the Pareto-front size out of a ledger document's `"dse"`
 /// section. Returns `None` when the section is absent or malformed.
 pub fn dse_front_size(doc: &str) -> Option<u64> {
@@ -544,7 +635,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         update_section(&path, "experiments", r#"{"runs":[]}"#).expect("writes");
         let doc = std::fs::read_to_string(&path).expect("readable");
-        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v7""#));
+        assert!(doc.contains(r#""schema": "mpsoc-bench/kernel-v8""#));
         assert!(doc.contains(r#""experiments": {"runs":[]}"#));
         assert!(!doc.contains("microbench"));
         std::fs::remove_file(&path).expect("cleanup");
@@ -644,12 +735,42 @@ mod tests {
             "\"p50_hit_micros\":700,\"p50_miss_micros\":8400,",
             "\"hit_speedup\":12.0,\"host_cores\":8}\n}\n"
         );
+        assert_eq!(server_p50_hit_micros(doc), Some(700));
         assert_eq!(server_hit_rate(doc), Some(0.916667));
         assert_eq!(server_requests_per_sec(doc), Some(120.5));
         assert_eq!(server_hit_speedup(doc), Some(12.0));
         assert_eq!(server_host_cores(doc), Some(8));
         assert_eq!(server_hit_rate("{}\n"), None);
         assert_eq!(server_hit_speedup("{}\n"), None);
+    }
+
+    #[test]
+    fn server_v8_fields_are_scanned() {
+        let doc = concat!(
+            "{\n\"schema\": \"x\",\n",
+            "\"server\": {\"requests\":48,\"warm_ups\":2,\"distinct_keys\":2,",
+            "\"batched_requests_per_sec\":150.0,\"unbatched_requests_per_sec\":100.0,",
+            "\"batch_speedup\":1.5,\"cold_start_first_micros\":90000,",
+            "\"warm_restart_first_micros\":1200,",
+            "\"conn_scaling\":[{\"connections\":1,\"requests_per_sec\":100.0,\"speedup\":1.0},",
+            "{\"connections\":8,\"requests_per_sec\":260.0,\"speedup\":2.6}],",
+            "\"host_cores\":8}\n}\n"
+        );
+        assert_eq!(server_warm_ups(doc), Some(2));
+        assert_eq!(server_distinct_keys(doc), Some(2));
+        assert_eq!(server_batch_speedup(doc), Some(1.5));
+        assert_eq!(server_cold_start_first_micros(doc), Some(90000));
+        assert_eq!(server_warm_restart_first_micros(doc), Some(1200));
+        let curve = server_conn_scaling(doc);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].connections, 1);
+        assert_eq!(curve[1].connections, 8);
+        assert!((curve[1].speedup - 2.6).abs() < 1e-9);
+        assert!((curve[1].requests_per_sec - 260.0).abs() < 1e-9);
+        // Pre-v8 ledgers: everything degrades to None / empty.
+        assert_eq!(server_warm_ups("{}\n"), None);
+        assert_eq!(server_warm_restart_first_micros("{}\n"), None);
+        assert!(server_conn_scaling("{}\n").is_empty());
     }
 
     #[test]

@@ -499,8 +499,15 @@ pub fn measure_experiment(
 /// [`measure_fig4_scaling`].
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig4ScalingPoint {
-    /// Intra-edge worker threads the sweep ran with.
+    /// The ladder rung: intra-edge worker threads the sweep asked for.
     pub jobs: u64,
+    /// Worker threads the sweep actually ran with after clamping the rung
+    /// to the host's cores. Oversubscribing a rung measures scheduler
+    /// thrash, not scaling (a one-core host "scales" to 0.02x), so the
+    /// recorder clamps and annotates instead of running it.
+    pub effective_jobs: u64,
+    /// Whether this rung was clamped (`effective_jobs < jobs`).
+    pub oversubscribed: bool,
     /// Wall-clock seconds of the sweep at that job count.
     pub wall_seconds: f64,
     /// Speedup over the jobs = 1 sweep of the same curve.
@@ -539,11 +546,15 @@ pub fn measure_fig4_scaling(
     seed: u64,
     restore_tick_jobs: usize,
 ) -> SimResult<Fig4ScalingRun> {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let result = (|| {
         let mut points = Vec::with_capacity(SCALING_JOBS.len());
         let mut serial: Option<(String, f64)> = None;
         for &jobs in &SCALING_JOBS {
-            mpsoc_kernel::set_tick_jobs_default(jobs);
+            // Clamp oversubscribed rungs: asking a one-core host for eight
+            // workers records scheduler thrash as a 0.02x "speedup".
+            let effective_jobs = jobs.min(host_cores);
+            mpsoc_kernel::set_tick_jobs_default(effective_jobs);
             let started = Instant::now();
             let table = experiments::fig4_with_jobs(scale, seed, 1)?.to_string();
             let wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
@@ -567,12 +578,14 @@ pub fn measure_fig4_scaling(
             };
             points.push(Fig4ScalingPoint {
                 jobs: jobs as u64,
+                effective_jobs: effective_jobs as u64,
+                oversubscribed: effective_jobs < jobs,
                 wall_seconds,
                 speedup: serial_seconds / wall_seconds,
             });
         }
         Ok(Fig4ScalingRun {
-            host_cores: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+            host_cores: host_cores as u64,
             points,
         })
     })();
@@ -821,5 +834,10 @@ mod tests {
         assert!((run.points[0].speedup - 1.0).abs() < 1e-9);
         assert!(run.points.iter().all(|p| p.wall_seconds > 0.0));
         assert!(run.host_cores >= 1);
+        for p in &run.points {
+            assert!(p.effective_jobs >= 1 && p.effective_jobs <= p.jobs);
+            assert_eq!(p.effective_jobs, p.jobs.min(run.host_cores));
+            assert_eq!(p.oversubscribed, p.effective_jobs < p.jobs);
+        }
     }
 }

@@ -27,8 +27,12 @@
 //! returns byte-identical results to a cold run — the server asserts this
 //! and CI gates it end to end.
 
+use crate::experiments::parallel_map;
 use crate::platforms::{build_platform, MemorySystem, PlatformSpec, Topology, Workload};
-use mpsoc_kernel::{Fidelity, RunOutcome, SimError, SimResult, SnapshotBlob, Time};
+use mpsoc_kernel::{
+    Fidelity, RunOutcome, SimError, SimResult, SnapshotBlob, SnapshotError, StateReader,
+    StateWriter, Time,
+};
 use mpsoc_protocol::ProtocolKind;
 
 /// Wait states of the shared warm-up phase every sweep point starts from.
@@ -305,6 +309,82 @@ pub struct WarmState {
     pub fingerprint: u64,
 }
 
+/// Section name of the disk-spill container around a warm state.
+const SPILL_SECTION: &str = "warm-spill";
+
+impl WarmState {
+    /// Packs the warm state into a sealed spill blob for disk persistence.
+    ///
+    /// The container is an ordinary armoured snapshot blob (magic, version,
+    /// checksum) carrying the warm key, the structural fingerprint, the
+    /// probe profile and the inner checkpoint bytes — the inner blob keeps
+    /// its own seal, so a loader validates two independent checksums before
+    /// anything is served.
+    pub fn to_spill_blob(&self, warm_key: &str) -> SnapshotBlob {
+        let mut w = StateWriter::new();
+        w.section(SPILL_SECTION);
+        w.write_str(warm_key);
+        w.write_u64(self.fingerprint);
+        w.write_u64(self.profile.base_cycles);
+        w.write_time(self.profile.warm_until);
+        w.write_bytes(self.blob.as_bytes());
+        w.finish()
+    }
+
+    /// Unpacks a spill blob written by [`WarmState::to_spill_blob`],
+    /// failing closed on every mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Rejects (without constructing a state) any of: outer armour damage
+    /// ([`SnapshotError::BadMagic`] / `BadVersion` / `BadChecksum` /
+    /// `Corrupt` / `TrailingBytes`), a warm key that is not `warm_key`, a
+    /// recorded fingerprint different from `expected_fingerprint`, or an
+    /// inner blob whose own seal or stamped fingerprint disagrees. A
+    /// corrupted or stale spill file therefore can never reach
+    /// [`serve_point`].
+    pub fn from_spill_blob(
+        spill: &SnapshotBlob,
+        warm_key: &str,
+        expected_fingerprint: u64,
+    ) -> Result<WarmState, SnapshotError> {
+        let mut r = StateReader::new(spill)?;
+        r.expect_section(SPILL_SECTION);
+        let stored_key = r.read_str();
+        let fingerprint = r.read_u64();
+        let base_cycles = r.read_u64();
+        let warm_until = r.read_time();
+        let blob = SnapshotBlob::from_bytes(r.read_bytes());
+        r.finish()?;
+        if stored_key != warm_key {
+            return Err(SnapshotError::StructureMismatch {
+                detail: format!("spill holds warm key {stored_key:?}, wanted {warm_key:?}"),
+            });
+        }
+        if fingerprint != expected_fingerprint {
+            return Err(SnapshotError::StructureMismatch {
+                detail: format!(
+                    "spill fingerprint {fingerprint:#018x} does not match \
+                     expected {expected_fingerprint:#018x}"
+                ),
+            });
+        }
+        if blob.fingerprint()? != fingerprint {
+            return Err(SnapshotError::StructureMismatch {
+                detail: "inner checkpoint fingerprint disagrees with spill header".into(),
+            });
+        }
+        Ok(WarmState {
+            profile: WarmProfile {
+                base_cycles,
+                warm_until,
+            },
+            blob,
+            fingerprint,
+        })
+    }
+}
+
 /// Produces the warm state of a request: probes the warm boundary, runs a
 /// fresh platform to it, and checkpoints there.
 ///
@@ -390,6 +470,23 @@ pub fn serve_point(req: &SweepRequest, warm: &WarmState) -> SimResult<u64> {
         .sim_mut()
         .run_to_quiescence_strict(SERVICE_HORIZON)?;
     Ok(platform.report_at(exec).exec_cycles)
+}
+
+/// Serves many sweep points of one warm key as a single fan-out: every
+/// request forks the same warm blob and the forks run under one
+/// [`parallel_map`] with `jobs` workers.
+///
+/// This is the multi-cell batch primitive behind the server's request
+/// coalescing: N concurrent requests for *different* cells of the same
+/// platform cost one warm-up plus one sweep, instead of N sweeps. Results
+/// come back in input order and each is byte-identical to the
+/// [`serve_point`] the request would have run in isolation — the fan-out
+/// changes wall-clock time, never values.
+///
+/// Per-point errors stay per-point: one stalling tail does not take down
+/// the rest of the batch.
+pub fn serve_points(reqs: Vec<SweepRequest>, warm: &WarmState, jobs: usize) -> Vec<SimResult<u64>> {
+    parallel_map(reqs, jobs, |req| serve_point(&req, warm))
 }
 
 /// Serves one sweep point cold: computes the warm state from scratch and
@@ -502,6 +599,78 @@ mod tests {
             err.to_string().contains("fingerprint"),
             "stale blob must be refused by fingerprint: {err}"
         );
+    }
+
+    #[test]
+    fn serve_points_matches_isolated_serves() {
+        let warm = warm_state(&quick_request()).expect("warm state");
+        let cells: Vec<SweepRequest> = [1u32, 4, 16]
+            .iter()
+            .map(|&ws| SweepRequest {
+                wait_states: ws,
+                ..quick_request()
+            })
+            .collect();
+        let isolated: Vec<u64> = cells
+            .iter()
+            .map(|req| serve_point(req, &warm).expect("serves"))
+            .collect();
+        let batched: Vec<u64> = serve_points(cells, &warm, 2)
+            .into_iter()
+            .map(|r| r.expect("serves"))
+            .collect();
+        assert_eq!(batched, isolated);
+    }
+
+    #[test]
+    fn spill_blob_round_trips_the_warm_state() {
+        let req = quick_request();
+        let warm = warm_state(&req).expect("warm state");
+        let key = req.warm_key();
+        let spill = warm.to_spill_blob(&key);
+        let loaded =
+            WarmState::from_spill_blob(&spill, &key, warm.fingerprint).expect("loads back");
+        assert_eq!(loaded.blob.as_bytes(), warm.blob.as_bytes());
+        assert_eq!(loaded.profile, warm.profile);
+        assert_eq!(loaded.fingerprint, warm.fingerprint);
+    }
+
+    #[test]
+    fn spill_blob_fails_closed() {
+        let req = quick_request();
+        let warm = warm_state(&req).expect("warm state");
+        let key = req.warm_key();
+        let spill = warm.to_spill_blob(&key);
+
+        let err = WarmState::from_spill_blob(&spill, "other/key", warm.fingerprint).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::StructureMismatch { .. }),
+            "{err}"
+        );
+
+        let err = WarmState::from_spill_blob(&spill, &key, warm.fingerprint ^ 1).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::StructureMismatch { .. }),
+            "{err}"
+        );
+
+        let mut torn = spill.as_bytes().to_vec();
+        torn.truncate(torn.len() / 2);
+        let err =
+            WarmState::from_spill_blob(&SnapshotBlob::from_bytes(torn), &key, warm.fingerprint)
+                .unwrap_err();
+        assert!(
+            !matches!(err, SnapshotError::StructureMismatch { .. }),
+            "truncation must be caught by the armour itself: {err}"
+        );
+
+        let mut flipped = spill.as_bytes().to_vec();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x04;
+        let err =
+            WarmState::from_spill_blob(&SnapshotBlob::from_bytes(flipped), &key, warm.fingerprint)
+                .unwrap_err();
+        assert_eq!(err, SnapshotError::BadChecksum);
     }
 
     #[test]

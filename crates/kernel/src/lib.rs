@@ -77,7 +77,8 @@ pub use sim::{
     set_tick_jobs_default, tick_jobs_default, Fidelity, RunOutcome, Simulation,
 };
 pub use snapshot::{
-    Snapshot, SnapshotBlob, SnapshotError, SnapshotPayload, StateReader, StateWriter,
+    fnv1a_64, load_blob, spill_blob, Snapshot, SnapshotBlob, SnapshotError, SnapshotPayload,
+    StateReader, StateWriter,
 };
 pub use stats::{StatsAccess, StatsRegistry};
 pub use time::{Cycles, Time};

@@ -35,6 +35,8 @@
 
 use std::error::Error;
 use std::fmt;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Leading magic bytes of every snapshot blob.
@@ -54,6 +56,7 @@ const TAG_U128: u8 = 0x05;
 const TAG_BOOL: u8 = 0x06;
 const TAG_STR: u8 = 0x07;
 const TAG_SECTION: u8 = 0x08;
+const TAG_BYTES: u8 = 0x09;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -65,6 +68,15 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
+}
+
+/// FNV-1a-64 over a byte slice — the same hash the snapshot checksum uses.
+///
+/// Exposed so layers above the kernel (e.g. the serving cache's disk-spill
+/// file naming) can derive stable, collision-resistant-enough identifiers
+/// without inventing a second hash function.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    fnv1a64(bytes)
 }
 
 /// Incremental FNV-1a-64, used for the structural fingerprint that guards
@@ -296,6 +308,18 @@ impl StateWriter {
         self.raw_str(s);
     }
 
+    /// Writes a length-prefixed byte array.
+    ///
+    /// Used to nest one sealed blob inside another (e.g. a disk-spilled warm
+    /// checkpoint wraps the inner simulation blob in an outer armoured
+    /// container), so both layers carry their own checksum.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.buf.push(TAG_BYTES);
+        self.buf
+            .extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Writes a simulation [`Time`](crate::Time) as its picosecond count.
     pub fn write_time(&mut self, t: crate::Time) {
         self.write_u64(t.as_ps());
@@ -488,6 +512,19 @@ impl<'a> StateReader<'a> {
         self.raw_str()
     }
 
+    /// Reads a byte array written by [`StateWriter::write_bytes`] (empty
+    /// when poisoned).
+    pub fn read_bytes(&mut self) -> Vec<u8> {
+        if !self.expect_tag(TAG_BYTES, "bytes") {
+            return Vec::new();
+        }
+        let len = match self.take(4) {
+            Some(b) => u32::from_le_bytes(b.try_into().expect("len slice")) as usize,
+            None => return Vec::new(),
+        };
+        self.take(len).map_or_else(Vec::new, <[u8]>::to_vec)
+    }
+
     /// Reads a simulation [`Time`](crate::Time).
     pub fn read_time(&mut self) -> crate::Time {
         crate::Time::from_ps(self.read_u64())
@@ -514,6 +551,50 @@ impl<'a> StateReader<'a> {
         }
         Ok(())
     }
+}
+
+/// Writes a blob to `path` atomically (write to a sibling temp file, then
+/// rename), so a crash mid-write never leaves a torn spill file where a
+/// reader could find it.
+///
+/// The rename is atomic on POSIX filesystems; readers either see the old
+/// file, no file, or the complete new file — never a prefix.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating, writing or renaming the file.
+pub fn spill_blob(path: &Path, blob: &SnapshotBlob) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, blob.as_bytes())?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(err) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(err)
+        }
+    }
+}
+
+/// Reads a blob back from `path`, validating magic, version and checksum
+/// before returning it.
+///
+/// Validation failures are reported as [`io::ErrorKind::InvalidData`] with
+/// the underlying [`SnapshotError`] as source, so callers that fail closed
+/// on *any* error (the disk-persistent warm cache) need a single match arm:
+/// a truncated, corrupted or version-skewed spill file is indistinguishable
+/// from an unreadable one, and neither is ever served.
+///
+/// # Errors
+///
+/// Any I/O error reading the file, or `InvalidData` when the bytes do not
+/// form a valid sealed snapshot blob.
+pub fn load_blob(path: &Path) -> io::Result<SnapshotBlob> {
+    let bytes = std::fs::read(path)?;
+    let blob = SnapshotBlob::from_bytes(bytes);
+    if let Err(err) = StateReader::new(&blob) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, err));
+    }
+    Ok(blob)
 }
 
 /// State capture/restore hooks for stateful simulation objects.
@@ -662,6 +743,69 @@ mod tests {
         let mut r = StateReader::new(&blob).expect("open");
         r.expect_section("stats");
         assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn bytes_round_trip_and_nest_a_sealed_blob() {
+        let mut inner = StateWriter::new();
+        inner.section("meta");
+        inner.write_u64(0xfeed_f00d);
+        let inner_blob = inner.finish();
+
+        let mut w = StateWriter::new();
+        w.section("warm-spill");
+        w.write_bytes(inner_blob.as_bytes());
+        w.write_bytes(&[]);
+        let blob = w.finish();
+
+        let mut r = StateReader::new(&blob).expect("open");
+        r.expect_section("warm-spill");
+        let nested = SnapshotBlob::from_bytes(r.read_bytes());
+        assert!(r.read_bytes().is_empty());
+        r.finish().expect("clean finish");
+        assert_eq!(nested, inner_blob);
+        assert_eq!(nested.fingerprint().expect("nested meta"), 0xfeed_f00d);
+    }
+
+    #[test]
+    fn bytes_tag_mismatch_poisons() {
+        let mut w = StateWriter::new();
+        w.write_u32(9);
+        let blob = w.finish();
+        let mut r = StateReader::new(&blob).expect("open");
+        assert!(r.read_bytes().is_empty());
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn spill_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("mpsn-spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("roundtrip.mpsn");
+
+        let mut w = StateWriter::new();
+        w.section("meta");
+        w.write_u64(77);
+        let blob = w.finish();
+
+        spill_blob(&path, &blob).expect("spill");
+        let loaded = load_blob(&path).expect("load");
+        assert_eq!(loaded.as_bytes(), blob.as_bytes());
+
+        // Truncation and bit-flips are both refused with InvalidData.
+        let full = blob.as_bytes().to_vec();
+        std::fs::write(&path, &full[..full.len() / 2]).expect("truncate");
+        let err = load_blob(&path).expect_err("truncated");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut flipped = full.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).expect("flip");
+        let err = load_blob(&path).expect_err("corrupt");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

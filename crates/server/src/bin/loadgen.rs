@@ -4,7 +4,9 @@
 //! loadgen --addr HOST:PORT | --addr-file PATH
 //!         [--requests N] [--connections C | --rate R]
 //!         [--scale N] [--seed N] [--rng-seed N] [--tick-jobs N]
-//!         [--table] [--require-hits] [--shutdown]
+//!         [--no-coalesce] [--table]
+//!         [--require-hits] [--require-first-hit]
+//!         [--restart-leg] [--shutdown]
 //!         [--no-bench-out] [--bench-out <path>]
 //! ```
 //!
@@ -13,31 +15,53 @@
 //! agree byte-for-byte (the warm-cache determinism contract), and prints a
 //! throughput/latency summary. `--table` additionally reconstructs the
 //! FIG-4 table from the served cells on stdout — CI diffs it against the
-//! one-shot `repro --exp fig4` output. The summary is recorded into the
-//! performance ledger's `server` section (like `repro` does for its
-//! sections): `target/BENCH_kernel.json` by default, an explicit committed
-//! path via `--bench-out`.
+//! one-shot `repro --exp fig4` output.
+//!
+//! With the ledger enabled (the default), the run records the full
+//! kernel-v8 `server` section: besides throughput/latency/hit figures it
+//! queries the server's warm-up count (coalescing must keep it within the
+//! mix's distinct warm keys), replays the mix at fresh seeds with and
+//! without `"coalesce":false` to measure the batched-vs-unbatched
+//! throughput split, and walks a warm closed-loop connections ladder
+//! (1/2/4/8) for the connection-layer scaling curve. The ledger lands in
+//! `target/BENCH_kernel.json` by default, an explicit committed path via
+//! `--bench-out`.
+//!
+//! `--restart-leg` is the persistence probe: run it against a *relaunched*
+//! server whose `--cache-dir` already holds the spills of a previous run.
+//! It measures the first-request latency (which must be served from disk —
+//! pair it with `--require-first-hit`) and splices it into the existing
+//! ledger `server` section as `warm_restart_first_micros` instead of
+//! rewriting the section.
 
 use mpsoc_bench::ledger;
-use mpsoc_server::loadgen::{run, Client, Pacing, RunConfig, RunReport};
+use mpsoc_server::json::{self, Json};
+use mpsoc_server::loadgen::{
+    distinct_warm_keys, fig4_mix, run, Client, Pacing, RunConfig, RunReport,
+};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT | --addr-file PATH\n\
          \n\
-         --requests N      total requests (default 48; first 12 cover every FIG-4 cell)\n\
-         --connections C   closed-loop lanes (default 4)\n\
-         --rate R          open-loop mode: one connection paced at R requests/sec\n\
-         --scale N         workload scale of every request (default 4)\n\
-         --seed N          simulation seed of every request (default 0x0dab)\n\
-         --rng-seed N      mix-shuffling seed (default 1)\n\
-         --tick-jobs N     tick_jobs knob forwarded on every request (default 1)\n\
-         --table           print the reconstructed FIG-4 table on stdout\n\
-         --require-hits    fail unless the run saw at least one warm-cache hit\n\
-         --shutdown        send a shutdown request when done\n\
-         --no-bench-out    skip the perf ledger\n\
-         --bench-out PATH  write the ledger to PATH (e.g. the committed copy)"
+         --requests N         total requests (default 48; first 12 cover every FIG-4 cell)\n\
+         --connections C      closed-loop lanes (default 4)\n\
+         --rate R             open-loop mode: one connection paced at R requests/sec\n\
+         --scale N            workload scale of every request (default 4)\n\
+         --seed N             simulation seed of every request (default 0x0dab)\n\
+         --rng-seed N         mix-shuffling seed (default 1)\n\
+         --tick-jobs N        tick_jobs knob forwarded on every request (default 1)\n\
+         --no-coalesce        opt every request out of cross-request batching\n\
+         --table              print the reconstructed FIG-4 table on stdout\n\
+         --require-hits       fail unless the run saw at least one warm-cache hit\n\
+         --require-first-hit  fail unless the very first response was served warm\n\
+         --restart-leg        record the first-request latency as the ledger's\n\
+         \x20                    warm_restart_first_micros (run against a relaunched\n\
+         \x20                    server with a populated --cache-dir)\n\
+         --shutdown           send a shutdown request when done\n\
+         --no-bench-out       skip the perf ledger\n\
+         --bench-out PATH     write the ledger to PATH (e.g. the committed copy)"
     );
     std::process::exit(2);
 }
@@ -47,6 +71,8 @@ struct Args {
     addr_file: Option<String>,
     table: bool,
     require_hits: bool,
+    require_first_hit: bool,
+    restart_leg: bool,
     shutdown: bool,
     bench_out: bool,
     bench_out_path: Option<std::path::PathBuf>,
@@ -58,6 +84,8 @@ fn parse_args() -> Args {
         addr_file: None,
         table: false,
         require_hits: false,
+        require_first_hit: false,
+        restart_leg: false,
         shutdown: false,
         bench_out: true,
         bench_out_path: None,
@@ -89,8 +117,11 @@ fn parse_args() -> Args {
             "--tick-jobs" => {
                 args.config.tick_jobs = next(&mut it).parse().unwrap_or_else(|_| usage());
             }
+            "--no-coalesce" => args.config.coalesce = false,
             "--table" => args.table = true,
             "--require-hits" => args.require_hits = true,
+            "--require-first-hit" => args.require_first_hit = true,
+            "--restart-leg" => args.restart_leg = true,
             "--shutdown" => args.shutdown = true,
             "--no-bench-out" => args.bench_out = false,
             "--bench-out" => args.bench_out_path = Some(next(&mut it).into()),
@@ -115,17 +146,122 @@ fn host_cores() -> u64 {
         .unwrap_or(1)
 }
 
-fn section_json(args: &Args, report: &RunReport) -> String {
+/// Asks the server for its lifetime warm-up count (`{"cmd":"stats"}`).
+fn query_warm_ups(addr: &str) -> Result<u64, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let line = client
+        .roundtrip("{\"cmd\":\"stats\"}")
+        .map_err(|e| format!("io: {e}"))?;
+    let v = json::parse(&line).map_err(|e| format!("unparseable stats: {e}"))?;
+    v.get("stats")
+        .and_then(|s| s.get("warm_ups"))
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("stats response without warm_ups: {line}"))
+}
+
+/// The batched-vs-unbatched throughput split: the configured mix replayed
+/// at two fresh simulation seeds (fresh warm keys, so both runs are
+/// all-miss and symmetric), once riding the server's coalescing batches
+/// and once with every request carrying `"coalesce":false`. Closed-loop
+/// regardless of the main run's pacing — this measures capacity.
+fn measure_batching(base: &RunConfig) -> Result<(f64, f64), String> {
+    let connections = match base.pacing {
+        Pacing::Closed { connections } => connections,
+        Pacing::Open { .. } => 4,
+    };
+    let probe = |seed_salt: u64, coalesce: bool| -> Result<f64, String> {
+        let mut cfg = base.clone();
+        cfg.seed = base.seed ^ seed_salt;
+        cfg.coalesce = coalesce;
+        cfg.pacing = Pacing::Closed { connections };
+        Ok(run(&cfg)?.requests_per_sec())
+    };
+    let batched = probe(0xb47c_4ed1, true)?;
+    let unbatched = probe(0x1de4_c74b, false)?;
+    Ok((batched, unbatched))
+}
+
+/// The connection-layer scaling curve: the configured mix replayed
+/// closed-loop at 1/2/4/8 connections against the now-warm cache (the
+/// main run populated it), so the ladder measures the poll loop and the
+/// handler pool, not the simulator.
+fn measure_conn_scaling(base: &RunConfig) -> Result<Vec<(u64, f64, f64)>, String> {
+    let mut points = Vec::new();
+    let mut serial_rps = 0.0;
+    for connections in [1usize, 2, 4, 8] {
+        let mut cfg = base.clone();
+        cfg.pacing = Pacing::Closed { connections };
+        let rps = run(&cfg)?.requests_per_sec();
+        if connections == 1 {
+            serial_rps = rps;
+        }
+        let speedup = if serial_rps > 0.0 {
+            rps / serial_rps
+        } else {
+            0.0
+        };
+        points.push((connections as u64, rps, speedup));
+    }
+    Ok(points)
+}
+
+/// Everything the v8 ledger section carries beyond the main run's report.
+struct V8Probes {
+    warm_ups: u64,
+    distinct_keys: u64,
+    batched_rps: f64,
+    unbatched_rps: f64,
+    conn_scaling: Vec<(u64, f64, f64)>,
+}
+
+fn run_v8_probes(args: &Args) -> Result<V8Probes, String> {
+    // The warm-up count must be read *before* the probe runs add their own
+    // fresh-key warm-ups, so it reflects exactly the main mix.
+    let warm_ups = query_warm_ups(&args.config.addr)?;
+    let distinct_keys =
+        distinct_warm_keys(&fig4_mix(args.config.requests, args.config.rng_seed)) as u64;
+    let (batched_rps, unbatched_rps) = measure_batching(&args.config)?;
+    let conn_scaling = measure_conn_scaling(&args.config)?;
+    Ok(V8Probes {
+        warm_ups,
+        distinct_keys,
+        batched_rps,
+        unbatched_rps,
+        conn_scaling,
+    })
+}
+
+fn section_json(args: &Args, report: &RunReport, probes: &V8Probes) -> String {
     let (mode, connections) = match args.config.pacing {
         Pacing::Closed { connections } => ("closed", connections as u64),
         Pacing::Open { .. } => ("open", 1),
     };
+    let batch_speedup = if probes.unbatched_rps > 0.0 {
+        probes.batched_rps / probes.unbatched_rps
+    } else {
+        0.0
+    };
+    let curve = probes
+        .conn_scaling
+        .iter()
+        .map(|(c, rps, speedup)| {
+            format!(
+                "{{\"connections\":{c},\"requests_per_sec\":{rps:.2},\"speedup\":{speedup:.2}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
         "{{\"mode\":\"{mode}\",\"connections\":{connections},\"scale\":{},\
          \"requests\":{},\"requests_per_sec\":{:.2},\
          \"p50_micros\":{},\"p99_micros\":{},\
          \"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\
          \"p50_hit_micros\":{},\"p50_miss_micros\":{},\"hit_speedup\":{:.2},\
+         \"warm_ups\":{},\"distinct_keys\":{},\
+         \"batched_requests_per_sec\":{:.2},\"unbatched_requests_per_sec\":{:.2},\
+         \"batch_speedup\":{batch_speedup:.2},\
+         \"cold_start_first_micros\":{},\
+         \"conn_scaling\":[{curve}],\
          \"host_cores\":{}}}",
         args.config.scale,
         report.responses,
@@ -138,8 +274,53 @@ fn section_json(args: &Args, report: &RunReport) -> String {
         RunReport::percentile(&report.hit_latencies_micros, 50.0),
         RunReport::percentile(&report.miss_latencies_micros, 50.0),
         report.hit_speedup(),
+        probes.warm_ups,
+        probes.distinct_keys,
+        probes.batched_rps,
+        probes.unbatched_rps,
+        report.first_latency_micros,
         host_cores(),
     )
+}
+
+/// Overwrites `"key":<u64>` inside a single-line JSON object, appending
+/// the field before the closing brace when it is not yet present.
+fn splice_u64_field(section: &str, key: &str, value: u64) -> String {
+    let tag = format!("\"{key}\":");
+    if let Some(pos) = section.find(&tag) {
+        let start = pos + tag.len();
+        let end = section[start..]
+            .find([',', '}'])
+            .map_or(section.len(), |e| start + e);
+        format!("{}{value}{}", &section[..start], &section[end..])
+    } else {
+        let trimmed = section.trim_end();
+        let body = trimmed.strip_suffix('}').unwrap_or(trimmed);
+        format!("{body},\"{key}\":{value}}}")
+    }
+}
+
+/// Records the restart leg: the first-request latency of this run is
+/// spliced into the *existing* ledger `server` section (written by the
+/// main leg) as `warm_restart_first_micros` — the rest of the section is
+/// left untouched, because this run's cache-warm figures would otherwise
+/// clobber the cold-start ones.
+fn record_restart_leg(path: &std::path::Path, report: &RunReport) -> Result<(), String> {
+    let doc = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read the ledger at {}: {e}", path.display()))?;
+    let section = ledger::extract_section(&doc, "server").ok_or_else(|| {
+        format!(
+            "{} has no server section — run the main loadgen leg first",
+            path.display()
+        )
+    })?;
+    let spliced = splice_u64_field(
+        &section,
+        "warm_restart_first_micros",
+        report.first_latency_micros,
+    );
+    ledger::update_section(path, "server", &spliced)
+        .map_err(|e| format!("cannot write perf ledger: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -167,7 +348,8 @@ fn main() -> ExitCode {
     // byte-comparable against `repro --exp fig4`.
     eprintln!(
         "loadgen: {} responses in {:.2}s ({:.1} req/s), p50 {}us p99 {}us, \
-         {} hits / {} misses (hit rate {:.2}), hit speedup {:.1}x",
+         {} hits / {} misses (hit rate {:.2}), hit speedup {:.1}x, \
+         first request {}us ({})",
         report.responses,
         report.wall_seconds,
         report.requests_per_sec(),
@@ -177,6 +359,8 @@ fn main() -> ExitCode {
         report.misses,
         report.hit_rate(),
         report.hit_speedup(),
+        report.first_latency_micros,
+        if report.first_hit { "hit" } else { "miss" },
     );
     if args.table {
         match report.fig4_table() {
@@ -191,15 +375,45 @@ fn main() -> ExitCode {
         eprintln!("loadgen: required warm-cache hits, saw none");
         return ExitCode::FAILURE;
     }
+    if args.require_first_hit && !report.first_hit {
+        eprintln!(
+            "loadgen: required the first response to be served warm, it was a miss \
+             (is the server running on a populated --cache-dir?)"
+        );
+        return ExitCode::FAILURE;
+    }
     if args.bench_out {
         let path = args
             .bench_out_path
             .clone()
             .unwrap_or_else(ledger::default_path);
-        match ledger::update_section(&path, "server", &section_json(&args, &report)) {
+        let written = if args.restart_leg {
+            record_restart_leg(&path, &report)
+        } else {
+            run_v8_probes(&args).and_then(|probes| {
+                eprintln!(
+                    "loadgen: {} warm-up(s) for {} distinct warm key(s), batched \
+                     {:.1} vs unbatched {:.1} req/s, conn ladder {}",
+                    probes.warm_ups,
+                    probes.distinct_keys,
+                    probes.batched_rps,
+                    probes.unbatched_rps,
+                    probes
+                        .conn_scaling
+                        .iter()
+                        .map(|(c, _, s)| format!("{c}:{s:.2}x"))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                );
+                let section = section_json(&args, &report, &probes);
+                ledger::update_section(&path, "server", &section)
+                    .map_err(|e| format!("cannot write perf ledger: {e}"))
+            })
+        };
+        match written {
             Ok(()) => eprintln!("perf ledger updated: {}", path.display()),
             Err(e) => {
-                eprintln!("loadgen: cannot write perf ledger: {e}");
+                eprintln!("loadgen: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -213,4 +427,37 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::splice_u64_field;
+
+    #[test]
+    fn splice_appends_a_missing_field() {
+        assert_eq!(
+            splice_u64_field(r#"{"a":1,"b":2}"#, "warm_restart_first_micros", 42),
+            r#"{"a":1,"b":2,"warm_restart_first_micros":42}"#
+        );
+    }
+
+    #[test]
+    fn splice_overwrites_an_existing_field() {
+        assert_eq!(
+            splice_u64_field(
+                r#"{"a":1,"warm_restart_first_micros":7,"b":2}"#,
+                "warm_restart_first_micros",
+                42
+            ),
+            r#"{"a":1,"warm_restart_first_micros":42,"b":2}"#
+        );
+        assert_eq!(
+            splice_u64_field(
+                r#"{"a":1,"warm_restart_first_micros":7}"#,
+                "warm_restart_first_micros",
+                42
+            ),
+            r#"{"a":1,"warm_restart_first_micros":42}"#
+        );
+    }
 }

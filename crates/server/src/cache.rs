@@ -131,6 +131,35 @@ impl<T> WarmCache<T> {
         keyed.into_iter().map(|(_, k)| k.to_string()).collect()
     }
 
+    /// Looks `key` up without committing to a miss: a present, matching
+    /// entry counts as a hit and bumps its LRU stamp; anything else counts
+    /// nothing and leaves the cache untouched.
+    ///
+    /// This is the serving fast path's probe — a miss here falls through to
+    /// the coalescing/compute path, whose [`WarmCache::get_or_compute`]
+    /// records the authoritative miss (and evicts a stale entry), so the
+    /// counters see each request exactly once.
+    pub fn peek(&self, key: &str, fingerprint: u64) -> Option<Arc<T>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(at) = inner.entries.iter().position(|e| e.key == key) {
+            if inner.entries[at].fingerprint == fingerprint {
+                inner.stats.hits += 1;
+                inner.entries[at].last_used = tick;
+                return Some(Arc::clone(&inner.entries[at].value));
+            }
+        }
+        None
+    }
+
+    /// Records a hit that happened outside the cache's own lookup path: a
+    /// coalesced request served from a batch fan-out shares the leader's
+    /// warm state without ever touching an entry itself.
+    pub fn note_hit(&self) {
+        self.inner.lock().expect("cache lock").stats.hits += 1;
+    }
+
     /// Looks `key` up, requiring the entry to carry `fingerprint`.
     ///
     /// A present entry with a different fingerprint is evicted and counted
@@ -281,6 +310,19 @@ mod tests {
         assert_eq!(cache.keys_by_recency(), ["d", "a", "c"]);
         assert_eq!(cache.lookup("b", 2).1, Lookup::Miss);
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn peek_never_counts_a_miss() {
+        let cache: WarmCache<u64> = WarmCache::new(2);
+        assert!(cache.peek("k", 7).is_none());
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.insert("k", 7, Arc::new(5));
+        assert_eq!(cache.peek("k", 7).as_deref(), Some(&5));
+        assert!(cache.peek("k", 8).is_none(), "mismatch peeks are misses");
+        assert_eq!(cache.lookup("k", 7).1, Lookup::Hit, "...but evict nothing");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stale_rejected), (2, 0, 0));
     }
 
     #[test]

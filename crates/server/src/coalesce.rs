@@ -1,0 +1,264 @@
+//! Cross-request batching of sweep cells that share one warm key.
+//!
+//! The [`WarmCache`](crate::WarmCache) already collapses concurrent misses
+//! for the *same* key onto one warm-up — but each collapsed request still
+//! served its own tail. This module batches further: while one request (the
+//! **leader**) runs the warm-up, every other request for the same warm key
+//! registers its sweep cells with the leader's open batch and blocks. When
+//! the warm-up lands, the batch stays open for one bounded **coalescing
+//! window** to let stragglers in, then closes; the leader serves every
+//! gathered cell in a single `parallel_map` fan-out and publishes the
+//! per-cell results to the waiters. A duplicate-heavy mix of N concurrent
+//! misses therefore costs one warm-up plus one sweep instead of N.
+//!
+//! The batch life cycle is driven entirely by the leader, so a waiter can
+//! always make progress: the leader publishes real results, or publishes a
+//! failure (waiters fall back to serving themselves), and a request that
+//! arrives after the batch closed is told so immediately. Results are
+//! byte-identity-preserving by construction — the fan-out runs the exact
+//! [`serve_point`](mpsoc_platform::service::serve_point) tails the requests
+//! would have run in isolation, just grouped.
+//!
+//! The module is generic over the published payload so the
+//! gather/close/publish protocol is testable without running simulations.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+struct BatchState<P> {
+    /// Distinct sweep cells (wait-state values) gathered so far.
+    cells: Vec<u32>,
+    /// No more cells may register once set.
+    closed: bool,
+    /// `None` until published; `Some(None)` when the leader failed.
+    outcome: Option<Option<Arc<P>>>,
+}
+
+struct Batch<P> {
+    state: Mutex<BatchState<P>>,
+    done: Condvar,
+}
+
+/// The coalescing point for one server: at most one open batch per warm
+/// key at any time.
+pub struct Coalescer<P> {
+    window: Duration,
+    open: Mutex<HashMap<String, Arc<Batch<P>>>>,
+}
+
+/// A leader's handle on the batch it opened. The leader must finish the
+/// batch with [`Coalescer::publish`] or [`Coalescer::abandon`] — waiters
+/// block until one of the two happens.
+pub struct Lead<P> {
+    key: String,
+    batch: Arc<Batch<P>>,
+}
+
+/// What [`Coalescer::join_or_lead`] decided for a request.
+pub enum Joined<P> {
+    /// No batch was open: this caller leads one and must warm up, close,
+    /// fan out and publish.
+    Lead(Lead<P>),
+    /// The caller's cells rode an open batch; this is the published
+    /// payload (`None` when the leader failed — fall back to a solo serve).
+    Results(Option<Arc<P>>),
+    /// The batch closed before the caller's cells could register; serve
+    /// solo (the warm state is cached by now, so this is cheap).
+    Closed,
+}
+
+impl<P> Coalescer<P> {
+    /// Creates a coalescer whose batches linger for `window` after the
+    /// leader's warm-up before closing.
+    pub fn new(window: Duration) -> Self {
+        Coalescer {
+            window,
+            open: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The post-warm-up gather window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Registers `cells` with the open batch for `key`, blocking until its
+    /// leader publishes — or opens a new batch with this caller as leader.
+    pub fn join_or_lead(&self, key: &str, cells: &[u32]) -> Joined<P> {
+        let batch = {
+            let mut open = self.open.lock().expect("coalescer registry");
+            match open.get(key) {
+                Some(batch) => Arc::clone(batch),
+                None => {
+                    let batch = Arc::new(Batch {
+                        state: Mutex::new(BatchState {
+                            cells: dedup(cells),
+                            closed: false,
+                            outcome: None,
+                        }),
+                        done: Condvar::new(),
+                    });
+                    open.insert(key.to_string(), Arc::clone(&batch));
+                    return Joined::Lead(Lead {
+                        key: key.to_string(),
+                        batch,
+                    });
+                }
+            }
+        };
+        let mut state = batch.state.lock().expect("batch state");
+        if state.closed {
+            return Joined::Closed;
+        }
+        for &cell in cells {
+            if !state.cells.contains(&cell) {
+                state.cells.push(cell);
+            }
+        }
+        while state.outcome.is_none() {
+            state = batch.done.wait(state).expect("batch state");
+        }
+        Joined::Results(state.outcome.clone().expect("outcome just observed"))
+    }
+
+    /// Closes the leader's batch after sleeping out the coalescing window
+    /// (call once the warm-up has landed in the cache, so stragglers that
+    /// miss the window hit the cache instead). Returns every gathered cell;
+    /// the leader must fan them out and [`publish`](Coalescer::publish).
+    pub fn close(&self, lead: &Lead<P>) -> Vec<u32> {
+        if !self.window.is_zero() {
+            std::thread::sleep(self.window);
+        }
+        self.seal(lead)
+    }
+
+    /// Closes the leader's batch immediately, skipping the window. Used
+    /// when the "warm-up" was a cache or disk hit — there is no long
+    /// computation to amortise, so lingering would only add latency.
+    pub fn close_now(&self, lead: &Lead<P>) -> Vec<u32> {
+        self.seal(lead)
+    }
+
+    fn seal(&self, lead: &Lead<P>) -> Vec<u32> {
+        self.open
+            .lock()
+            .expect("coalescer registry")
+            .remove(&lead.key);
+        let mut state = lead.batch.state.lock().expect("batch state");
+        state.closed = true;
+        state.cells.clone()
+    }
+
+    /// Publishes the batch's payload and wakes every waiter. Returns the
+    /// shared payload so the leader serves its own cells from it.
+    pub fn publish(&self, lead: Lead<P>, payload: P) -> Arc<P> {
+        let payload = Arc::new(payload);
+        let mut state = lead.batch.state.lock().expect("batch state");
+        state.closed = true;
+        state.outcome = Some(Some(Arc::clone(&payload)));
+        drop(state);
+        lead.batch.done.notify_all();
+        payload
+    }
+
+    /// Abandons a failed batch: waiters wake with no results and serve
+    /// themselves. The leader reports its own error in its own response.
+    pub fn abandon(&self, lead: Lead<P>) {
+        self.seal(&lead);
+        let mut state = lead.batch.state.lock().expect("batch state");
+        state.outcome = Some(None);
+        drop(state);
+        lead.batch.done.notify_all();
+    }
+}
+
+fn dedup(cells: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(cells.len());
+    for &cell in cells {
+        if !out.contains(&cell) {
+            out.push(cell);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    type CellMap = HashMap<u32, u64>;
+
+    #[test]
+    fn first_caller_leads_and_waiters_share_its_results() {
+        let co: Arc<Coalescer<CellMap>> = Arc::new(Coalescer::new(Duration::from_millis(30)));
+        let fanouts = Arc::new(AtomicU64::new(0));
+
+        let leader = {
+            let co = Arc::clone(&co);
+            let fanouts = Arc::clone(&fanouts);
+            std::thread::spawn(move || {
+                let Joined::Lead(lead) = co.join_or_lead("k", &[1]) else {
+                    panic!("first caller leads");
+                };
+                // "Warm-up": give the joiners time to register.
+                std::thread::sleep(Duration::from_millis(20));
+                let cells = co.close(&lead);
+                fanouts.fetch_add(1, Ordering::SeqCst);
+                let results: CellMap = cells.iter().map(|&ws| (ws, u64::from(ws) * 10)).collect();
+                co.publish(lead, results)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        let joiners: Vec<_> = [2u32, 4, 2]
+            .iter()
+            .map(|&ws| {
+                let co = Arc::clone(&co);
+                std::thread::spawn(move || match co.join_or_lead("k", &[ws]) {
+                    Joined::Results(Some(map)) => map[&ws],
+                    _ => panic!("joiner must ride the open batch"),
+                })
+            })
+            .collect();
+
+        let map = leader.join().expect("leader");
+        for (joiner, &ws) in joiners.into_iter().zip(&[2u32, 4, 2]) {
+            assert_eq!(joiner.join().expect("joiner"), u64::from(ws) * 10);
+        }
+        assert_eq!(fanouts.load(Ordering::SeqCst), 1, "one fan-out for all");
+        let mut cells: Vec<u32> = map.keys().copied().collect();
+        cells.sort_unstable();
+        assert_eq!(cells, [1, 2, 4], "distinct cells gathered once each");
+    }
+
+    #[test]
+    fn sealed_batches_free_the_key_for_a_new_leader() {
+        let co: Coalescer<CellMap> = Coalescer::new(Duration::ZERO);
+        let Joined::Lead(lead) = co.join_or_lead("k", &[1, 1, 3]) else {
+            panic!("leads");
+        };
+        let cells = co.close_now(&lead);
+        assert_eq!(cells, [1, 3], "duplicate cells registered once");
+        assert!(
+            matches!(co.join_or_lead("k", &[2]), Joined::Lead(_)),
+            "after seal the key is free again — a new request leads a fresh batch"
+        );
+        let _ = co.publish(lead, HashMap::new());
+    }
+
+    #[test]
+    fn abandoned_batches_release_their_waiters() {
+        let co: Arc<Coalescer<CellMap>> = Arc::new(Coalescer::new(Duration::from_millis(50)));
+        let Joined::Lead(lead) = co.join_or_lead("k", &[1]) else {
+            panic!("leads");
+        };
+        let waiter = {
+            let co = Arc::clone(&co);
+            std::thread::spawn(move || matches!(co.join_or_lead("k", &[2]), Joined::Results(None)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        co.abandon(lead);
+        assert!(waiter.join().expect("waiter"), "waiter sees the failure");
+    }
+}

@@ -24,7 +24,11 @@
 //! * [`protocol`] — the request/response line format;
 //! * [`cache`] — the fingerprint-checked, deterministically-LRU warm
 //!   cache with concurrent-miss collapsing;
-//! * [`server`] — the TCP listener, one thread per connection;
+//! * [`coalesce`] — cross-request batching: concurrent misses for
+//!   *different* cells of one warm key share one warm-up and one fan-out;
+//! * [`persist`] — the disk spill layer that makes warm checkpoints
+//!   survive a server restart (fail-closed, doubly checksummed);
+//! * [`server`] — the nonblocking poll loop and its bounded handler pool;
 //! * [`loadgen`] — the deterministic load generator and its run report.
 //!
 //! ## Binaries
@@ -40,10 +44,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod coalesce;
 pub mod json;
 pub mod loadgen;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheStats, Lookup, WarmCache};
-pub use server::{Server, ServerConfig};
+pub use persist::{DiskCache, DiskStats};
+pub use server::{host_cores, Server, ServerConfig};

@@ -87,13 +87,35 @@ pub fn fig4_mix(requests: usize, rng_seed: u64) -> Vec<Cell> {
 }
 
 /// Serializes the request line for one FIG-4 cell at `scale`/`seed`.
-pub fn request_line(id: u64, cell: Cell, scale: u64, seed: u64, tick_jobs: usize) -> String {
+/// `coalesce:false` opts the request out of cross-request batching — the
+/// ledger uses it to measure the unbatched baseline.
+pub fn request_line(
+    id: u64,
+    cell: Cell,
+    scale: u64,
+    seed: u64,
+    tick_jobs: usize,
+    coalesce: bool,
+) -> String {
     format!(
         "{{\"id\":{id},\"cmd\":\"simulate\",\"topology\":\"{}\",\"scale\":{scale},\
-         \"seed\":{seed},\"wait_states\":{},\"tick_jobs\":{tick_jobs}}}",
+         \"seed\":{seed},\"wait_states\":{},\"tick_jobs\":{tick_jobs},\"coalesce\":{coalesce}}}",
         topology_wire_name(cell.0),
         cell.1
     )
+}
+
+/// Distinct warm keys a mix touches: cells share a warm key exactly when
+/// they share a topology (the warm identity excludes the wait-state axis),
+/// so this is the number of distinct topologies in the mix.
+pub fn distinct_warm_keys(mix: &[Cell]) -> usize {
+    let mut seen: Vec<Topology> = Vec::new();
+    for &(topology, _) in mix {
+        if !seen.contains(&topology) {
+            seen.push(topology);
+        }
+    }
+    seen.len()
 }
 
 /// A blocking JSON-lines client connection.
@@ -191,6 +213,9 @@ pub struct RunConfig {
     pub rng_seed: u64,
     /// `tick_jobs` knob forwarded on every request.
     pub tick_jobs: usize,
+    /// Whether requests may ride the server's coalescing batches
+    /// (`false` sends `"coalesce":false`, the unbatched baseline).
+    pub coalesce: bool,
 }
 
 impl Default for RunConfig {
@@ -204,6 +229,7 @@ impl Default for RunConfig {
             seed: defaults.seed,
             rng_seed: 1,
             tick_jobs: 1,
+            coalesce: true,
         }
     }
 }
@@ -235,6 +261,14 @@ pub struct RunReport {
     pub hit_latencies_micros: Vec<u64>,
     /// Latencies of cache-miss responses, sorted ascending.
     pub miss_latencies_micros: Vec<u64>,
+    /// Latency of the run's very first response (request id 0) — the
+    /// cold-start figure on a fresh server, the restart figure on a
+    /// relaunched one.
+    pub first_latency_micros: u64,
+    /// Whether the first response was served warm. A server relaunched on
+    /// a populated `--cache-dir` must answer its first request from the
+    /// disk spill, i.e. as a hit.
+    pub first_hit: bool,
     /// The agreed `exec_cycles` per cell.
     pub cells: BTreeMap<(String, u32), u64>,
 }
@@ -343,6 +377,11 @@ fn fold(observations: Vec<Vec<Observation>>, wall_seconds: f64) -> Result<RunRep
         wall_seconds,
         ..RunReport::default()
     };
+    // Lane 0's first observation is request id 0 in every pacing mode.
+    if let Some(first) = observations.first().and_then(|lane| lane.first()) {
+        report.first_latency_micros = first.latency_micros;
+        report.first_hit = first.hit;
+    }
     let mut bases: BTreeMap<(String, u32), u64> = BTreeMap::new();
     for obs in observations.into_iter().flatten() {
         report.responses += 1;
@@ -420,8 +459,14 @@ fn run_closed(
                     Client::connect(&config.addr).map_err(|e| format!("connect: {e}"))?;
                 let mut observations = Vec::with_capacity(slice.len());
                 for (id, cell) in slice {
-                    let line =
-                        request_line(id as u64, cell, config.scale, config.seed, config.tick_jobs);
+                    let line = request_line(
+                        id as u64,
+                        cell,
+                        config.scale,
+                        config.seed,
+                        config.tick_jobs,
+                        config.coalesce,
+                    );
                     let sent = Instant::now();
                     let response = client.roundtrip(&line).map_err(|e| format!("io: {e}"))?;
                     let latency = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
@@ -465,20 +510,31 @@ fn run_open(
                 if due > now {
                     std::thread::sleep(due - now);
                 }
-                let line =
-                    request_line(id as u64, cell, config.scale, config.seed, config.tick_jobs);
-                let sent = Instant::now();
+                let line = request_line(
+                    id as u64,
+                    cell,
+                    config.scale,
+                    config.seed,
+                    config.tick_jobs,
+                    config.coalesce,
+                );
                 writer
                     .write_all(line.as_bytes())
                     .and_then(|()| writer.write_all(b"\n"))
                     .and_then(|()| writer.flush())
                     .map_err(|e| format!("io: {e}"))?;
-                tx.send((cell, sent)).map_err(|e| e.to_string())?;
+                // Latency is measured from the *intended* send instant, not
+                // the actual write: when the writer itself falls behind the
+                // schedule (server back-pressure), the queueing delay is part
+                // of what a paced client experiences. Measuring from the
+                // actual write would silently drop that delay — the classic
+                // coordinated-omission bug.
+                tx.send((cell, due)).map_err(|e| e.to_string())?;
             }
             Ok(())
         });
         let mut observations = Vec::with_capacity(mix.len());
-        for (cell, sent) in rx {
+        for (cell, due) in rx {
             let mut response = String::new();
             let n = reader
                 .read_line(&mut response)
@@ -486,7 +542,7 @@ fn run_open(
             if n == 0 {
                 return Err("server closed the connection".into());
             }
-            let latency = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            let latency = due.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
             observations.push(decode_response(response.trim_end(), cell, latency)?);
         }
         send_lane
@@ -524,11 +580,33 @@ mod tests {
 
     #[test]
     fn request_lines_parse_back() {
-        let line = request_line(3, (Topology::Collapsed, 16), 2, 0x0dab, 2);
+        let line = request_line(3, (Topology::Collapsed, 16), 2, 0x0dab, 2, false);
         let v = json::parse(&line).expect("valid JSON");
         assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
         assert_eq!(v.get("topology").and_then(Json::as_str), Some("collapsed"));
         assert_eq!(v.get("wait_states").and_then(Json::as_u64), Some(16));
+        assert_eq!(v.get("coalesce").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn warm_keys_follow_topologies_not_cells() {
+        assert_eq!(distinct_warm_keys(&fig4_mix(48, 1)), 2);
+        assert_eq!(distinct_warm_keys(&[(Topology::Collapsed, 1)]), 1);
+        assert_eq!(distinct_warm_keys(&[]), 0);
+    }
+
+    #[test]
+    fn fold_records_the_first_response() {
+        let first = Observation {
+            cell: (Topology::Collapsed, 4),
+            exec_cycles: 100,
+            base_cycles: 90,
+            hit: true,
+            latency_micros: 42,
+        };
+        let report = fold(vec![vec![first]], 1.0).expect("folds");
+        assert_eq!(report.first_latency_micros, 42);
+        assert!(report.first_hit);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Disk persistence for warm checkpoints.
+//!
+//! The in-memory [`WarmCache`](crate::WarmCache) dies with the process; this
+//! layer spills every computed warm state to a directory (`MPSOC_CACHE_DIR`
+//! for the `simserved` binary) and lazily loads spills back on a miss, so a
+//! restarted server answers its first request from a warm fork instead of
+//! re-running the warm-up.
+//!
+//! # Spill format
+//!
+//! One file per warm key, named `warm-<fnv64(key)>.mpsn` in the spill
+//! directory. The contents are the armoured container built by
+//! [`WarmState::to_spill_blob`]: an ordinary versioned + checksummed
+//! snapshot blob carrying the warm key, the structural fingerprint, the
+//! probe profile and the (independently sealed) inner checkpoint bytes.
+//!
+//! # Fail-closed loading
+//!
+//! [`DiskCache::load`] returns a warm state only when *everything* checks
+//! out: the outer armour (magic, version, checksum), the stored warm key
+//! (guards against FNV filename collisions), the stored fingerprint against
+//! the fingerprint of the platform the requester is about to build, and the
+//! inner blob's own seal. Every failure mode deletes the spill file —
+//! corrupt and stale spills are evicted from disk, never retried, and never
+//! reach the in-memory cache. Spill *writes* are atomic (temp file +
+//! rename), so a crash mid-spill cannot leave a torn file behind.
+
+use mpsoc_kernel::{fnv1a_64, load_blob, spill_blob};
+use mpsoc_platform::service::WarmState;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing the disk layer's lifetime behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Misses answered by loading a spill file.
+    pub loads: u64,
+    /// Warm states spilled to disk.
+    pub stores: u64,
+    /// Spill files rejected (corrupt, truncated, stale fingerprint or key
+    /// collision) and evicted from disk.
+    pub rejected: u64,
+}
+
+/// A directory of spilled warm checkpoints.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    loads: AtomicU64,
+    stores: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) the spill directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error if the directory cannot be created.
+    pub fn open(dir: &Path) -> io::Result<DiskCache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(DiskCache {
+            dir: dir.to_path_buf(),
+            loads: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// The spill directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            loads: self.loads.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The spill path of a warm key.
+    pub fn path_for(&self, warm_key: &str) -> PathBuf {
+        self.dir
+            .join(format!("warm-{:016x}.mpsn", fnv1a_64(warm_key.as_bytes())))
+    }
+
+    /// Tries to load the spilled warm state of `warm_key`, requiring it to
+    /// carry `expected_fingerprint`.
+    ///
+    /// Fails closed: any validation failure (or unreadable file) evicts the
+    /// spill from disk and returns `None`, so the caller falls through to
+    /// an ordinary warm-up and the bad file is never consulted again.
+    pub fn load(&self, warm_key: &str, expected_fingerprint: u64) -> Option<WarmState> {
+        let path = self.path_for(warm_key);
+        let blob = match load_blob(&path) {
+            Ok(blob) => blob,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return None,
+            Err(err) => {
+                self.evict(&path, &err.to_string());
+                return None;
+            }
+        };
+        match WarmState::from_spill_blob(&blob, warm_key, expected_fingerprint) {
+            Ok(warm) => {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                Some(warm)
+            }
+            Err(err) => {
+                self.evict(&path, &err.to_string());
+                None
+            }
+        }
+    }
+
+    /// Spills a warm state to disk, best effort: persistence is an
+    /// optimisation, so an I/O failure is reported on stderr and otherwise
+    /// ignored — the in-memory cache still has the state.
+    pub fn store(&self, warm_key: &str, warm: &WarmState) {
+        let path = self.path_for(warm_key);
+        match spill_blob(&path, &warm.to_spill_blob(warm_key)) {
+            Ok(()) => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(err) => {
+                eprintln!("simserved: failed to spill {}: {err}", path.display());
+            }
+        }
+    }
+
+    fn evict(&self, path: &Path, why: &str) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "simserved: rejecting spill {} ({why}); evicting",
+            path.display()
+        );
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mpsoc-persist-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn missing_spill_is_a_quiet_miss() {
+        let dir = tmp_dir("miss");
+        let disk = DiskCache::open(&dir).expect("opens");
+        assert!(disk.load("k", 1).is_none());
+        assert_eq!(disk.stats(), DiskStats::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_spill_is_evicted_from_disk() {
+        let dir = tmp_dir("garbage");
+        let disk = DiskCache::open(&dir).expect("opens");
+        let path = disk.path_for("k");
+        std::fs::write(&path, b"not a snapshot").expect("write");
+        assert!(disk.load("k", 1).is_none());
+        assert!(!path.exists(), "corrupt spill must be deleted");
+        assert_eq!(disk.stats().rejected, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

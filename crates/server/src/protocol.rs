@@ -11,7 +11,9 @@
 //!   an **array** to fan a whole sweep out across worker threads in one
 //!   request), `jobs` (worker threads for an array sweep), `fast_gear`
 //!   (loosely-timed warm-up quantum, 0/omitted = cycle-accurate),
-//!   `tick_jobs` (intra-edge parallel ticking of the tail).
+//!   `tick_jobs` (intra-edge parallel ticking of the tail), `coalesce`
+//!   (`true` by default; `false` opts this request out of cross-request
+//!   batching so it always warms up or forks on its own).
 //! * `{"cmd": "stats"}` — server and cache counters.
 //! * `{"cmd": "ping"}` — liveness.
 //! * `{"cmd": "shutdown"}` — stop accepting and exit once drained.
@@ -45,6 +47,9 @@ pub struct Simulate {
     pub extra_wait_states: Vec<u32>,
     /// Worker threads used to fan an array sweep out.
     pub jobs: usize,
+    /// Whether this request may ride (or lead) a coalesced batch with
+    /// other requests of the same warm key.
+    pub coalesce: bool,
 }
 
 impl Simulate {
@@ -153,6 +158,12 @@ fn parse_simulate(obj: &Json) -> Result<Simulate, String> {
                 .ok_or_else(|| "'wait_states' must be an integer or array".to_string())?;
         }
     }
+    let coalesce = match obj.get("coalesce") {
+        None | Some(Json::Null) => true,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| "'coalesce' must be a boolean".to_string())?,
+    };
     Ok(Simulate {
         id: field_u64(obj, "id", 0)?,
         req,
@@ -160,6 +171,7 @@ fn parse_simulate(obj: &Json) -> Result<Simulate, String> {
         jobs: usize::try_from(field_u64(obj, "jobs", 1)?)
             .map_err(|_| "'jobs' out of range".to_string())?
             .max(1),
+        coalesce,
     })
 }
 
@@ -244,6 +256,17 @@ mod tests {
         assert_eq!(sim.req, SweepRequest::default());
         assert_eq!(sim.id, 0);
         assert!(sim.extra_wait_states.is_empty());
+        assert!(sim.coalesce, "coalescing is opt-out");
+    }
+
+    #[test]
+    fn coalesce_opt_out_parses() {
+        let Command::Simulate(sim) = parse_command(r#"{"coalesce":false}"#).expect("parses") else {
+            panic!("simulate");
+        };
+        assert!(!sim.coalesce);
+        let err = parse_command(r#"{"coalesce":1}"#).expect_err("rejects non-bool");
+        assert!(err.contains("'coalesce'"), "{err}");
     }
 
     #[test]

@@ -13,7 +13,20 @@ use std::sync::Arc;
 /// background thread. Returns the address and the join handle; tests must
 /// send a shutdown request and join.
 fn start_server(cache_capacity: usize) -> (String, std::thread::JoinHandle<()>) {
-    let server = Server::bind("127.0.0.1:0", &ServerConfig { cache_capacity }).expect("binds");
+    let config = ServerConfig {
+        cache_capacity,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", &config).expect("binds");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serves"));
+    (addr, handle)
+}
+
+/// Like [`start_server`], but with an explicit full config (disk spill
+/// directory, coalescing window, …).
+fn start_server_with(config: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", &config).expect("binds");
     let addr = server.local_addr().to_string();
     let handle = std::thread::spawn(move || server.run().expect("serves"));
     (addr, handle)
@@ -135,6 +148,90 @@ fn concurrent_duplicates_share_one_warm_up() {
 
     shutdown(&addr);
     handle.join().expect("server exits cleanly");
+}
+
+#[test]
+fn concurrent_distinct_cells_coalesce_behind_one_warm_up() {
+    let (addr, handle) = start_server_with(ServerConfig {
+        cache_capacity: 4,
+        coalesce_window: std::time::Duration::from_millis(100),
+        ..ServerConfig::default()
+    });
+    let addr = Arc::new(addr);
+    let cells = [1u32, 2, 4, 8, 16, 32];
+    let mut lanes = Vec::new();
+    for (id, &ws) in cells.iter().enumerate() {
+        let addr = Arc::clone(&addr);
+        lanes.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connects");
+            let line = client
+                .roundtrip(&format!(
+                    "{{\"id\":{id},\"topology\":\"distributed\",\"scale\":1,\"wait_states\":{ws}}}"
+                ))
+                .expect("responds");
+            assert!(line.contains("\"status\":\"ok\""), "{line}");
+            (ws, field_u64(&line, "exec_cycles"))
+        }));
+    }
+    let results: Vec<(u32, u64)> = lanes.into_iter().map(|l| l.join().expect("lane")).collect();
+
+    // Six concurrent requests for six *distinct* cells of one warm key:
+    // one warm-up total. (A straggler that misses the coalescing window
+    // serves solo from the cache, which still runs no warm-up.)
+    let mut client = Client::connect(&addr).expect("connects");
+    let stats = client.roundtrip("{\"cmd\":\"stats\"}").expect("responds");
+    assert_eq!(
+        field_u64(&stats, "warm_ups"),
+        1,
+        "distinct cells must batch behind one warm-up: {stats}"
+    );
+
+    // And every batched cell is byte-identical to its isolated cold run.
+    for (ws, cycles) in results {
+        let reference = service::cold_point(&SweepRequest {
+            topology: Topology::Distributed,
+            scale: 1,
+            wait_states: ws,
+            ..SweepRequest::default()
+        })
+        .expect("cold run");
+        assert_eq!(cycles, reference, "coalesced cell ws={ws} must match cold");
+    }
+    shutdown(&addr);
+    handle.join().expect("server exits cleanly");
+}
+
+#[test]
+fn restarted_server_answers_first_request_from_the_disk_spill() {
+    let dir = std::env::temp_dir().join(format!("mpsn-restart-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        cache_capacity: 4,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let (addr, handle) = start_server_with(config.clone());
+    let mut client = Client::connect(&addr).expect("connects");
+    let req = "{\"id\":1,\"topology\":\"collapsed\",\"scale\":1,\"wait_states\":8}";
+    let first = client.roundtrip(req).expect("responds");
+    assert!(first.contains("\"cache\":\"miss\""), "{first}");
+    let cycles = field_u64(&first, "exec_cycles");
+    shutdown(&addr);
+    handle.join().expect("server exits cleanly");
+
+    // Relaunch on the same spill directory: the first request is answered
+    // from the disk fork — a hit, byte-identical, zero warm-ups run.
+    let (addr, handle) = start_server_with(config);
+    let mut client = Client::connect(&addr).expect("connects");
+    let warm = client.roundtrip(req).expect("responds");
+    assert!(warm.contains("\"cache\":\"hit\""), "{warm}");
+    assert_eq!(field_u64(&warm, "exec_cycles"), cycles);
+    let stats = client.roundtrip("{\"cmd\":\"stats\"}").expect("responds");
+    assert_eq!(field_u64(&stats, "warm_ups"), 0, "{stats}");
+    assert_eq!(field_u64(&stats, "spill_loads"), 1, "{stats}");
+    shutdown(&addr);
+    handle.join().expect("server exits cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
